@@ -1,0 +1,85 @@
+// Package main's bench suite regenerates every table and figure of the
+// paper (one benchmark per experiment) and reports the headline metric
+// of each as a custom benchmark unit, so `go test -bench=. -benchmem`
+// doubles as the full reproduction run. The printed tables land on
+// stdout once per benchmark (first iteration only).
+package main
+
+import (
+	"os"
+	"sync"
+	"testing"
+
+	"ndsearch/internal/figures"
+)
+
+// benchSuite is shared across benchmarks; building all ten workloads
+// once keeps the run affordable.
+var (
+	benchSuite *figures.Suite
+	suiteOnce  sync.Once
+)
+
+func suite() *figures.Suite {
+	suiteOnce.Do(func() {
+		scale := figures.DefaultScale()
+		if testing.Short() {
+			scale = figures.TestScale()
+		}
+		// Keep the shared bench suite moderate (Fig. 19 alone runs 120
+		// simulations over 8x-batch workloads): the full `-n/-batch`
+		// sweep is available through cmd/ndsearch.
+		scale.N = 2000
+		scale.Batch = 256
+		benchSuite = figures.NewSuite(scale)
+	})
+	return benchSuite
+}
+
+// run1 executes a one-table experiment b.N times, printing the table on
+// the first iteration and reporting rows/op.
+func run1(b *testing.B, name string, fn func() (*figures.Table, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		t, err := fn()
+		if err != nil {
+			b.Fatalf("%s: %v", name, err)
+		}
+		if i == 0 {
+			t.Fprint(os.Stdout)
+		}
+		b.ReportMetric(float64(len(t.Rows)), "rows")
+	}
+}
+
+func run2(b *testing.B, name string, fn func() (*figures.Table, *figures.Table, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		ta, tb, err := fn()
+		if err != nil {
+			b.Fatalf("%s: %v", name, err)
+		}
+		if i == 0 {
+			ta.Fprint(os.Stdout)
+			tb.Fprint(os.Stdout)
+		}
+		b.ReportMetric(float64(len(ta.Rows)+len(tb.Rows)), "rows")
+	}
+}
+
+func BenchmarkFig01Breakdown(b *testing.B)  { run1(b, "fig1", suite().Fig1) }
+func BenchmarkFig02PCIe(b *testing.B)       { run1(b, "fig2a", suite().Fig2a) }
+func BenchmarkFig02Roofline(b *testing.B)   { run1(b, "fig2b", suite().Fig2b) }
+func BenchmarkFig04Access(b *testing.B)     { run2(b, "fig4", suite().Fig4) }
+func BenchmarkFig10Reorder(b *testing.B)    { run1(b, "fig10", suite().Fig10) }
+func BenchmarkFig13Throughput(b *testing.B) { run1(b, "fig13", suite().Fig13) }
+func BenchmarkFig14Static(b *testing.B)     { run1(b, "fig14", suite().Fig14) }
+func BenchmarkFig15Dynamic(b *testing.B)    { run1(b, "fig15", suite().Fig15) }
+func BenchmarkFig16Ablation(b *testing.B)   { run1(b, "fig16", suite().Fig16) }
+func BenchmarkFig17Breakdown(b *testing.B)  { run1(b, "fig17", suite().Fig17) }
+func BenchmarkFig18ECC(b *testing.B)        { run2(b, "fig18", suite().Fig18) }
+func BenchmarkFig19Batch(b *testing.B)      { run1(b, "fig19", suite().Fig19) }
+func BenchmarkFig20Energy(b *testing.B)     { run1(b, "fig20", suite().Fig20) }
+func BenchmarkFig21OtherAlgos(b *testing.B) { run1(b, "fig21", suite().Fig21) }
+func BenchmarkTable1PowerArea(b *testing.B) { run1(b, "table1", suite().Table1) }
+func BenchmarkDiscussionIVFPQ(b *testing.B) { run1(b, "discussion", suite().Discussion) }

@@ -1,0 +1,28 @@
+package main
+
+import (
+	"testing"
+
+	"ndsearch/internal/figures"
+)
+
+// tinySuite keeps CLI dispatch tests fast.
+func tinySuite() *figures.Suite {
+	return figures.NewSuite(figures.Scale{N: 400, Batch: 16, K: 5, Seed: 1})
+}
+
+func TestRunDispatchKnownNames(t *testing.T) {
+	s := tinySuite()
+	// Cheap experiments that exercise distinct suite paths.
+	for _, name := range []string{"table1", "fig10", "fig1"} {
+		if err := run(s, name); err != nil {
+			t.Errorf("run(%q): %v", name, err)
+		}
+	}
+}
+
+func TestRunRejectsUnknown(t *testing.T) {
+	if err := run(tinySuite(), "fig99"); err == nil {
+		t.Error("unknown experiment must fail")
+	}
+}

@@ -1,0 +1,85 @@
+// Capacity-planning example: the paper's core premise is that
+// billion-scale graphs exceed single-node DRAM (hundreds of GBs to TBs,
+// §I). This example computes the full-scale footprints of the five
+// benchmark corpora, shows which platforms can hold them, and runs the
+// platform crossover study: at what corpus scale does near-data
+// processing overtake the host platforms?
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ndsearch/internal/core"
+	"ndsearch/internal/dataset"
+	"ndsearch/internal/hnsw"
+	"ndsearch/internal/nand"
+	"ndsearch/internal/platform"
+	"ndsearch/internal/trace"
+)
+
+func gb(b int64) float64 { return float64(b) / (1 << 30) }
+
+func main() {
+	const r = 32 // the paper's layout degree
+	fmt.Println("full-scale corpus footprints (feature vectors + R=32 adjacency):")
+	fmt.Printf("%-14s %14s %12s %10s %10s\n", "dataset", "vectors", "footprint", "fits DRAM", "fits VRAM")
+	for _, p := range dataset.Profiles() {
+		fp := p.FullScaleFootprint(r)
+		fmt.Printf("%-14s %14d %9.1f GB %10v %10v\n",
+			p.Name, p.FullScaleVectors, gb(fp), fp <= 24<<30, fp <= 24<<30)
+	}
+
+	// Crossover study: sweep the logical corpus size of a sift-shaped
+	// dataset and watch the CPU/GPU/NDSEARCH ordering flip as the corpus
+	// outgrows host memory. The traversal trace is identical across
+	// scales; only the capacity pressure changes — exactly the paper's
+	// methodology for isolating the memory-wall effect.
+	base := dataset.Sift1B()
+	d, err := dataset.Generate(base, dataset.GenConfig{N: 4000, Queries: 512, Seed: 21})
+	if err != nil {
+		log.Fatal(err)
+	}
+	idx, err := hnsw.Build(d.Vectors, hnsw.Config{
+		M: 12, EfConstruction: 100, EfSearch: 64, Metric: base.Metric, Seed: 2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	batch := &trace.Batch{Dataset: base.Name, Algo: "hnsw"}
+	for qi, q := range d.Queries {
+		_, tr := idx.SearchTraced(q, 10)
+		tr.QueryID = qi
+		batch.Queries = append(batch.Queries, tr)
+	}
+
+	fmt.Println("\nplatform crossover vs logical corpus scale (QPS):")
+	fmt.Printf("%12s %12s %12s %12s %12s\n", "vectors", "CPU", "GPU", "NDSEARCH", "ND/CPU")
+	for _, scale := range []int64{1e6, 1e7, 1e8, 1e9} {
+		prof := base
+		prof.FullScaleVectors = scale
+		w := platform.Workload{Profile: prof, MaxDegree: r}
+		cpuRes, err := platform.NewCPU().Simulate(batch, w)
+		if err != nil {
+			log.Fatal(err)
+		}
+		gpuRes, err := platform.NewGPU().Simulate(batch, w)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg := core.DefaultConfig()
+		cfg.Params.Geometry = nand.ScaledGeometry()
+		sys, err := core.NewSystemFromIndex(idx, prof, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ndRes, err := sys.SimulateBatch(batch)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%12.0e %12.0f %12.0f %12.0f %11.1fx\n",
+			float64(scale), cpuRes.QPS, gpuRes.QPS, ndRes.QPS, ndRes.QPS/cpuRes.QPS)
+	}
+	fmt.Println("\nbelow DRAM capacity the host platforms are compute-bound and")
+	fmt.Println("competitive; past it they hit the PCIe wall the paper identifies.")
+}

@@ -1,0 +1,81 @@
+// Quickstart: build an HNSW index over a synthetic SIFT-like corpus,
+// run approximate search, verify recall against brute force, then lay
+// the graph out on the simulated SearSSD and measure a batch through the
+// full NDSEARCH pipeline.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ndsearch/internal/ann"
+	"ndsearch/internal/core"
+	"ndsearch/internal/dataset"
+	"ndsearch/internal/hnsw"
+	"ndsearch/internal/nand"
+	"ndsearch/internal/trace"
+)
+
+func main() {
+	// 1. Generate a corpus with the sift-1b profile (128-d uint8, L2),
+	//    scaled to 4000 vectors.
+	prof := dataset.Sift1B()
+	d, err := dataset.Generate(prof, dataset.GenConfig{N: 4000, Queries: 256, Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Build the HNSW index.
+	idx, err := hnsw.Build(d.Vectors, hnsw.Config{
+		M: 12, EfConstruction: 100, EfSearch: 64, Metric: prof.Metric, Seed: 7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Search and check recall@10 against brute force.
+	var recall float64
+	for _, q := range d.Queries[:32] {
+		exact := ann.BruteForce(prof.Metric, d.Vectors, q, 10)
+		approx := idx.Search(q, 10)
+		recall += ann.Recall(approx, exact, 10)
+	}
+	recall /= 32
+	fmt.Printf("HNSW over %d vectors: recall@10 = %.3f\n", idx.Len(), recall)
+
+	top := idx.Search(d.Queries[0], 5)
+	fmt.Println("top-5 for query 0:")
+	for _, n := range top {
+		fmt.Printf("  vertex %5d  dist %.1f\n", n.ID, n.Dist)
+	}
+
+	// 4. Trace the whole query batch (what the paper's simulator eats).
+	batch := &trace.Batch{Dataset: prof.Name, Algo: "hnsw"}
+	for qi, q := range d.Queries {
+		_, tr := idx.SearchTraced(q, 10)
+		tr.QueryID = qi
+		batch.Queries = append(batch.Queries, tr)
+	}
+	fmt.Printf("traced batch: %d queries, %d vertex accesses, %d max iterations\n",
+		len(batch.Queries), batch.TotalAccesses(), batch.MaxIterations())
+
+	// 5. Lay the graph out on SearSSD (degree-ascending reordering +
+	//    multi-plane mapping) and simulate the NDSEARCH execution.
+	cfg := core.DefaultConfig()
+	cfg.Params.Geometry = nand.ScaledGeometry()
+	sys, err := core.NewSystemFromIndex(idx, prof, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sys.SimulateBatch(batch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nNDSEARCH simulation: latency %v, %.0f QPS\n", res.Latency, res.QPS)
+	fmt.Printf("page senses %d (access ratio %.3f), %.0f%% of LUNs touched\n",
+		res.PageReads, res.PageAccessRatio, res.LUNsTouchedFrac*100)
+	fmt.Println("execution breakdown:")
+	for _, f := range res.Breakdown.Fractions() {
+		fmt.Printf("  %-16s %5.1f%%\n", f.Category, f.Share*100)
+	}
+}

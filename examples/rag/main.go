@@ -1,0 +1,79 @@
+// RAG retrieval example: the paper's introduction motivates ANNS as the
+// retrieval stage of retrieval-augmented generation. This example models
+// a passage-embedding store (deep-1b profile: 96-d unit-normalised
+// embeddings) serving RAG queries, and compares serving the retrieval
+// tier from a swapping CPU node versus an NDSEARCH device, including
+// per-request tail latency of small interactive batches.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ndsearch/internal/core"
+	"ndsearch/internal/dataset"
+	"ndsearch/internal/nand"
+	"ndsearch/internal/platform"
+	"ndsearch/internal/trace"
+	"ndsearch/internal/vamana"
+)
+
+func main() {
+	prof := dataset.Deep1B() // CNN/embedding-style unit vectors
+	d, err := dataset.Generate(prof, dataset.GenConfig{N: 5000, Queries: 512, Seed: 11})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// DiskANN (Vamana) is the natural index for an SSD-resident RAG
+	// corpus: single-layer graph, beam search from a medoid.
+	idx, err := vamana.Build(d.Vectors, vamana.Config{
+		R: 24, L: 64, LSearch: 48, Alpha: 1.2, Metric: prof.Metric, Seed: 3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("RAG corpus: %d passages indexed with Vamana (medoid %d)\n", idx.Len(), idx.Medoid())
+
+	// Retrieve context for one user question.
+	ctx := idx.Search(d.Queries[0], 5)
+	fmt.Println("retrieved passages for request 0:")
+	for rank, n := range ctx {
+		fmt.Printf("  #%d passage %5d (similarity distance %.4f)\n", rank+1, n.ID, n.Dist)
+	}
+
+	// Trace a service window of queries.
+	batch := &trace.Batch{Dataset: prof.Name, Algo: "diskann"}
+	for qi, q := range d.Queries {
+		_, tr := idx.SearchTraced(q, 5)
+		tr.QueryID = qi
+		batch.Queries = append(batch.Queries, tr)
+	}
+
+	cfg := core.DefaultConfig()
+	cfg.Params.Geometry = nand.ScaledGeometry()
+	sys, err := core.NewSystemFromIndex(idx, prof, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cpu := platform.NewCPU()
+	w := platform.Workload{Profile: prof, MaxDegree: 24}
+
+	fmt.Println("\nretrieval-tier latency by service batch size (RAG serving):")
+	fmt.Printf("%8s  %14s  %14s  %8s\n", "batch", "CPU", "NDSEARCH", "speedup")
+	for _, b := range []int{16, 64, 256, 512} {
+		sub := &trace.Batch{Dataset: batch.Dataset, Algo: batch.Algo, Queries: batch.Queries[:b]}
+		cr, err := cpu.Simulate(sub, w)
+		if err != nil {
+			log.Fatal(err)
+		}
+		nr, err := sys.SimulateBatch(sub)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%8d  %14v  %14v  %7.2fx\n",
+			b, cr.Latency, nr.Latency, cr.Latency.Seconds()/nr.Latency.Seconds())
+	}
+	fmt.Println("\nthe full-scale corpus metadata (1B passages) is what forces the")
+	fmt.Println("CPU node to stream from SSD; NDSEARCH filters candidates in-flash.")
+}

@@ -1,0 +1,255 @@
+// Package ann defines the interfaces shared by every ANNS algorithm in
+// the repository (HNSW, Vamana/DiskANN, HCNNG, TOGG), the exact
+// brute-force baseline, recall computation, and the candidate/result
+// list machinery the graph traversals use.
+package ann
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"ndsearch/internal/trace"
+	"ndsearch/internal/vec"
+)
+
+// Neighbor is one search result: a vertex and its distance to the query.
+type Neighbor struct {
+	ID   uint32
+	Dist float32
+}
+
+// Index is the common search interface over a built ANNS graph.
+type Index interface {
+	// Search returns the approximate top-k neighbors of query.
+	Search(query vec.Vector, k int) []Neighbor
+	// SearchTraced behaves like Search and additionally records the
+	// graph-traversal trace (entry vertex and candidate neighbors per
+	// iteration) that the platform simulators consume.
+	SearchTraced(query vec.Vector, k int) ([]Neighbor, trace.Query)
+	// Graph returns the underlying base-layer proximity graph.
+	Graph() GraphView
+	// Len returns the number of indexed vectors.
+	Len() int
+}
+
+// GraphView is the read-only adjacency view placement code needs.
+type GraphView interface {
+	Len() int
+	Neighbors(v uint32) []uint32
+	Degree(v uint32) int
+}
+
+// BruteForce scans the whole corpus and returns the exact top-k under
+// metric m — the ground truth for recall.
+func BruteForce(m vec.Metric, data []vec.Vector, query vec.Vector, k int) []Neighbor {
+	dist := vec.DistanceFunc(m)
+	all := make([]Neighbor, len(data))
+	for i, v := range data {
+		all[i] = Neighbor{ID: uint32(i), Dist: dist(query, v)}
+	}
+	sortNeighbors(all)
+	if k > len(all) {
+		k = len(all)
+	}
+	return all[:k]
+}
+
+// Recall returns |approx ∩ exact| / |exact| — the standard recall@k with
+// both lists truncated to k.
+func Recall(approx, exact []Neighbor, k int) float64 {
+	if k <= 0 || len(exact) == 0 {
+		return 0
+	}
+	if k > len(exact) {
+		k = len(exact)
+	}
+	truth := make(map[uint32]bool, k)
+	for _, n := range exact[:k] {
+		truth[n.ID] = true
+	}
+	hits := 0
+	limit := k
+	if limit > len(approx) {
+		limit = len(approx)
+	}
+	for _, n := range approx[:limit] {
+		if truth[n.ID] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(k)
+}
+
+// MeanRecall evaluates idx over the queries against brute-force ground
+// truth and returns the average recall@k.
+func MeanRecall(idx Index, m vec.Metric, data, queries []vec.Vector, k int) float64 {
+	if len(queries) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, q := range queries {
+		exact := BruteForce(m, data, q, k)
+		approx := idx.Search(q, k)
+		sum += Recall(approx, exact, k)
+	}
+	return sum / float64(len(queries))
+}
+
+func sortNeighbors(ns []Neighbor) {
+	sort.Slice(ns, func(i, j int) bool {
+		if ns[i].Dist != ns[j].Dist {
+			return ns[i].Dist < ns[j].Dist
+		}
+		return ns[i].ID < ns[j].ID
+	})
+}
+
+// SortNeighbors sorts ascending by (distance, ID).
+func SortNeighbors(ns []Neighbor) { sortNeighbors(ns) }
+
+// ---- candidate list / result list heaps -------------------------------
+
+// minHeap pops the closest neighbor first (the candidate frontier).
+type minHeap []Neighbor
+
+func (h minHeap) Len() int      { return len(h) }
+func (h minHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h minHeap) Less(i, j int) bool {
+	if h[i].Dist != h[j].Dist {
+		return h[i].Dist < h[j].Dist
+	}
+	return h[i].ID < h[j].ID
+}
+func (h *minHeap) Push(x any) { *h = append(*h, x.(Neighbor)) }
+func (h *minHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// maxHeap pops the farthest neighbor first (the bounded result list).
+type maxHeap []Neighbor
+
+func (h maxHeap) Len() int      { return len(h) }
+func (h maxHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h maxHeap) Less(i, j int) bool {
+	if h[i].Dist != h[j].Dist {
+		return h[i].Dist > h[j].Dist
+	}
+	return h[i].ID > h[j].ID
+}
+func (h *maxHeap) Push(x any) { *h = append(*h, x.(Neighbor)) }
+func (h *maxHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Frontier is the best-first candidate pool used by greedy graph search:
+// a min-heap of unexpanded candidates plus a bounded max-heap of the best
+// ef results seen so far (the paper's "candidate list" and "result list",
+// §II-A).
+type Frontier struct {
+	candidates minHeap
+	results    maxHeap
+	ef         int
+}
+
+// NewFrontier creates a frontier with result budget ef (>= 1).
+func NewFrontier(ef int) *Frontier {
+	if ef < 1 {
+		ef = 1
+	}
+	return &Frontier{ef: ef}
+}
+
+// Push offers a neighbor to both heaps. It returns true if the neighbor
+// entered the result list (i.e. it was competitive).
+func (f *Frontier) Push(n Neighbor) bool {
+	if len(f.results) < f.ef {
+		heap.Push(&f.candidates, n)
+		heap.Push(&f.results, n)
+		return true
+	}
+	if worst := f.results[0]; n.Dist < worst.Dist {
+		heap.Push(&f.candidates, n)
+		heap.Pop(&f.results)
+		heap.Push(&f.results, n)
+		return true
+	}
+	return false
+}
+
+// PopNearest removes and returns the closest unexpanded candidate.
+func (f *Frontier) PopNearest() (Neighbor, bool) {
+	if len(f.candidates) == 0 {
+		return Neighbor{}, false
+	}
+	return heap.Pop(&f.candidates).(Neighbor), true
+}
+
+// Done reports whether the search should terminate: the closest remaining
+// candidate is farther than the worst retained result and the result list
+// is full (the pre-defined condition in §II-A).
+func (f *Frontier) Done() bool {
+	if len(f.candidates) == 0 {
+		return true
+	}
+	if len(f.results) < f.ef {
+		return false
+	}
+	return f.candidates[0].Dist > f.results[0].Dist
+}
+
+// WorstDist returns the current result-list bound (+Inf semantics when
+// not yet full are the caller's concern; ok reports fullness).
+func (f *Frontier) WorstDist() (float32, bool) {
+	if len(f.results) == 0 {
+		return 0, false
+	}
+	return f.results[0].Dist, len(f.results) >= f.ef
+}
+
+// Results returns the retained results sorted ascending.
+func (f *Frontier) Results() []Neighbor {
+	out := make([]Neighbor, len(f.results))
+	copy(out, f.results)
+	sortNeighbors(out)
+	return out
+}
+
+// TopK returns the best k results.
+func (f *Frontier) TopK(k int) []Neighbor {
+	rs := f.Results()
+	if k > len(rs) {
+		k = len(rs)
+	}
+	if k < 0 {
+		k = 0
+	}
+	return rs[:k]
+}
+
+// Validate sanity-checks a result list: ascending order, unique IDs,
+// IDs within range. Used by tests and the simulator's invariant checks.
+func Validate(ns []Neighbor, n int) error {
+	seen := make(map[uint32]bool, len(ns))
+	for i, x := range ns {
+		if int(x.ID) >= n {
+			return fmt.Errorf("ann: result ID %d out of range %d", x.ID, n)
+		}
+		if seen[x.ID] {
+			return fmt.Errorf("ann: duplicate result ID %d", x.ID)
+		}
+		seen[x.ID] = true
+		if i > 0 && x.Dist < ns[i-1].Dist {
+			return fmt.Errorf("ann: results not sorted at index %d", i)
+		}
+	}
+	return nil
+}

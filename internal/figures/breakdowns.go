@@ -1,0 +1,149 @@
+package figures
+
+import (
+	"fmt"
+	"time"
+
+	"ndsearch/internal/core"
+	"ndsearch/internal/nand"
+	"ndsearch/internal/platform"
+)
+
+// Fig1 reproduces the CPU execution-time breakdown of HNSW and DiskANN
+// on the billion-scale datasets at batch sizes 1024 and 2048: the SSD
+// I/O read share versus compute-and-sort (paper: 61-75% SSD I/O).
+func (s *Suite) Fig1() (*Table, error) {
+	t := &Table{
+		Title:   "Fig. 1 - CPU execution time breakdown (billion-scale)",
+		Headers: []string{"algo", "dataset", "batch", "SSD I/O read %", "compute+sort %"},
+		Notes:   []string{"paper reports 61-75% SSD I/O read across these cells"},
+	}
+	cpu := platform.NewCPU()
+	for _, algo := range Algos() {
+		for _, ds := range BillionDatasets() {
+			for _, batch := range []int{s.Scale.Batch / 2, s.Scale.Batch} {
+				w, err := s.Workload(ds, algo)
+				if err != nil {
+					return nil, err
+				}
+				res, err := cpu.Simulate(w.SubBatch(batch), w.PlatformWorkload())
+				if err != nil {
+					return nil, err
+				}
+				total := res.Breakdown.Total()
+				io := float64(res.Breakdown["SSD I/O read"]) / float64(total) * 100
+				t.AddRow(algo, ds, batch, io, 100-io)
+			}
+		}
+	}
+	return t, nil
+}
+
+// Fig2a reproduces the PCIe bandwidth-utilisation curve: HNSW on
+// sift-1b, batch size swept; utilisation saturates (~83%) past 1024.
+func (s *Suite) Fig2a() (*Table, error) {
+	t := &Table{
+		Title:   "Fig. 2a - SSD I/O bandwidth utilisation vs batch size (HNSW, sift-1b)",
+		Headers: []string{"batch", "IO bytes", "latency", "utilisation %"},
+		Notes:   []string{"paper: utilisation saturates to ~83% once batch >= 1024"},
+	}
+	w, err := s.Workload("sift-1b", "hnsw")
+	if err != nil {
+		return nil, err
+	}
+	cpu := platform.NewCPU()
+	for batch := 64; batch <= s.Scale.Batch; batch *= 2 {
+		res, err := cpu.Simulate(w.SubBatch(batch), w.PlatformWorkload())
+		if err != nil {
+			return nil, err
+		}
+		// Effective utilisation: bytes moved over the wire divided by
+		// what the link could move during the whole batch.
+		capacity := cpu.P.PCIeBytesPerSec * res.Latency.Seconds()
+		util := float64(res.IOBytes) / capacity * 100
+		t.AddRow(batch, res.IOBytes, res.Latency.String(), util)
+	}
+	return t, nil
+}
+
+// Fig2b reproduces the roofline lift: the SSD external versus internal
+// bandwidth and the resulting NDSEARCH speedup over CPU per dataset
+// (paper: 819.2 GB/s internal vs 15.4 GB/s PCIe; up to 31.7x).
+func (s *Suite) Fig2b() (*Table, error) {
+	geo := nand.DefaultGeometry()
+	tim := nand.DefaultTiming()
+	t := &Table{
+		Title:   "Fig. 2b - roofline lift and HNSW speedup over CPU",
+		Headers: []string{"dataset", "NDSEARCH QPS", "CPU QPS", "speedup"},
+		Notes: []string{
+			fmt.Sprintf("internal bandwidth (all page buffers) = %.1f GB/s; PCIe 3.0 x16 = 15.4 GB/s",
+				tim.InternalBandwidth(geo)/1e9),
+			"paper reports up to 31.7x over CPU",
+		},
+	}
+	cpu := platform.NewCPU()
+	for _, ds := range Datasets() {
+		w, err := s.Workload(ds, "hnsw")
+		if err != nil {
+			return nil, err
+		}
+		sys, err := NDSystem(w, NDConfig())
+		if err != nil {
+			return nil, err
+		}
+		nd, err := sys.SimulateBatch(w.Batch)
+		if err != nil {
+			return nil, err
+		}
+		cp, err := cpu.Simulate(w.Batch, w.PlatformWorkload())
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(ds, nd.QPS, cp.QPS, nd.QPS/cp.QPS)
+	}
+	return t, nil
+}
+
+// Fig17 reproduces NDSEARCH's execution-time breakdown per dataset and
+// algorithm.
+func (s *Suite) Fig17() (*Table, error) {
+	t := &Table{
+		Title: "Fig. 17 - NDSEARCH execution time breakdown",
+		Headers: []string{"algo", "dataset", core.CatNANDRead, core.CatMAC, core.CatBus,
+			core.CatDRAM, core.CatCores, core.CatAllocating, core.CatSSDIO, core.CatFPGASort},
+		Notes: []string{
+			"columns are percent of total; paper: NAND read 24-38%, SSD I/O ~6%, FPGA <=12%, DRAM+cores 20-35%",
+			"our in-flash model spends a larger NAND share because the scaled corpus has no DiskANN DRAM cache",
+		},
+	}
+	for _, algo := range Algos() {
+		for _, ds := range Datasets() {
+			w, err := s.Workload(ds, algo)
+			if err != nil {
+				return nil, err
+			}
+			sys, err := NDSystem(w, NDConfig())
+			if err != nil {
+				return nil, err
+			}
+			res, err := sys.SimulateBatch(w.Batch)
+			if err != nil {
+				return nil, err
+			}
+			total := res.Breakdown.Total()
+			pct := func(cat string) float64 {
+				if total == 0 {
+					return 0
+				}
+				return float64(res.Breakdown[cat]) / float64(total) * 100
+			}
+			t.AddRow(algo, ds, pct(core.CatNANDRead), pct(core.CatMAC), pct(core.CatBus),
+				pct(core.CatDRAM), pct(core.CatCores), pct(core.CatAllocating),
+				pct(core.CatSSDIO), pct(core.CatFPGASort))
+		}
+	}
+	return t, nil
+}
+
+// latencyString renders a duration at microsecond precision for tables.
+func latencyString(d time.Duration) string { return d.Round(time.Microsecond).String() }

@@ -1,0 +1,143 @@
+package figures
+
+import (
+	"fmt"
+
+	"ndsearch/internal/ecc"
+	"ndsearch/internal/energy"
+	"ndsearch/internal/nand"
+)
+
+// Fig18 reproduces the ECC study: (a) the plane-level raw-BER
+// distribution statistics, and (b) the normalised latency of HNSW under
+// hard-decision decoding failure probabilities of 30/10/5/1%.
+func (s *Suite) Fig18() (*Table, *Table, error) {
+	geo := nand.ScaledGeometry()
+	dist := ecc.BERDistribution(geo.TotalPlanes(), 1e-6, 0.5, s.Scale.Seed)
+	st := ecc.Summarise(dist)
+	a := &Table{
+		Title:   "Fig. 18a - plane-level raw BER distribution",
+		Headers: []string{"planes", "min", "p50", "mean", "p99", "max"},
+		Notes:   []string{"generated following the measured distribution of LDPC-in-SSD [83], mean 1e-6"},
+	}
+	a.AddRow(len(dist),
+		fmt.Sprintf("%.2e", st.Min), fmt.Sprintf("%.2e", st.P50),
+		fmt.Sprintf("%.2e", st.Mean), fmt.Sprintf("%.2e", st.P99),
+		fmt.Sprintf("%.2e", st.Max))
+
+	b := &Table{
+		Title:   "Fig. 18b - normalised latency vs hard-decision failure probability (HNSW)",
+		Headers: []string{"dataset", "fail prob %", "latency", "norm latency", "soft decodes"},
+		Notes:   []string{"paper: 30% failures slow NDSEARCH by 1.23x-1.66x"},
+	}
+	for _, ds := range Datasets() {
+		w, err := s.Workload(ds, "hnsw")
+		if err != nil {
+			return nil, nil, err
+		}
+		var baseLat float64
+		for _, prob := range []float64{0.01, 0.05, 0.10, 0.30} {
+			m := ecc.DefaultModel()
+			m.HardFailureProb = prob
+			inj, err := ecc.NewInjector(m, dist, 1e-3, geo.PageBytes*8, s.Scale.Seed)
+			if err != nil {
+				return nil, nil, err
+			}
+			cfg := NDConfig()
+			cfg.Injector = inj
+			sys, err := NDSystem(w, cfg)
+			if err != nil {
+				return nil, nil, err
+			}
+			res, err := sys.SimulateBatch(w.Batch)
+			if err != nil {
+				return nil, nil, err
+			}
+			if prob == 0.01 {
+				baseLat = res.Latency.Seconds()
+			}
+			b.AddRow(ds, prob*100, latencyString(res.Latency),
+				res.Latency.Seconds()/baseLat, res.SoftDecodes)
+		}
+	}
+	return a, b, nil
+}
+
+// Fig20 reproduces the energy-efficiency comparison: QPS/W for every
+// platform on every dataset and algorithm.
+func (s *Suite) Fig20() (*Table, error) {
+	t := &Table{
+		Title:   "Fig. 20 - energy efficiency (QPS/W)",
+		Headers: []string{"algo", "dataset", "platform", "QPS", "watts", "QPS/W", "vs CPU"},
+		Notes: []string{
+			"paper: NDSEARCH up to 178.7x / 120.9x / 30.1x / 3.5x more efficient than CPU / GPU / SmartSSD / DS-cp",
+		},
+	}
+	for _, algo := range Algos() {
+		for _, ds := range Datasets() {
+			w, err := s.Workload(ds, algo)
+			if err != nil {
+				return nil, err
+			}
+			var cpuEff float64
+			row := func(name string, qps float64) error {
+				watts, err := energy.PlatformPower(name)
+				if err != nil {
+					return err
+				}
+				eff := energy.Efficiency(qps, watts)
+				if name == "CPU" {
+					cpuEff = eff
+				}
+				t.AddRow(algo, ds, name, qps, watts, eff, eff/cpuEff)
+				return nil
+			}
+			for _, p := range basePlatforms() {
+				res, err := p.Simulate(w.Batch, w.PlatformWorkload())
+				if err != nil {
+					return nil, err
+				}
+				if err := row(p.Name(), res.QPS); err != nil {
+					return nil, err
+				}
+			}
+			sys, err := NDSystem(w, NDConfig())
+			if err != nil {
+				return nil, err
+			}
+			nd, err := sys.SimulateBatch(w.Batch)
+			if err != nil {
+				return nil, err
+			}
+			if err := row("NDSearch", nd.QPS); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return t, nil
+}
+
+// Table1 reproduces the power and area breakdown of SearSSD plus the
+// storage-density calculation.
+func (s *Suite) Table1() (*Table, error) {
+	t := &Table{
+		Title:   "Table I - power and area breakdown of SearSSD",
+		Headers: []string{"component", "config", "num", "power (W)", "area (mm2)"},
+	}
+	for _, c := range energy.TableI() {
+		num := fmt.Sprintf("%d", c.Num)
+		if c.Num == 0 {
+			num = "-"
+		}
+		t.AddRow(c.Name, c.Config, num, c.PowerWatts, c.AreaMM2)
+	}
+	w, a := energy.SearSSDLogic()
+	t.AddRow("Overall", "-", "-", w, a)
+	density := energy.StorageDensity(nand.DefaultGeometry().CapacityBytes(), 6, a)
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("total NDSEARCH power with FPGA kernel: %.2f W (budget %.0f W, within=%v)",
+			energy.NDSearchWatts(), energy.PCIeBudgetWatts, energy.WithinBudget()),
+		fmt.Sprintf("storage density: 6.00 -> %.2f Gb/mm2 (paper: 5.64, ~6%% degradation)", density),
+	)
+	return t, nil
+}

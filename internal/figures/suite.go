@@ -1,0 +1,193 @@
+// Package figures regenerates every table and figure of the paper's
+// evaluation (§VII): each FigNN function runs the relevant workloads
+// through the NDSEARCH simulator and the baseline platform models and
+// emits the same rows/series the paper reports. DESIGN.md carries the
+// per-experiment index; EXPERIMENTS.md records measured-vs-paper values.
+package figures
+
+import (
+	"fmt"
+
+	"ndsearch/internal/ann"
+	"ndsearch/internal/core"
+	"ndsearch/internal/dataset"
+	"ndsearch/internal/graph"
+	"ndsearch/internal/hcnng"
+	"ndsearch/internal/hnsw"
+	"ndsearch/internal/nand"
+	"ndsearch/internal/platform"
+	"ndsearch/internal/trace"
+	"ndsearch/internal/vamana"
+)
+
+// Scale controls the experiment size. Defaults reproduce the paper's
+// shapes in seconds; larger values sharpen the statistics.
+type Scale struct {
+	// N is the per-dataset corpus size.
+	N int
+	// Batch is the default query batch (the paper's default is 2048).
+	Batch int
+	// K is the top-k requested.
+	K int
+	// Seed drives all generation.
+	Seed int64
+}
+
+// DefaultScale returns the standard experiment scale.
+func DefaultScale() Scale { return Scale{N: 4000, Batch: 1024, K: 10, Seed: 1} }
+
+// TestScale returns a reduced scale for fast tests.
+func TestScale() Scale { return Scale{N: 1200, Batch: 128, K: 10, Seed: 1} }
+
+// Workload is one (dataset, algorithm) combination: the built index and
+// a traced batch of queries.
+type Workload struct {
+	Profile   dataset.Profile
+	Algo      string
+	Index     ann.Index
+	Batch     *trace.Batch
+	MaxDegree int
+	// Recall10 is the measured recall@10 of the built index (checked
+	// against the paper's tuning targets).
+	Recall10 float64
+}
+
+// Graph returns the index's base proximity graph as a mutable copy.
+func (w *Workload) Graph() *graph.Graph {
+	v := w.Index.Graph()
+	g := graph.New(v.Len())
+	for i := 0; i < v.Len(); i++ {
+		g.SetNeighbors(uint32(i), append([]uint32(nil), v.Neighbors(uint32(i))...))
+	}
+	return g
+}
+
+// SubBatch returns the first n traced queries (n clipped to the batch).
+func (w *Workload) SubBatch(n int) *trace.Batch {
+	if n > len(w.Batch.Queries) {
+		n = len(w.Batch.Queries)
+	}
+	return &trace.Batch{Dataset: w.Batch.Dataset, Algo: w.Batch.Algo, Queries: w.Batch.Queries[:n]}
+}
+
+// PlatformWorkload adapts to the baseline models' input.
+func (w *Workload) PlatformWorkload() platform.Workload {
+	return platform.Workload{Profile: w.Profile, MaxDegree: w.MaxDegree}
+}
+
+// Suite builds and caches workloads across figures.
+type Suite struct {
+	Scale Scale
+	cache map[string]*Workload
+}
+
+// NewSuite creates a suite at the given scale.
+func NewSuite(s Scale) *Suite {
+	return &Suite{Scale: s, cache: map[string]*Workload{}}
+}
+
+// Algos lists the two primary evaluation algorithms in paper order.
+func Algos() []string { return []string{"hnsw", "diskann"} }
+
+// Workload returns (building on first use) the workload for a dataset
+// profile name and algorithm ("hnsw", "diskann", "hcnng", "togg").
+func (s *Suite) Workload(profName, algo string) (*Workload, error) {
+	return s.WorkloadSized(profName, algo, s.Scale.Batch)
+}
+
+// WorkloadSized returns a workload traced with at least `queries`
+// queries, rebuilding the cached entry if it is too small.
+func (s *Suite) WorkloadSized(profName, algo string, queries int) (*Workload, error) {
+	key := fmt.Sprintf("%s/%s", profName, algo)
+	if w, ok := s.cache[key]; ok && len(w.Batch.Queries) >= queries {
+		return w, nil
+	}
+	prof, err := dataset.ProfileByName(profName)
+	if err != nil {
+		return nil, err
+	}
+	d, err := dataset.Generate(prof, dataset.GenConfig{N: s.Scale.N, Queries: queries, Seed: s.Scale.Seed})
+	if err != nil {
+		return nil, err
+	}
+	idx, maxDeg, err := buildIndex(algo, d, s.Scale.Seed)
+	if err != nil {
+		return nil, err
+	}
+	w := &Workload{Profile: prof, Algo: algo, Index: idx, MaxDegree: maxDeg}
+	w.Batch = &trace.Batch{Dataset: prof.Name, Algo: algo}
+	for qi, q := range d.Queries {
+		_, tr := idx.SearchTraced(q, s.Scale.K)
+		tr.QueryID = qi
+		w.Batch.Queries = append(w.Batch.Queries, tr)
+	}
+	// Measure recall on a small prefix to keep suite construction fast.
+	probe := 20
+	if probe > len(d.Queries) {
+		probe = len(d.Queries)
+	}
+	var sum float64
+	for _, q := range d.Queries[:probe] {
+		exact := ann.BruteForce(prof.Metric, d.Vectors, q, s.Scale.K)
+		approx := idx.Search(q, s.Scale.K)
+		sum += ann.Recall(approx, exact, s.Scale.K)
+	}
+	if probe > 0 {
+		w.Recall10 = sum / float64(probe)
+	}
+	s.cache[key] = w
+	return w, nil
+}
+
+func buildIndex(algo string, d *dataset.Dataset, seed int64) (ann.Index, int, error) {
+	m := d.Profile.Metric
+	switch algo {
+	case "hnsw":
+		idx, err := hnsw.Build(d.Vectors, hnsw.Config{
+			M: 12, EfConstruction: 100, EfSearch: 64, Metric: m, Seed: seed,
+		})
+		return idx, 24, err
+	case "diskann":
+		idx, err := vamana.Build(d.Vectors, vamana.Config{
+			R: 24, L: 64, LSearch: 64, Alpha: 1.2, Metric: m, Seed: seed,
+		})
+		return idx, 24, err
+	case "hcnng":
+		idx, err := hcnng.Build(d.Vectors, hcnng.Config{
+			Clusterings: 10, LeafSize: 40, MaxDegree: 24, LSearch: 64, Metric: m, Seed: seed,
+		})
+		return idx, 24, err
+	case "togg":
+		idx, err := buildTOGG(d, seed)
+		return idx, 24, err
+	default:
+		return nil, 0, fmt.Errorf("figures: unknown algorithm %q", algo)
+	}
+}
+
+// NDConfig returns the NDSEARCH configuration used by the experiments:
+// the full scheduling stack on the experiment-scale geometry.
+func NDConfig() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Params.Geometry = nand.ScaledGeometry()
+	return cfg
+}
+
+// NDSystem builds the NDSEARCH system for a workload under cfg.
+func NDSystem(w *Workload, cfg core.Config) (*core.System, error) {
+	return core.NewSystemFromIndex(w.Index, w.Profile, cfg)
+}
+
+// Datasets lists the five dataset names in the paper's order.
+func Datasets() []string {
+	names := make([]string, 0, 5)
+	for _, p := range dataset.Profiles() {
+		names = append(names, p.Name)
+	}
+	return names
+}
+
+// BillionDatasets lists only the billion-scale datasets (Figs. 1, 2).
+func BillionDatasets() []string {
+	return []string{"sift-1b", "deep-1b", "spacev-1b"}
+}

@@ -1,0 +1,199 @@
+package figures
+
+import (
+	"ndsearch/internal/core"
+	"ndsearch/internal/platform"
+	"ndsearch/internal/reorder"
+)
+
+func basePlatforms() []platform.Platform {
+	return []platform.Platform{
+		platform.NewCPU(), platform.NewGPU(), platform.NewSmartSSD(),
+		platform.NewDeepStore(platform.ChannelLevel), platform.NewDeepStore(platform.ChipLevel),
+	}
+}
+
+// Fig13 reproduces the headline throughput comparison: QPS and speedup
+// normalised to CPU across CPU / GPU / SmartSSD / DS-c / DS-cp /
+// NDSEARCH for both algorithms and all five datasets at the default
+// batch size.
+func (s *Suite) Fig13() (*Table, error) {
+	t := &Table{
+		Title:   "Fig. 13 - throughput (QPS) and speedup normalised to CPU",
+		Headers: []string{"algo", "dataset", "platform", "QPS", "speedup vs CPU"},
+		Notes: []string{
+			"paper: up to 31.7x over CPU, 14.6x over GPU, 7.4x over SmartSSD, 2.9x over DeepStore;",
+			"small datasets (glove/fashion) give NDSEARCH up to 5.06x CPU / 2.12x GPU",
+		},
+	}
+	for _, algo := range Algos() {
+		for _, ds := range Datasets() {
+			w, err := s.Workload(ds, algo)
+			if err != nil {
+				return nil, err
+			}
+			var cpuQPS float64
+			for _, p := range basePlatforms() {
+				res, err := p.Simulate(w.Batch, w.PlatformWorkload())
+				if err != nil {
+					return nil, err
+				}
+				if p.Name() == "CPU" {
+					cpuQPS = res.QPS
+				}
+				t.AddRow(algo, ds, p.Name(), res.QPS, res.QPS/cpuQPS)
+			}
+			sys, err := NDSystem(w, NDConfig())
+			if err != nil {
+				return nil, err
+			}
+			nd, err := sys.SimulateBatch(w.Batch)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(algo, ds, "NDSearch", nd.QPS, nd.QPS/cpuQPS)
+		}
+	}
+	return t, nil
+}
+
+// Fig16 reproduces the ablation study on spacev-1b: CPU, GPU, DS-cp and
+// the NDSEARCH technique stack Bare -> re -> re+mp -> re+mp+da ->
+// re+mp+da+sp, normalised to CPU.
+func (s *Suite) Fig16() (*Table, error) {
+	t := &Table{
+		Title:   "Fig. 16 - ablation on spacev-1b (speedup vs CPU)",
+		Headers: []string{"algo", "config", "QPS", "speedup vs CPU"},
+		Notes: []string{
+			"paper: Bare is already >4x CPU; full scheduling adds a further ~4.1x over Bare",
+		},
+	}
+	stack := []core.SchedConfig{
+		core.BareSched(),
+		{Reorder: reorder.DegreeAscendingBFS},
+		{Reorder: reorder.DegreeAscendingBFS, MultiPlane: true},
+		{Reorder: reorder.DegreeAscendingBFS, MultiPlane: true, DynamicAlloc: true},
+		core.FullSched(),
+	}
+	for _, algo := range Algos() {
+		w, err := s.Workload("spacev-1b", algo)
+		if err != nil {
+			return nil, err
+		}
+		cpuRes, err := platform.NewCPU().Simulate(w.Batch, w.PlatformWorkload())
+		if err != nil {
+			return nil, err
+		}
+		gpuRes, err := platform.NewGPU().Simulate(w.Batch, w.PlatformWorkload())
+		if err != nil {
+			return nil, err
+		}
+		dscpRes, err := platform.NewDeepStore(platform.ChipLevel).Simulate(w.Batch, w.PlatformWorkload())
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(algo, "CPU", cpuRes.QPS, 1.0)
+		t.AddRow(algo, "GPU", gpuRes.QPS, gpuRes.QPS/cpuRes.QPS)
+		t.AddRow(algo, "DS-cp", dscpRes.QPS, dscpRes.QPS/cpuRes.QPS)
+		for _, sc := range stack {
+			cfg := NDConfig()
+			cfg.Sched = sc
+			sys, err := NDSystem(w, cfg)
+			if err != nil {
+				return nil, err
+			}
+			res, err := sys.SimulateBatch(w.Batch)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(algo, sc.Label(), res.QPS, res.QPS/cpuRes.QPS)
+		}
+	}
+	return t, nil
+}
+
+// Fig19 reproduces the batch-size sweep: NDSEARCH speedup over DS-cp at
+// batch sizes 256..8192 (marginal at 256; drops past 4096 due to
+// hardware sub-batching).
+func (s *Suite) Fig19() (*Table, error) {
+	t := &Table{
+		Title:   "Fig. 19 - speedup over DS-cp vs batch size",
+		Headers: []string{"algo", "dataset", "batch", "NDSEARCH QPS", "DS-cp QPS", "speedup"},
+		Notes: []string{
+			"paper: marginal advantage at 256, peak near 2048-4096, decline beyond 4096 (sub-batching)",
+		},
+	}
+	b := s.Scale.Batch
+	sizes := []int{b / 4, b / 2, b, 2 * b, 4 * b, 8 * b}
+	dscp := platform.NewDeepStore(platform.ChipLevel)
+	for _, algo := range Algos() {
+		for _, ds := range Datasets() {
+			maxBatch := sizes[len(sizes)-1]
+			w, err := s.WorkloadSized(ds, algo, maxBatch)
+			if err != nil {
+				return nil, err
+			}
+			sys, err := NDSystem(w, NDConfig())
+			if err != nil {
+				return nil, err
+			}
+			for _, b := range sizes {
+				sub := w.SubBatch(b)
+				nd, err := sys.SimulateBatch(sub)
+				if err != nil {
+					return nil, err
+				}
+				dr, err := dscp.Simulate(sub, w.PlatformWorkload())
+				if err != nil {
+					return nil, err
+				}
+				t.AddRow(algo, ds, b, nd.QPS, dr.QPS, nd.QPS/dr.QPS)
+			}
+		}
+	}
+	return t, nil
+}
+
+// Fig21 reproduces the emerging-algorithm evaluation: HCNNG and TOGG on
+// sift-1b across CPU, CPU-T, SmartSSD, DS-cp, and NDSEARCH.
+func (s *Suite) Fig21() (*Table, error) {
+	t := &Table{
+		Title:   "Fig. 21 - HCNNG and TOGG on sift-1b",
+		Headers: []string{"algo", "platform", "QPS", "speedup vs CPU"},
+		Notes: []string{
+			"paper: CPU-T gains ~5.3x over CPU but still loses to the NDP designs;",
+			"NDSEARCH stays on top for both algorithms",
+		},
+	}
+	plats := []platform.Platform{
+		platform.NewCPU(), platform.NewCPUT(), platform.NewSmartSSD(),
+		platform.NewDeepStore(platform.ChipLevel),
+	}
+	for _, algo := range []string{"hcnng", "togg"} {
+		w, err := s.Workload("sift-1b", algo)
+		if err != nil {
+			return nil, err
+		}
+		var cpuQPS float64
+		for _, p := range plats {
+			res, err := p.Simulate(w.Batch, w.PlatformWorkload())
+			if err != nil {
+				return nil, err
+			}
+			if p.Name() == "CPU" {
+				cpuQPS = res.QPS
+			}
+			t.AddRow(algo, p.Name(), res.QPS, res.QPS/cpuQPS)
+		}
+		sys, err := NDSystem(w, NDConfig())
+		if err != nil {
+			return nil, err
+		}
+		nd, err := sys.SimulateBatch(w.Batch)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(algo, "NDSearch", nd.QPS, nd.QPS/cpuQPS)
+	}
+	return t, nil
+}

@@ -1,0 +1,216 @@
+// Package ftl models the flash translation layer behaviour NDSEARCH
+// depends on (§II-B2, §IV-B): block-level logical-to-physical mapping,
+// block-level data refreshing confined to the owning plane (so the
+// multi-plane mapping of the static schedule survives refreshes), and
+// read-disturb counting that triggers those refreshes. A remap callback
+// lets LUNCSR keep its LUN/BLK arrays coherent, replacing the FTL
+// mapping-table lookup on the search path.
+package ftl
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"ndsearch/internal/nand"
+)
+
+// Config controls refresh behaviour.
+type Config struct {
+	// SpareBlocksPerPlane is the number of physical blocks per plane
+	// reserved as refresh destinations. Logical capacity shrinks by the
+	// same amount.
+	SpareBlocksPerPlane int
+	// ReadDisturbThreshold is the read count at which a block is
+	// refreshed. Zero disables read-disturb refreshing.
+	ReadDisturbThreshold int
+	// RefreshLatency is the time to migrate one block (read + program
+	// of every page).
+	RefreshLatency time.Duration
+}
+
+// DefaultConfig returns spare provisioning and a read-disturb threshold
+// representative of enterprise TLC/MLC parts.
+func DefaultConfig() Config {
+	return Config{
+		SpareBlocksPerPlane:  8,
+		ReadDisturbThreshold: 100_000,
+		RefreshLatency:       20 * time.Millisecond,
+	}
+}
+
+// Validate rejects unusable configurations against a geometry.
+func (c Config) Validate(g nand.Geometry) error {
+	if c.SpareBlocksPerPlane < 1 {
+		return fmt.Errorf("ftl: need at least one spare block per plane")
+	}
+	if c.SpareBlocksPerPlane >= g.BlocksPerPlane {
+		return fmt.Errorf("ftl: spares %d exceed plane capacity %d",
+			c.SpareBlocksPerPlane, g.BlocksPerPlane)
+	}
+	if c.ReadDisturbThreshold < 0 {
+		return fmt.Errorf("ftl: negative read-disturb threshold")
+	}
+	return nil
+}
+
+// RemapFunc is invoked after a refresh: the logical block logBlk of
+// global plane moved to physical block newPhys.
+type RemapFunc func(globalPlane, logBlk, newPhys int)
+
+// FTL is the translation layer state for the whole array.
+type FTL struct {
+	geo nand.Geometry
+	cfg Config
+	// l2p[plane][logical] = physical block; p2l is the inverse (-1 for
+	// free/spare physical blocks).
+	l2p  [][]int
+	p2l  [][]int
+	free [][]int // stack of free physical blocks per plane
+	// reads[plane][physical] counts reads since the block last moved.
+	reads       [][]int
+	onRemap     RemapFunc
+	rng         *rand.Rand
+	Refreshes   int
+	RefreshTime time.Duration
+}
+
+// New builds an FTL with identity initial mapping; the last
+// SpareBlocksPerPlane physical blocks of each plane start free.
+func New(g nand.Geometry, cfg Config, seed int64) (*FTL, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Validate(g); err != nil {
+		return nil, err
+	}
+	planes := g.TotalPlanes()
+	logical := g.BlocksPerPlane - cfg.SpareBlocksPerPlane
+	f := &FTL{
+		geo:   g,
+		cfg:   cfg,
+		l2p:   make([][]int, planes),
+		p2l:   make([][]int, planes),
+		free:  make([][]int, planes),
+		reads: make([][]int, planes),
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+	for p := 0; p < planes; p++ {
+		f.l2p[p] = make([]int, logical)
+		f.p2l[p] = make([]int, g.BlocksPerPlane)
+		f.reads[p] = make([]int, g.BlocksPerPlane)
+		for b := 0; b < g.BlocksPerPlane; b++ {
+			f.p2l[p][b] = -1
+		}
+		for b := 0; b < logical; b++ {
+			f.l2p[p][b] = b
+			f.p2l[p][b] = b
+		}
+		for b := logical; b < g.BlocksPerPlane; b++ {
+			f.free[p] = append(f.free[p], b)
+		}
+	}
+	return f, nil
+}
+
+// RefreshLatency returns the per-refresh migration cost.
+func (f *FTL) RefreshLatency() time.Duration { return f.cfg.RefreshLatency }
+
+// LogicalBlocksPerPlane returns the usable logical block count.
+func (f *FTL) LogicalBlocksPerPlane() int {
+	return f.geo.BlocksPerPlane - f.cfg.SpareBlocksPerPlane
+}
+
+// OnRemap registers the remap callback (LUNCSR's BLK-array maintenance).
+func (f *FTL) OnRemap(fn RemapFunc) { f.onRemap = fn }
+
+// Translate returns the physical block backing (plane, logical block).
+func (f *FTL) Translate(globalPlane, logBlk int) (int, error) {
+	if globalPlane < 0 || globalPlane >= len(f.l2p) {
+		return 0, fmt.Errorf("ftl: plane %d out of range", globalPlane)
+	}
+	if logBlk < 0 || logBlk >= len(f.l2p[globalPlane]) {
+		return 0, fmt.Errorf("ftl: logical block %d out of range", logBlk)
+	}
+	return f.l2p[globalPlane][logBlk], nil
+}
+
+// RecordRead counts a page read against the block and refreshes it when
+// the read-disturb threshold is crossed. It reports whether a refresh
+// happened (the caller charges RefreshLatency).
+func (f *FTL) RecordRead(globalPlane, logBlk int) (bool, error) {
+	phys, err := f.Translate(globalPlane, logBlk)
+	if err != nil {
+		return false, err
+	}
+	if f.cfg.ReadDisturbThreshold == 0 {
+		return false, nil
+	}
+	f.reads[globalPlane][phys]++
+	if f.reads[globalPlane][phys] < f.cfg.ReadDisturbThreshold {
+		return false, nil
+	}
+	return true, f.Refresh(globalPlane, logBlk)
+}
+
+// Refresh migrates the logical block to a free physical block in the
+// same plane (§VI-A: refreshes stay within planes so multi-plane
+// parallelism is preserved), frees the old block, and notifies the remap
+// callback.
+func (f *FTL) Refresh(globalPlane, logBlk int) error {
+	oldPhys, err := f.Translate(globalPlane, logBlk)
+	if err != nil {
+		return err
+	}
+	frees := f.free[globalPlane]
+	if len(frees) == 0 {
+		return fmt.Errorf("ftl: plane %d has no free blocks", globalPlane)
+	}
+	// Rotate through the free pool deterministically but spread by rng
+	// so wear is levelled.
+	pick := f.rng.Intn(len(frees))
+	newPhys := frees[pick]
+	f.free[globalPlane] = append(frees[:pick], frees[pick+1:]...)
+	f.free[globalPlane] = append(f.free[globalPlane], oldPhys)
+
+	f.l2p[globalPlane][logBlk] = newPhys
+	f.p2l[globalPlane][oldPhys] = -1
+	f.p2l[globalPlane][newPhys] = logBlk
+	f.reads[globalPlane][newPhys] = 0
+	f.Refreshes++
+	f.RefreshTime += f.cfg.RefreshLatency
+	if f.onRemap != nil {
+		f.onRemap(globalPlane, logBlk, newPhys)
+	}
+	return nil
+}
+
+// CheckInvariants verifies l2p/p2l consistency — used by tests and the
+// simulator's periodic self-checks.
+func (f *FTL) CheckInvariants() error {
+	for p := range f.l2p {
+		seen := map[int]bool{}
+		for lb, phys := range f.l2p[p] {
+			if phys < 0 || phys >= f.geo.BlocksPerPlane {
+				return fmt.Errorf("ftl: plane %d logical %d maps to bad physical %d", p, lb, phys)
+			}
+			if seen[phys] {
+				return fmt.Errorf("ftl: plane %d physical %d double-mapped", p, phys)
+			}
+			seen[phys] = true
+			if f.p2l[p][phys] != lb {
+				return fmt.Errorf("ftl: plane %d inverse map broken at physical %d", p, phys)
+			}
+		}
+		if len(f.free[p])+len(f.l2p[p]) != f.geo.BlocksPerPlane {
+			return fmt.Errorf("ftl: plane %d loses blocks: %d free + %d mapped != %d",
+				p, len(f.free[p]), len(f.l2p[p]), f.geo.BlocksPerPlane)
+		}
+		for _, b := range f.free[p] {
+			if f.p2l[p][b] != -1 {
+				return fmt.Errorf("ftl: plane %d free block %d still mapped", p, b)
+			}
+		}
+	}
+	return nil
+}

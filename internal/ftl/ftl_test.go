@@ -1,0 +1,179 @@
+package ftl
+
+import (
+	"testing"
+
+	"ndsearch/internal/nand"
+)
+
+// smallGeo keeps tests fast: 2 channels, 1 chip, 2 planes (1 LUN), 16
+// blocks, 4 pages.
+func smallGeo() nand.Geometry {
+	return nand.Geometry{
+		Channels: 2, ChipsPerChannel: 1, PlanesPerChip: 2, PlanesPerLUN: 2,
+		BlocksPerPlane: 16, PagesPerBlock: 4, PageBytes: 4096,
+	}
+}
+
+func newSmall(t *testing.T, cfg Config) *FTL {
+	t.Helper()
+	f, err := New(smallGeo(), cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestConfigValidate(t *testing.T) {
+	g := smallGeo()
+	if err := (Config{SpareBlocksPerPlane: 0}).Validate(g); err == nil {
+		t.Error("zero spares must fail")
+	}
+	if err := (Config{SpareBlocksPerPlane: 16}).Validate(g); err == nil {
+		t.Error("all-spare config must fail")
+	}
+	if err := (Config{SpareBlocksPerPlane: 2, ReadDisturbThreshold: -1}).Validate(g); err == nil {
+		t.Error("negative threshold must fail")
+	}
+	if err := DefaultConfig().Validate(nand.DefaultGeometry()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIdentityInitialMapping(t *testing.T) {
+	f := newSmall(t, Config{SpareBlocksPerPlane: 2})
+	if f.LogicalBlocksPerPlane() != 14 {
+		t.Errorf("logical blocks = %d, want 14", f.LogicalBlocksPerPlane())
+	}
+	for lb := 0; lb < 14; lb++ {
+		phys, err := f.Translate(0, lb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if phys != lb {
+			t.Errorf("initial mapping not identity: %d -> %d", lb, phys)
+		}
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTranslateBounds(t *testing.T) {
+	f := newSmall(t, Config{SpareBlocksPerPlane: 2})
+	if _, err := f.Translate(-1, 0); err == nil {
+		t.Error("negative plane must fail")
+	}
+	if _, err := f.Translate(99, 0); err == nil {
+		t.Error("plane out of range must fail")
+	}
+	if _, err := f.Translate(0, 14); err == nil {
+		t.Error("spare-region logical block must fail")
+	}
+}
+
+func TestRefreshMovesWithinPlane(t *testing.T) {
+	f := newSmall(t, Config{SpareBlocksPerPlane: 2})
+	var remaps [][3]int
+	f.OnRemap(func(plane, lb, phys int) { remaps = append(remaps, [3]int{plane, lb, phys}) })
+	if err := f.Refresh(1, 5); err != nil {
+		t.Fatal(err)
+	}
+	phys, _ := f.Translate(1, 5)
+	if phys == 5 {
+		t.Error("refresh did not move the block")
+	}
+	if phys < 14 {
+		t.Errorf("first refresh should land in the spare region, got %d", phys)
+	}
+	if len(remaps) != 1 || remaps[0][0] != 1 || remaps[0][1] != 5 || remaps[0][2] != phys {
+		t.Errorf("remap callback = %v", remaps)
+	}
+	if f.Refreshes != 1 {
+		t.Errorf("Refreshes = %d", f.Refreshes)
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+	// Other planes untouched.
+	if p, _ := f.Translate(0, 5); p != 5 {
+		t.Error("refresh leaked into another plane")
+	}
+}
+
+func TestRepeatedRefreshRotatesFreePool(t *testing.T) {
+	f := newSmall(t, Config{SpareBlocksPerPlane: 2, RefreshLatency: 10})
+	for i := 0; i < 50; i++ {
+		if err := f.Refresh(0, i%14); err != nil {
+			t.Fatalf("refresh %d: %v", i, err)
+		}
+		if err := f.CheckInvariants(); err != nil {
+			t.Fatalf("refresh %d broke invariants: %v", i, err)
+		}
+	}
+	if f.Refreshes != 50 {
+		t.Errorf("Refreshes = %d", f.Refreshes)
+	}
+	if f.RefreshTime != 500 {
+		t.Errorf("RefreshTime = %v, want 500ns", f.RefreshTime)
+	}
+}
+
+func TestReadDisturbTriggersRefresh(t *testing.T) {
+	f := newSmall(t, Config{SpareBlocksPerPlane: 2, ReadDisturbThreshold: 10})
+	refreshed := false
+	for i := 0; i < 10; i++ {
+		r, err := f.RecordRead(0, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r {
+			if i != 9 {
+				t.Errorf("refresh fired at read %d, want 10th", i+1)
+			}
+			refreshed = true
+		}
+	}
+	if !refreshed {
+		t.Fatal("read disturb never triggered")
+	}
+	phys, _ := f.Translate(0, 3)
+	if phys == 3 {
+		t.Error("block did not move after read-disturb refresh")
+	}
+	// Counter reset: another 9 reads must not trigger again.
+	for i := 0; i < 9; i++ {
+		if r, _ := f.RecordRead(0, 3); r {
+			t.Fatal("premature second refresh")
+		}
+	}
+}
+
+func TestReadDisturbDisabled(t *testing.T) {
+	f := newSmall(t, Config{SpareBlocksPerPlane: 2, ReadDisturbThreshold: 0})
+	for i := 0; i < 1000; i++ {
+		if r, err := f.RecordRead(0, 0); err != nil || r {
+			t.Fatal("disabled read disturb must never refresh")
+		}
+	}
+}
+
+func TestDeterministicAcrossSeeds(t *testing.T) {
+	a, _ := New(smallGeo(), Config{SpareBlocksPerPlane: 2}, 7)
+	b, _ := New(smallGeo(), Config{SpareBlocksPerPlane: 2}, 7)
+	for i := 0; i < 20; i++ {
+		if err := a.Refresh(0, i%14); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Refresh(0, i%14); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for lb := 0; lb < 14; lb++ {
+		pa, _ := a.Translate(0, lb)
+		pb, _ := b.Translate(0, lb)
+		if pa != pb {
+			t.Fatalf("same seed diverged at logical block %d", lb)
+		}
+	}
+}

@@ -1,0 +1,256 @@
+// Package hcnng implements HCNNG (Munoz et al. [63]): a proximity graph
+// built as the union of minimum spanning trees over leaves of repeated
+// random hierarchical clusterings. The search phase is the standard
+// greedy beam search with trace capture; the paper's Fig. 21 evaluates
+// it as an "emerging graph-traversal ANNS" workload on NDSEARCH.
+package hcnng
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"ndsearch/internal/ann"
+	"ndsearch/internal/graph"
+	"ndsearch/internal/trace"
+	"ndsearch/internal/vec"
+)
+
+// Config holds HCNNG construction and search parameters.
+type Config struct {
+	// Clusterings is the number of independent random hierarchical
+	// clusterings whose MST edges are unioned.
+	Clusterings int
+	// LeafSize stops the recursive partitioning.
+	LeafSize int
+	// MaxDegree caps the out-degree after the union.
+	MaxDegree int
+	// LSearch is the search beam width.
+	LSearch int
+	// Metric selects the distance function.
+	Metric vec.Metric
+	// Seed drives partitioning.
+	Seed int64
+}
+
+// DefaultConfig follows the HCNNG paper's recommended settings.
+func DefaultConfig(metric vec.Metric) Config {
+	return Config{Clusterings: 12, LeafSize: 40, MaxDegree: 32, LSearch: 64, Metric: metric, Seed: 1}
+}
+
+// Validate rejects unusable configurations.
+func (c Config) Validate() error {
+	if c.Clusterings < 1 {
+		return fmt.Errorf("hcnng: need at least one clustering")
+	}
+	if c.LeafSize < 3 {
+		return fmt.Errorf("hcnng: leaf size must be >= 3, got %d", c.LeafSize)
+	}
+	if c.MaxDegree < 2 || c.LSearch < 1 {
+		return fmt.Errorf("hcnng: degenerate degree/beam parameters")
+	}
+	return nil
+}
+
+// Index is a built HCNNG graph.
+type Index struct {
+	cfg   Config
+	data  []vec.Vector
+	dist  func(a, b vec.Vector) float32
+	g     *graph.Graph
+	entry uint32
+}
+
+var _ ann.Index = (*Index)(nil)
+
+// Build constructs the HCNNG index.
+func Build(data []vec.Vector, cfg Config) (*Index, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(data) == 0 {
+		return nil, fmt.Errorf("hcnng: empty dataset")
+	}
+	idx := &Index{cfg: cfg, data: data, dist: vec.DistanceFunc(cfg.Metric), g: graph.New(len(data))}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	points := make([]uint32, len(data))
+	for i := range points {
+		points[i] = uint32(i)
+	}
+	for c := 0; c < cfg.Clusterings; c++ {
+		idx.cluster(points, rng)
+	}
+	idx.capDegrees()
+	idx.entry = idx.g.MinDegreeVertex()
+	// Start from a well-connected vertex instead: pick the max-degree
+	// vertex, which sits in the densest region.
+	best, bestDeg := uint32(0), -1
+	for v := 0; v < idx.g.Len(); v++ {
+		if d := idx.g.Degree(uint32(v)); d > bestDeg {
+			bestDeg, best = d, uint32(v)
+		}
+	}
+	idx.entry = best
+	return idx, nil
+}
+
+// cluster recursively bi-partitions points by two random pivots and
+// builds an MST in each leaf.
+func (x *Index) cluster(points []uint32, rng *rand.Rand) {
+	if len(points) <= x.cfg.LeafSize {
+		x.mstEdges(points)
+		return
+	}
+	a := points[rng.Intn(len(points))]
+	b := points[rng.Intn(len(points))]
+	for b == a {
+		b = points[rng.Intn(len(points))]
+	}
+	var left, right []uint32
+	for _, p := range points {
+		if x.dist(x.data[p], x.data[a]) <= x.dist(x.data[p], x.data[b]) {
+			left = append(left, p)
+		} else {
+			right = append(right, p)
+		}
+	}
+	// Degenerate split: fall back to an arbitrary halving so recursion
+	// always terminates.
+	if len(left) == 0 || len(right) == 0 {
+		mid := len(points) / 2
+		left, right = points[:mid], points[mid:]
+	}
+	x.cluster(left, rng)
+	x.cluster(right, rng)
+}
+
+// mstEdges adds the MST of the leaf's complete distance graph (Prim's
+// algorithm) to the index graph, bidirectionally.
+func (x *Index) mstEdges(points []uint32) {
+	n := len(points)
+	if n < 2 {
+		return
+	}
+	inTree := make([]bool, n)
+	minDist := make([]float32, n)
+	minEdge := make([]int, n)
+	for i := range minDist {
+		minDist[i] = float32(1e38)
+		minEdge[i] = -1
+	}
+	inTree[0] = true
+	for i := 1; i < n; i++ {
+		minDist[i] = x.dist(x.data[points[0]], x.data[points[i]])
+		minEdge[i] = 0
+	}
+	for added := 1; added < n; added++ {
+		best, bestD := -1, float32(1e38)
+		for i := 0; i < n; i++ {
+			if !inTree[i] && minDist[i] < bestD {
+				best, bestD = i, minDist[i]
+			}
+		}
+		if best < 0 {
+			return
+		}
+		inTree[best] = true
+		x.g.AddEdge(points[best], points[minEdge[best]])
+		x.g.AddEdge(points[minEdge[best]], points[best])
+		for i := 0; i < n; i++ {
+			if !inTree[i] {
+				if d := x.dist(x.data[points[best]], x.data[points[i]]); d < minDist[i] {
+					minDist[i] = d
+					minEdge[i] = best
+				}
+			}
+		}
+	}
+}
+
+// capDegrees trims each vertex's neighbor list to the MaxDegree nearest.
+func (x *Index) capDegrees() {
+	for v := 0; v < x.g.Len(); v++ {
+		nbrs := x.g.Neighbors(uint32(v))
+		if len(nbrs) <= x.cfg.MaxDegree {
+			continue
+		}
+		cands := make([]ann.Neighbor, len(nbrs))
+		for i, n := range nbrs {
+			cands[i] = ann.Neighbor{ID: n, Dist: x.dist(x.data[v], x.data[n])}
+		}
+		sort.Slice(cands, func(i, j int) bool { return cands[i].Dist < cands[j].Dist })
+		out := make([]uint32, x.cfg.MaxDegree)
+		for i := range out {
+			out[i] = cands[i].ID
+		}
+		x.g.SetNeighbors(uint32(v), out)
+	}
+}
+
+// Search returns the approximate top-k neighbors of query.
+func (x *Index) Search(query vec.Vector, k int) []ann.Neighbor {
+	res, _ := x.searchInternal(query, k, nil)
+	return res
+}
+
+// SearchTraced returns results plus the traversal trace.
+func (x *Index) SearchTraced(query vec.Vector, k int) ([]ann.Neighbor, trace.Query) {
+	tr := trace.Query{}
+	res, _ := x.searchInternal(query, k, &tr)
+	return res, tr
+}
+
+func (x *Index) searchInternal(query vec.Vector, k int, tr *trace.Query) ([]ann.Neighbor, error) {
+	l := x.cfg.LSearch
+	if l < k {
+		l = k
+	}
+	visited := map[uint32]bool{x.entry: true}
+	f := ann.NewFrontier(l)
+	f.Push(ann.Neighbor{ID: x.entry, Dist: x.dist(query, x.data[x.entry])})
+	for {
+		c, ok := f.PopNearest()
+		if !ok {
+			break
+		}
+		if worst, full := f.WorstDist(); full && c.Dist > worst {
+			break
+		}
+		var computed []uint32
+		for _, n := range x.g.Neighbors(c.ID) {
+			if visited[n] {
+				continue
+			}
+			visited[n] = true
+			computed = append(computed, n)
+			f.Push(ann.Neighbor{ID: n, Dist: x.dist(query, x.data[n])})
+		}
+		if tr != nil && len(computed) > 0 {
+			tr.Iters = append(tr.Iters, trace.Iter{Entry: c.ID, Neighbors: computed})
+		}
+	}
+	res := f.Results()
+	if k < len(res) {
+		res = res[:k]
+	}
+	return res, nil
+}
+
+// Graph returns the proximity graph.
+func (x *Index) Graph() ann.GraphView { return x.g }
+
+// BaseGraph returns the mutable graph for placement experiments.
+func (x *Index) BaseGraph() *graph.Graph { return x.g }
+
+// Len returns the number of indexed vectors.
+func (x *Index) Len() int { return len(x.data) }
+
+// Entry returns the search entry point.
+func (x *Index) Entry() uint32 { return x.entry }
+
+// SetBeamWidth implements ann.Tunable.
+func (x *Index) SetBeamWidth(w int) {
+	if w >= 1 {
+		x.cfg.LSearch = w
+	}
+}

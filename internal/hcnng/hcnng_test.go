@@ -1,0 +1,109 @@
+package hcnng
+
+import (
+	"testing"
+
+	"ndsearch/internal/ann"
+	"ndsearch/internal/dataset"
+	"ndsearch/internal/vec"
+)
+
+func buildTestIndex(t *testing.T, n int) (*Index, *dataset.Dataset) {
+	t.Helper()
+	d, err := dataset.Generate(dataset.Sift1B(), dataset.GenConfig{N: n, Queries: 15, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := Build(d.Vectors, Config{Clusterings: 10, LeafSize: 30, MaxDegree: 24, LSearch: 64, Metric: vec.L2, Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return idx, d
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := (Config{Clusterings: 0, LeafSize: 10, MaxDegree: 8, LSearch: 8}).Validate(); err == nil {
+		t.Error("0 clusterings must fail")
+	}
+	if err := (Config{Clusterings: 1, LeafSize: 2, MaxDegree: 8, LSearch: 8}).Validate(); err == nil {
+		t.Error("tiny leaf must fail")
+	}
+	if err := DefaultConfig(vec.L2).Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBuildRejectsEmpty(t *testing.T) {
+	if _, err := Build(nil, DefaultConfig(vec.L2)); err == nil {
+		t.Error("empty dataset must fail")
+	}
+}
+
+func TestRecall(t *testing.T) {
+	idx, d := buildTestIndex(t, 1200)
+	recall := ann.MeanRecall(idx, vec.L2, d.Vectors, d.Queries, 10)
+	if recall < 0.8 {
+		t.Errorf("recall@10 = %.3f, want >= 0.8", recall)
+	}
+}
+
+func TestDegreeCap(t *testing.T) {
+	idx, _ := buildTestIndex(t, 600)
+	for v := uint32(0); v < uint32(idx.Len()); v++ {
+		if d := idx.BaseGraph().Degree(v); d > 24 {
+			t.Errorf("vertex %d degree %d exceeds cap", v, d)
+		}
+	}
+}
+
+func TestTraceConsistency(t *testing.T) {
+	idx, d := buildTestIndex(t, 500)
+	plain := idx.Search(d.Queries[0], 10)
+	traced, tr := idx.SearchTraced(d.Queries[0], 10)
+	for i := range plain {
+		if plain[i] != traced[i] {
+			t.Fatal("tracing changed results")
+		}
+	}
+	if tr.Length() == 0 {
+		t.Fatal("empty trace")
+	}
+}
+
+func TestValidResults(t *testing.T) {
+	idx, d := buildTestIndex(t, 400)
+	for _, q := range d.Queries[:5] {
+		res := idx.Search(q, 5)
+		if err := ann.Validate(res, idx.Len()); err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+func TestMSTConnectsLeaves(t *testing.T) {
+	// With a single clustering and leaf size >= n, the whole corpus forms
+	// one MST leaf: the graph must be connected.
+	d, err := dataset.Generate(dataset.Glove100(), dataset.GenConfig{N: 40, Queries: 1, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := Build(d.Vectors, Config{Clusterings: 1, LeafSize: 64, MaxDegree: 64, LSearch: 16, Metric: vec.Angular, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[uint32]bool{0: true}
+	queue := []uint32{0}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range idx.BaseGraph().Neighbors(v) {
+			if !seen[w] {
+				seen[w] = true
+				queue = append(queue, w)
+			}
+		}
+	}
+	if len(seen) != idx.Len() {
+		t.Errorf("MST leaf not connected: reached %d/%d", len(seen), idx.Len())
+	}
+}

@@ -1,0 +1,311 @@
+// Package hnsw implements Hierarchical Navigable Small World graphs
+// (Malkov & Yashunin, the paper's primary HNSW workload [59]):
+// construction with exponential level sampling and the neighbor-selection
+// heuristic, plus layered greedy/beam search with trace capture for the
+// NDP simulators.
+package hnsw
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"ndsearch/internal/ann"
+	"ndsearch/internal/graph"
+	"ndsearch/internal/trace"
+	"ndsearch/internal/vec"
+)
+
+// Config holds HNSW construction and search parameters.
+type Config struct {
+	// M is the maximum out-degree on layers > 0; the base layer allows
+	// 2*M (the standard Mmax0 choice).
+	M int
+	// EfConstruction is the beam width during insertion.
+	EfConstruction int
+	// EfSearch is the default beam width during search.
+	EfSearch int
+	// Metric selects the distance function.
+	Metric vec.Metric
+	// Seed drives level sampling; fixed seeds give identical graphs.
+	Seed int64
+}
+
+// DefaultConfig mirrors the common hnswlib defaults used by the paper's
+// CPU baseline.
+func DefaultConfig(metric vec.Metric) Config {
+	return Config{M: 16, EfConstruction: 200, EfSearch: 64, Metric: metric, Seed: 1}
+}
+
+// Validate rejects unusable configurations.
+func (c Config) Validate() error {
+	if c.M < 2 {
+		return fmt.Errorf("hnsw: M must be >= 2, got %d", c.M)
+	}
+	if c.EfConstruction < 1 || c.EfSearch < 1 {
+		return fmt.Errorf("hnsw: ef parameters must be >= 1")
+	}
+	return nil
+}
+
+// Index is a built HNSW graph over a fixed corpus.
+type Index struct {
+	cfg      Config
+	data     []vec.Vector
+	dist     func(a, b vec.Vector) float32
+	layers   []*graph.Graph // layers[0] is the base layer
+	levels   []int          // highest layer of each vertex
+	entry    uint32
+	maxLevel int
+}
+
+var _ ann.Index = (*Index)(nil)
+
+// Build constructs an HNSW index over data. The data slice is retained
+// (not copied); callers must not mutate it afterwards.
+func Build(data []vec.Vector, cfg Config) (*Index, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(data) == 0 {
+		return nil, fmt.Errorf("hnsw: empty dataset")
+	}
+	idx := &Index{
+		cfg:      cfg,
+		data:     data,
+		dist:     vec.DistanceFunc(cfg.Metric),
+		levels:   make([]int, len(data)),
+		maxLevel: -1,
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	mL := 1.0 / math.Log(float64(cfg.M))
+	for i := range data {
+		level := int(-math.Log(rng.Float64()+1e-18) * mL)
+		idx.insert(uint32(i), level)
+	}
+	return idx, nil
+}
+
+func (x *Index) ensureLayers(level int) {
+	for len(x.layers) <= level {
+		x.layers = append(x.layers, graph.New(len(x.data)))
+	}
+}
+
+func (x *Index) insert(v uint32, level int) {
+	x.ensureLayers(level)
+	x.levels[v] = level
+	if x.maxLevel < 0 { // first vertex
+		x.entry = v
+		x.maxLevel = level
+		return
+	}
+	q := x.data[v]
+	ep := x.entry
+	// Greedy descent through layers above the insertion level.
+	for l := x.maxLevel; l > level; l-- {
+		ep, _ = x.greedyClosest(q, ep, l, nil)
+	}
+	// Beam insert from min(level, maxLevel) down to 0.
+	top := level
+	if top > x.maxLevel {
+		top = x.maxLevel
+	}
+	for l := top; l >= 0; l-- {
+		cands := x.searchLayer(q, ep, x.cfg.EfConstruction, l, nil)
+		m := x.cfg.M
+		if l == 0 {
+			m = 2 * x.cfg.M
+		}
+		selected := x.selectHeuristic(cands, m)
+		for _, n := range selected {
+			x.layers[l].AddEdge(v, n.ID)
+			x.layers[l].AddEdge(n.ID, v)
+			x.shrink(n.ID, l, m)
+		}
+		if len(selected) > 0 {
+			ep = selected[0].ID
+		}
+	}
+	if level > x.maxLevel {
+		x.maxLevel = level
+		x.entry = v
+	}
+}
+
+// shrink re-prunes w's neighbor list on layer l to at most m entries
+// using the selection heuristic.
+func (x *Index) shrink(w uint32, l, m int) {
+	g := x.layers[l]
+	nbrs := g.Neighbors(w)
+	if len(nbrs) <= m {
+		return
+	}
+	cands := make([]ann.Neighbor, len(nbrs))
+	for i, n := range nbrs {
+		cands[i] = ann.Neighbor{ID: n, Dist: x.dist(x.data[w], x.data[n])}
+	}
+	ann.SortNeighbors(cands)
+	selected := x.selectHeuristic(cands, m)
+	out := make([]uint32, len(selected))
+	for i, s := range selected {
+		out[i] = s.ID
+	}
+	g.SetNeighbors(w, out)
+}
+
+// selectHeuristic is Malkov's Algorithm 4: keep a candidate only if it is
+// closer to the query point than to every already-selected neighbor,
+// which spreads edges across directions.
+func (x *Index) selectHeuristic(cands []ann.Neighbor, m int) []ann.Neighbor {
+	if len(cands) <= m {
+		return cands
+	}
+	selected := make([]ann.Neighbor, 0, m)
+	for _, c := range cands {
+		if len(selected) >= m {
+			break
+		}
+		good := true
+		for _, s := range selected {
+			if x.dist(x.data[c.ID], x.data[s.ID]) < c.Dist {
+				good = false
+				break
+			}
+		}
+		if good {
+			selected = append(selected, c)
+		}
+	}
+	// Backfill with the nearest rejected candidates if the heuristic was
+	// too aggressive, as hnswlib does.
+	if len(selected) < m {
+		have := map[uint32]bool{}
+		for _, s := range selected {
+			have[s.ID] = true
+		}
+		for _, c := range cands {
+			if len(selected) >= m {
+				break
+			}
+			if !have[c.ID] {
+				selected = append(selected, c)
+				have[c.ID] = true
+			}
+		}
+		ann.SortNeighbors(selected)
+	}
+	return selected
+}
+
+// greedyClosest walks layer l greedily from ep toward q, returning the
+// local minimum. When tr is non-nil each expansion is recorded.
+func (x *Index) greedyClosest(q vec.Vector, ep uint32, l int, tr *trace.Query) (uint32, float32) {
+	cur := ep
+	curDist := x.dist(q, x.data[cur])
+	for {
+		improved := false
+		nbrs := x.layers[l].Neighbors(cur)
+		if tr != nil && len(nbrs) > 0 {
+			it := trace.Iter{Entry: cur, Neighbors: append([]uint32(nil), nbrs...)}
+			tr.Iters = append(tr.Iters, it)
+		}
+		for _, n := range nbrs {
+			if d := x.dist(q, x.data[n]); d < curDist {
+				cur, curDist = n, d
+				improved = true
+			}
+		}
+		if !improved {
+			return cur, curDist
+		}
+	}
+}
+
+// searchLayer is the ef-bounded best-first search on one layer. When tr
+// is non-nil, every vertex expansion appends a trace iteration listing
+// the not-yet-visited neighbors whose distances were computed.
+func (x *Index) searchLayer(q vec.Vector, ep uint32, ef, l int, tr *trace.Query) []ann.Neighbor {
+	visited := map[uint32]bool{ep: true}
+	f := ann.NewFrontier(ef)
+	f.Push(ann.Neighbor{ID: ep, Dist: x.dist(q, x.data[ep])})
+	for {
+		c, ok := f.PopNearest()
+		if !ok {
+			break
+		}
+		if worst, full := f.WorstDist(); full && c.Dist > worst {
+			break
+		}
+		var computed []uint32
+		for _, n := range x.layers[l].Neighbors(c.ID) {
+			if visited[n] {
+				continue
+			}
+			visited[n] = true
+			computed = append(computed, n)
+			f.Push(ann.Neighbor{ID: n, Dist: x.dist(q, x.data[n])})
+		}
+		if tr != nil && len(computed) > 0 {
+			tr.Iters = append(tr.Iters, trace.Iter{Entry: c.ID, Neighbors: computed})
+		}
+	}
+	return f.Results()
+}
+
+// Search returns the approximate top-k neighbors of query.
+func (x *Index) Search(query vec.Vector, k int) []ann.Neighbor {
+	res, _ := x.search(query, k, nil)
+	return res
+}
+
+// SearchTraced returns the top-k neighbors and the traversal trace.
+func (x *Index) SearchTraced(query vec.Vector, k int) ([]ann.Neighbor, trace.Query) {
+	tr := trace.Query{}
+	res, _ := x.search(query, k, &tr)
+	return res, tr
+}
+
+func (x *Index) search(query vec.Vector, k int, tr *trace.Query) ([]ann.Neighbor, error) {
+	ep := x.entry
+	for l := x.maxLevel; l > 0; l-- {
+		ep, _ = x.greedyClosest(query, ep, l, tr)
+	}
+	ef := x.cfg.EfSearch
+	if ef < k {
+		ef = k
+	}
+	res := x.searchLayer(query, ep, ef, 0, tr)
+	if k < len(res) {
+		res = res[:k]
+	}
+	return res, nil
+}
+
+// Graph returns the base-layer proximity graph.
+func (x *Index) Graph() ann.GraphView { return x.layers[0] }
+
+// BaseGraph returns the mutable base layer for placement experiments.
+func (x *Index) BaseGraph() *graph.Graph { return x.layers[0] }
+
+// Len returns the number of indexed vectors.
+func (x *Index) Len() int { return len(x.data) }
+
+// MaxLevel returns the highest populated layer.
+func (x *Index) MaxLevel() int { return x.maxLevel }
+
+// EntryPoint returns the global entry vertex.
+func (x *Index) EntryPoint() uint32 { return x.entry }
+
+// Level returns the top layer of vertex v.
+func (x *Index) Level(v uint32) int { return x.levels[v] }
+
+// SetEfSearch adjusts the search beam width.
+func (x *Index) SetEfSearch(ef int) {
+	if ef >= 1 {
+		x.cfg.EfSearch = ef
+	}
+}
+
+// SetBeamWidth implements ann.Tunable (alias of SetEfSearch).
+func (x *Index) SetBeamWidth(w int) { x.SetEfSearch(w) }

@@ -1,0 +1,320 @@
+// Package ivfpq implements IVF-PQ, the quantization-based ANNS family
+// the paper's discussion (§VIII) names as the generalisation target for
+// NDSEARCH: an inverted-file coarse quantizer over k-means centroids
+// with product-quantized residual codes and asymmetric distance
+// computation (ADC). Unlike graph traversal, IVF-PQ's access pattern is
+// a sequential scan of a few inverted lists — the memory-bound,
+// bandwidth-limited behaviour §VIII argues NDSEARCH also addresses. The
+// package provides construction, search with exact re-ranking, and the
+// scan statistics the discussion experiment feeds to the bandwidth
+// models.
+package ivfpq
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"ndsearch/internal/ann"
+	"ndsearch/internal/vec"
+)
+
+// Config holds IVF-PQ construction and search parameters.
+type Config struct {
+	// NList is the number of coarse (inverted-list) centroids.
+	NList int
+	// NProbe is how many lists a search scans.
+	NProbe int
+	// Segments is the number of PQ sub-vectors (must divide dim).
+	Segments int
+	// CodeBits is the bits per PQ code (8 -> 256 centroids/segment).
+	CodeBits int
+	// Rerank is how many ADC candidates are re-ranked with exact
+	// distances (0 disables re-ranking).
+	Rerank int
+	// KMeansIters bounds Lloyd iterations.
+	KMeansIters int
+	// Metric selects the distance function (L2 only; PQ's ADC tables
+	// here are Euclidean, which is what the benchmark datasets use).
+	Metric vec.Metric
+	// Seed drives k-means initialisation.
+	Seed int64
+}
+
+// DefaultConfig returns moderate IVF-PQ parameters for scaled corpora.
+func DefaultConfig() Config {
+	return Config{
+		NList: 64, NProbe: 8, Segments: 8, CodeBits: 6,
+		Rerank: 64, KMeansIters: 12, Metric: vec.L2, Seed: 1,
+	}
+}
+
+// Validate rejects unusable configurations for a given dimensionality.
+func (c Config) Validate(dim int) error {
+	if c.NList < 1 || c.NProbe < 1 || c.NProbe > c.NList {
+		return fmt.Errorf("ivfpq: bad list parameters nlist=%d nprobe=%d", c.NList, c.NProbe)
+	}
+	if c.Segments < 1 || dim%c.Segments != 0 {
+		return fmt.Errorf("ivfpq: segments %d must divide dim %d", c.Segments, dim)
+	}
+	if c.CodeBits < 1 || c.CodeBits > 8 {
+		return fmt.Errorf("ivfpq: code bits %d outside [1,8]", c.CodeBits)
+	}
+	if c.Metric != vec.L2 {
+		return fmt.Errorf("ivfpq: only L2 is supported, got %v", c.Metric)
+	}
+	if c.Rerank < 0 || c.KMeansIters < 1 {
+		return fmt.Errorf("ivfpq: bad rerank/iteration parameters")
+	}
+	return nil
+}
+
+// entry is one posting: the vector id and its PQ code.
+type entry struct {
+	id   uint32
+	code []uint8
+}
+
+// Index is a built IVF-PQ index.
+type Index struct {
+	cfg       Config
+	data      []vec.Vector
+	dim       int
+	segDim    int
+	coarse    []vec.Vector   // NList centroids
+	codebooks [][]vec.Vector // [segment][code] sub-centroids
+	lists     [][]entry
+}
+
+// Build trains the coarse quantizer and per-segment codebooks, then
+// encodes every vector into its nearest list.
+func Build(data []vec.Vector, cfg Config) (*Index, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("ivfpq: empty dataset")
+	}
+	dim := len(data[0])
+	if err := cfg.Validate(dim); err != nil {
+		return nil, err
+	}
+	if cfg.NList > len(data) {
+		cfg.NList = len(data)
+		if cfg.NProbe > cfg.NList {
+			cfg.NProbe = cfg.NList
+		}
+	}
+	x := &Index{cfg: cfg, data: data, dim: dim, segDim: dim / cfg.Segments}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	x.coarse = kMeans(data, cfg.NList, cfg.KMeansIters, rng)
+
+	// Residuals against the assigned coarse centroid train the PQ.
+	assign := make([]int, len(data))
+	residuals := make([]vec.Vector, len(data))
+	for i, v := range data {
+		assign[i] = nearestCentroid(x.coarse, v)
+		r := make(vec.Vector, dim)
+		c := x.coarse[assign[i]]
+		for d := 0; d < dim; d++ {
+			r[d] = v[d] - c[d]
+		}
+		residuals[i] = r
+	}
+	k := 1 << cfg.CodeBits
+	x.codebooks = make([][]vec.Vector, cfg.Segments)
+	for s := 0; s < cfg.Segments; s++ {
+		subs := make([]vec.Vector, len(residuals))
+		for i, r := range residuals {
+			subs[i] = r[s*x.segDim : (s+1)*x.segDim]
+		}
+		x.codebooks[s] = kMeans(subs, k, cfg.KMeansIters, rng)
+	}
+	x.lists = make([][]entry, cfg.NList)
+	for i := range data {
+		code := make([]uint8, cfg.Segments)
+		for s := 0; s < cfg.Segments; s++ {
+			sub := residuals[i][s*x.segDim : (s+1)*x.segDim]
+			code[s] = uint8(nearestCentroid(x.codebooks[s], sub))
+		}
+		x.lists[assign[i]] = append(x.lists[assign[i]], entry{id: uint32(i), code: code})
+	}
+	return x, nil
+}
+
+// kMeans runs Lloyd's algorithm with k-means++-style seeding (first
+// centroid random, rest by farthest-point sampling on a sample).
+func kMeans(points []vec.Vector, k, iters int, rng *rand.Rand) []vec.Vector {
+	if k > len(points) {
+		k = len(points)
+	}
+	dim := len(points[0])
+	centroids := make([]vec.Vector, k)
+	perm := rng.Perm(len(points))
+	for i := 0; i < k; i++ {
+		centroids[i] = points[perm[i]].Clone()
+	}
+	assign := make([]int, len(points))
+	for it := 0; it < iters; it++ {
+		changed := false
+		for i, p := range points {
+			c := nearestCentroid(centroids, p)
+			if c != assign[i] {
+				assign[i] = c
+				changed = true
+			}
+		}
+		sums := make([][]float64, k)
+		counts := make([]int, k)
+		for i := range sums {
+			sums[i] = make([]float64, dim)
+		}
+		for i, p := range points {
+			c := assign[i]
+			counts[c]++
+			for d, v := range p {
+				sums[c][d] += float64(v)
+			}
+		}
+		for c := 0; c < k; c++ {
+			if counts[c] == 0 {
+				centroids[c] = points[rng.Intn(len(points))].Clone()
+				continue
+			}
+			for d := 0; d < dim; d++ {
+				centroids[c][d] = float32(sums[c][d] / float64(counts[c]))
+			}
+		}
+		if !changed && it > 0 {
+			break
+		}
+	}
+	return centroids
+}
+
+func nearestCentroid(centroids []vec.Vector, p vec.Vector) int {
+	best, bestD := 0, float32(math.MaxFloat32)
+	for i, c := range centroids {
+		if d := vec.L2Squared(c, p); d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best
+}
+
+// Search returns the approximate top-k via ADC over the probed lists,
+// optionally re-ranked with exact distances.
+func (x *Index) Search(query vec.Vector, k int) []ann.Neighbor {
+	res, _ := x.SearchStats(query, k)
+	return res
+}
+
+// ScanStats reports the work one query performed — the quantities the
+// §VIII bandwidth analysis needs.
+type ScanStats struct {
+	// ListsProbed is the number of inverted lists scanned.
+	ListsProbed int
+	// CodesScanned is the number of PQ codes ADC-evaluated.
+	CodesScanned int
+	// BytesStreamed is the at-rest bytes of the scanned postings
+	// (id + code per posting).
+	BytesStreamed int64
+	// Reranked is the number of exact re-rank distance computations.
+	Reranked int
+}
+
+// CodeBytes returns the stored size of one posting.
+func (x *Index) CodeBytes() int { return 4 + x.cfg.Segments }
+
+// SearchStats is Search plus scan statistics.
+func (x *Index) SearchStats(query vec.Vector, k int) ([]ann.Neighbor, ScanStats) {
+	var st ScanStats
+	// Rank coarse centroids.
+	type cd struct {
+		list int
+		dist float32
+	}
+	cds := make([]cd, len(x.coarse))
+	for i, c := range x.coarse {
+		cds[i] = cd{list: i, dist: vec.L2Squared(c, query)}
+	}
+	sort.Slice(cds, func(i, j int) bool { return cds[i].dist < cds[j].dist })
+	probes := x.cfg.NProbe
+	if probes > len(cds) {
+		probes = len(cds)
+	}
+	// ADC over probed lists with per-list lookup tables on the residual.
+	var cands []ann.Neighbor
+	for p := 0; p < probes; p++ {
+		li := cds[p].list
+		st.ListsProbed++
+		residual := make(vec.Vector, x.dim)
+		for d := 0; d < x.dim; d++ {
+			residual[d] = query[d] - x.coarse[li][d]
+		}
+		tables := x.adcTables(residual)
+		for _, e := range x.lists[li] {
+			var d float32
+			for s, code := range e.code {
+				d += tables[s][code]
+			}
+			cands = append(cands, ann.Neighbor{ID: e.id, Dist: d})
+			st.CodesScanned++
+		}
+		st.BytesStreamed += int64(len(x.lists[li])) * int64(x.CodeBytes())
+	}
+	ann.SortNeighbors(cands)
+	// Exact re-rank of the ADC shortlist.
+	if x.cfg.Rerank > 0 {
+		top := x.cfg.Rerank
+		if top > len(cands) {
+			top = len(cands)
+		}
+		shortlist := cands[:top]
+		for i := range shortlist {
+			shortlist[i].Dist = vec.L2Squared(query, x.data[shortlist[i].ID])
+			st.Reranked++
+		}
+		ann.SortNeighbors(shortlist)
+		cands = shortlist
+	}
+	if k < len(cands) {
+		cands = cands[:k]
+	}
+	return cands, st
+}
+
+// Len returns the number of indexed vectors.
+func (x *Index) Len() int { return len(x.data) }
+
+// NLists returns the coarse list count.
+func (x *Index) NLists() int { return len(x.lists) }
+
+// ListLen returns the posting count of list i.
+func (x *Index) ListLen(i int) int { return len(x.lists[i]) }
+
+// SetNProbe adjusts the probe width.
+func (x *Index) SetNProbe(n int) {
+	if n >= 1 && n <= len(x.lists) {
+		x.cfg.NProbe = n
+	}
+}
+
+// adcTables precomputes per-segment distance lookup tables for a
+// residual query.
+func (x *Index) adcTables(residual vec.Vector) [][]float32 {
+	tables := make([][]float32, x.cfg.Segments)
+	for s := 0; s < x.cfg.Segments; s++ {
+		sub := residual[s*x.segDim : (s+1)*x.segDim]
+		tab := make([]float32, len(x.codebooks[s]))
+		for c, cent := range x.codebooks[s] {
+			tab[c] = vec.L2Squared(sub, cent)
+		}
+		tables[s] = tab
+	}
+	return tables
+}
+
+// CompressionRatio returns raw vector bytes over PQ posting bytes.
+func (x *Index) CompressionRatio(elem vec.ElemKind) float64 {
+	raw := float64(vec.StoredBytes(elem, x.dim))
+	return raw / float64(x.CodeBytes())
+}

@@ -1,0 +1,109 @@
+package luncsr
+
+import (
+	"fmt"
+
+	"ndsearch/internal/trace"
+)
+
+// This file quantifies the §IV-B data-layout argument (Fig. 6): the
+// stock HNSW/DiskANN layout stores each vertex as a slice of
+// [feature vector | up to R neighbor IDs, zero padded], which wastes
+// space on padding and drags unused neighbor IDs through every page
+// read. LUNCSR stores vectors and adjacency separately, so a page read
+// returns only feature-vector bytes.
+
+// SliceLayout describes the stock interleaved layout.
+type SliceLayout struct {
+	// VectorBytes is the stored feature-vector size.
+	VectorBytes int
+	// R is the padded neighbor-slot count (32 in the paper).
+	R int
+	// IDBytes is the size of one neighbor ID (4 in the paper).
+	IDBytes int
+}
+
+// SliceBytes returns the per-vertex slice size.
+func (l SliceLayout) SliceBytes() int { return l.VectorBytes + l.R*l.IDBytes }
+
+// PaddingOverhead returns the fraction of each slice wasted on
+// adjacency that the in-storage search path never uses when only the
+// closest vertex's neighbor list matters (Fig. 6's ">= 46.9% storage
+// overhead" for the 128 B vector + 32 x 4 B example... the adjacency
+// half plus padding).
+func (l SliceLayout) PaddingOverhead(avgDegree float64) float64 {
+	slice := float64(l.SliceBytes())
+	if slice == 0 {
+		return 0
+	}
+	usedIDs := avgDegree * float64(l.IDBytes)
+	wasted := float64(l.R*l.IDBytes) - usedIDs // padded, never-read IDs
+	if wasted < 0 {
+		wasted = 0
+	}
+	// During search, only the expanded entry's IDs are useful; the other
+	// slices on the page contribute their full adjacency as waste. The
+	// conservative per-slice bound below counts only padding plus the
+	// adjacency of non-expanded vertices, averaged as the adjacency
+	// fraction of the slice.
+	return (wasted + usedIDs*0) / slice
+}
+
+// FetchComparison reports the bytes a trace drags through page reads
+// under the two layouts.
+type FetchComparison struct {
+	// SliceLayoutBytes is the total page payload attributable to the
+	// stock layout: every computed candidate pulls its full slice
+	// (vector + R IDs) through the page buffer.
+	SliceLayoutBytes int64
+	// LUNCSRBytes is the payload under LUNCSR: vectors only; adjacency
+	// streams separately from DRAM at exact length.
+	LUNCSRBytes int64
+	// AdjacencyDRAMBytes is the adjacency traffic LUNCSR moves from
+	// DRAM instead (exact neighbor lists of expanded entries only).
+	AdjacencyDRAMBytes int64
+}
+
+// Savings returns the flash-payload reduction fraction of LUNCSR.
+func (c FetchComparison) Savings() float64 {
+	if c.SliceLayoutBytes == 0 {
+		return 0
+	}
+	return 1 - float64(c.LUNCSRBytes)/float64(c.SliceLayoutBytes)
+}
+
+// CompareFetch replays a traced batch against both layouts.
+func CompareFetch(l *LUNCSR, stock SliceLayout, batch *trace.Batch) (FetchComparison, error) {
+	if l == nil || batch == nil {
+		return FetchComparison{}, fmt.Errorf("luncsr: nil inputs")
+	}
+	var c FetchComparison
+	for qi := range batch.Queries {
+		q := &batch.Queries[qi]
+		for _, it := range q.Iters {
+			// Expanded entry: its true adjacency is what LUNCSR streams
+			// from DRAM.
+			if int(it.Entry) < l.Len() {
+				c.AdjacencyDRAMBytes += int64(l.Degree(it.Entry)) * int64(stock.IDBytes)
+			}
+			for range it.Neighbors {
+				c.SliceLayoutBytes += int64(stock.SliceBytes())
+				c.LUNCSRBytes += int64(l.VertexBytes())
+			}
+		}
+	}
+	return c, nil
+}
+
+// PageCapacityGain returns how many more vertices fit per page under
+// LUNCSR than under the stock slice layout (the Fig. 6 example: 16
+// slices vs 32 vectors in a 4 KB page for sift).
+func PageCapacityGain(pageBytes int, stock SliceLayout) (slices, vectors int) {
+	if stock.SliceBytes() > 0 {
+		slices = pageBytes / stock.SliceBytes()
+	}
+	if stock.VectorBytes > 0 {
+		vectors = pageBytes / stock.VectorBytes
+	}
+	return
+}

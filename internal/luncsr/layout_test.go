@@ -1,0 +1,116 @@
+package luncsr
+
+import (
+	"testing"
+
+	"ndsearch/internal/trace"
+)
+
+func siftSlice() SliceLayout { return SliceLayout{VectorBytes: 128, R: 32, IDBytes: 4} }
+
+func TestSliceBytesMatchesPaperExample(t *testing.T) {
+	// §IV-B: 128 B vector + 32 x 4 B IDs = 256 B slice; 16 slices per
+	// 4 KB page.
+	l := siftSlice()
+	if l.SliceBytes() != 256 {
+		t.Errorf("slice bytes = %d, want 256", l.SliceBytes())
+	}
+	slices, vectors := PageCapacityGain(4096, l)
+	if slices != 16 {
+		t.Errorf("slices per 4KB page = %d, want 16", slices)
+	}
+	if vectors != 32 {
+		t.Errorf("vectors per 4KB page = %d, want 32 (2x density)", vectors)
+	}
+}
+
+func TestPaddingOverhead(t *testing.T) {
+	l := siftSlice()
+	// Average degree 17 of 32 slots used: (32-17)*4/256 = 23.4% padding.
+	got := l.PaddingOverhead(17)
+	if got < 0.23 || got > 0.24 {
+		t.Errorf("padding overhead = %.3f, want ~0.234", got)
+	}
+	// Full degree: no padding.
+	if l.PaddingOverhead(32) != 0 {
+		t.Error("full adjacency should have zero padding")
+	}
+	// Over-full degree clamps to zero, never negative.
+	if l.PaddingOverhead(40) != 0 {
+		t.Error("overhead must clamp at 0")
+	}
+	empty := SliceLayout{}
+	if empty.PaddingOverhead(1) != 0 {
+		t.Error("degenerate layout must return 0")
+	}
+}
+
+func TestCompareFetchSavings(t *testing.T) {
+	l, err := Build(lineGraph(64), testGeo(), 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := &trace.Batch{Queries: []trace.Query{{
+		QueryID: 0,
+		Iters: []trace.Iter{
+			{Entry: 5, Neighbors: []uint32{4, 6}},
+			{Entry: 6, Neighbors: []uint32{7}},
+		},
+	}}}
+	stock := SliceLayout{VectorBytes: 256, R: 32, IDBytes: 4}
+	c, err := CompareFetch(l, stock, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 candidates: slice layout pulls 3 x (256+128) = 1152 B; LUNCSR
+	// pulls 3 x 256 = 768 B of vectors.
+	if c.SliceLayoutBytes != 1152 {
+		t.Errorf("slice bytes = %d, want 1152", c.SliceLayoutBytes)
+	}
+	if c.LUNCSRBytes != 768 {
+		t.Errorf("luncsr bytes = %d, want 768", c.LUNCSRBytes)
+	}
+	// Adjacency DRAM traffic: degrees of entries 5 and 6 (2 and 2 on the
+	// line graph) x 4 B = 16 B.
+	if c.AdjacencyDRAMBytes != 16 {
+		t.Errorf("adjacency bytes = %d, want 16", c.AdjacencyDRAMBytes)
+	}
+	// The Fig. 6 argument: flash payload drops by the adjacency share
+	// (33% here; >=46.9% with the paper's 128 B vectors).
+	if s := c.Savings(); s < 0.3 || s > 0.4 {
+		t.Errorf("savings = %.3f, want ~1/3", s)
+	}
+	paper := SliceLayout{VectorBytes: 128, R: 32, IDBytes: 4}
+	cp, err := CompareFetch(l, paper, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = cp
+	// With 128 B vectors the adjacency is half the slice: savings 50%,
+	// above the paper's 46.9% overhead bound.
+	lp, err := Build(lineGraph(64), testGeo(), 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpp, err := CompareFetch(lp, paper, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := cpp.Savings(); s < 0.469 {
+		t.Errorf("paper-layout savings = %.3f, want >= 0.469 (Fig. 6)", s)
+	}
+}
+
+func TestCompareFetchValidation(t *testing.T) {
+	if _, err := CompareFetch(nil, siftSlice(), &trace.Batch{}); err == nil {
+		t.Error("nil layout must fail")
+	}
+	l, _ := Build(lineGraph(8), testGeo(), 256)
+	if _, err := CompareFetch(l, siftSlice(), nil); err == nil {
+		t.Error("nil batch must fail")
+	}
+	c, err := CompareFetch(l, siftSlice(), &trace.Batch{})
+	if err != nil || c.SliceLayoutBytes != 0 || c.Savings() != 0 {
+		t.Error("empty batch must produce zero comparison")
+	}
+}

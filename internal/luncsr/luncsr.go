@@ -1,0 +1,270 @@
+// Package luncsr implements LUNCSR (§IV-B), the paper's extension of
+// compressed sparse row with physical-placement arrays: alongside the
+// offset/neighbor arrays, a LUN array records each vertex's global LUN
+// and a BLK array its current physical block within that LUN's plane.
+// The placement itself follows the multi-plane-aware mapping of Fig. 11:
+// consecutive vertices fill one page of one plane, then the same page
+// index of the next plane in the LUN, then the next LUN; once every LUN
+// has been visited the page index advances. Page and column addresses
+// are inferred directly from the vertex's logical index, so the
+// Allocator never invokes FTL translation on the search path; the FTL's
+// remap callback keeps the BLK array coherent across block refreshes.
+package luncsr
+
+import (
+	"fmt"
+
+	"ndsearch/internal/ftl"
+	"ndsearch/internal/graph"
+	"ndsearch/internal/nand"
+)
+
+// LUNCSR is the full graph layout: CSR adjacency plus placement arrays.
+type LUNCSR struct {
+	geo         nand.Geometry
+	vertexBytes int
+	perPage     int // vertices per 16 KB page
+
+	// Offsets/Neigh are the standard CSR arrays (kept in SSD DRAM).
+	Offsets []uint64
+	Neigh   []uint32
+	// LUNArr[v] is the global LUN holding v's feature vector.
+	LUNArr []uint16
+	// BLKArr[v] is v's current *physical* block within its plane,
+	// updated by the FTL on refresh.
+	BLKArr []uint16
+
+	n int
+}
+
+// Build lays out the (already reordered) CSR graph onto the geometry.
+// vertexBytes is the stored feature-vector footprint per vertex.
+func Build(c *graph.CSR, geo nand.Geometry, vertexBytes int) (*LUNCSR, error) {
+	if err := geo.Validate(); err != nil {
+		return nil, err
+	}
+	if vertexBytes < 1 {
+		return nil, fmt.Errorf("luncsr: vertexBytes must be positive, got %d", vertexBytes)
+	}
+	if vertexBytes > geo.PageBytes {
+		return nil, fmt.Errorf("luncsr: vertex (%d B) exceeds page size (%d B)",
+			vertexBytes, geo.PageBytes)
+	}
+	perPage := geo.PageBytes / vertexBytes
+	n := c.Len()
+	capacity := int64(geo.TotalPlanes()) * int64(geo.PagesPerPlane()) * int64(perPage)
+	if int64(n) > capacity {
+		return nil, fmt.Errorf("luncsr: %d vertices exceed array capacity %d", n, capacity)
+	}
+	l := &LUNCSR{
+		geo:         geo,
+		vertexBytes: vertexBytes,
+		perPage:     perPage,
+		Offsets:     c.Offsets,
+		Neigh:       c.Neigh,
+		LUNArr:      make([]uint16, n),
+		BLKArr:      make([]uint16, n),
+		n:           n,
+	}
+	for v := 0; v < n; v++ {
+		a := l.logicalAddress(uint32(v))
+		l.LUNArr[v] = uint16(a.GlobalLUN(geo))
+		l.BLKArr[v] = uint16(a.Block) // identity mapping before any refresh
+	}
+	return l, nil
+}
+
+// Len returns the vertex count.
+func (l *LUNCSR) Len() int { return l.n }
+
+// PerPage returns how many vertices share one page.
+func (l *LUNCSR) PerPage() int { return l.perPage }
+
+// VertexBytes returns the stored footprint per vertex.
+func (l *LUNCSR) VertexBytes() int { return l.vertexBytes }
+
+// Geometry returns the backing geometry.
+func (l *LUNCSR) Geometry() nand.Geometry { return l.geo }
+
+// Neighbors returns v's adjacency slice (shared storage).
+func (l *LUNCSR) Neighbors(v uint32) []uint32 {
+	return l.Neigh[l.Offsets[v]:l.Offsets[v+1]]
+}
+
+// Degree returns v's out-degree.
+func (l *LUNCSR) Degree(v uint32) int {
+	return int(l.Offsets[v+1] - l.Offsets[v])
+}
+
+// slotCoords decomposes a vertex ID into its placement coordinates under
+// the Fig. 11 mapping: page-slot s = v / perPage walks plane-first
+// within a LUN, then across LUNs, then advances the page index.
+func (l *LUNCSR) slotCoords(v uint32) (globalLUN, plane, pageSeq, column int) {
+	slot := int(v) / l.perPage
+	column = (int(v) % l.perPage) * l.vertexBytes
+	plane = slot % l.geo.PlanesPerLUN
+	slot /= l.geo.PlanesPerLUN
+	globalLUN = slot % l.geo.TotalLUNs()
+	pageSeq = slot / l.geo.TotalLUNs()
+	return
+}
+
+// logicalAddress returns the pre-FTL address of v (logical block index).
+func (l *LUNCSR) logicalAddress(v uint32) nand.Address {
+	gl, plane, pageSeq, column := l.slotCoords(v)
+	ch, chip, lun, _ := nand.LUNFromGlobal(l.geo, gl)
+	return nand.Address{
+		Channel: ch,
+		Chip:    chip,
+		LUN:     lun,
+		Plane:   plane,
+		Block:   pageSeq / l.geo.PagesPerBlock,
+		Page:    pageSeq % l.geo.PagesPerBlock,
+		Column:  column,
+	}
+}
+
+// LogicalBlock returns v's logical block index within its plane — what
+// the FTL remap callback keys on.
+func (l *LUNCSR) LogicalBlock(v uint32) int {
+	_, _, pageSeq, _ := l.slotCoords(v)
+	return pageSeq / l.geo.PagesPerBlock
+}
+
+// GlobalPlane returns the array-wide plane index holding v.
+func (l *LUNCSR) GlobalPlane(v uint32) int {
+	gl, plane, _, _ := l.slotCoords(v)
+	return gl*l.geo.PlanesPerLUN + plane
+}
+
+// Address returns v's current physical address: page and column are
+// inferred from the vertex index, the block comes from the BLK array
+// (Fig. 5b's "direct inference" path — no FTL call).
+func (l *LUNCSR) Address(v uint32) (nand.Address, error) {
+	if int(v) >= l.n {
+		return nand.Address{}, fmt.Errorf("luncsr: vertex %d out of range %d", v, l.n)
+	}
+	a := l.logicalAddress(v)
+	a.Block = int(l.BLKArr[v])
+	return a, nil
+}
+
+// LUN returns v's global LUN from the LUN array.
+func (l *LUNCSR) LUN(v uint32) int { return int(l.LUNArr[v]) }
+
+// AttachFTL registers this layout's BLK-array maintenance with the FTL:
+// whenever a block refresh relocates (plane, logical block) to a new
+// physical block, every vertex stored there has its BLK entry updated.
+// The regular Fig. 11 placement makes the affected vertex set directly
+// enumerable without an inverse index.
+func (l *LUNCSR) AttachFTL(f *ftl.FTL) {
+	f.OnRemap(func(globalPlane, logBlk, newPhys int) {
+		l.remap(globalPlane, logBlk, newPhys)
+	})
+}
+
+// remap rewrites the BLK entries of every vertex in (globalPlane, logBlk).
+func (l *LUNCSR) remap(globalPlane, logBlk, newPhys int) {
+	lunIdx := globalPlane / l.geo.PlanesPerLUN
+	plane := globalPlane % l.geo.PlanesPerLUN
+	for pageInBlock := 0; pageInBlock < l.geo.PagesPerBlock; pageInBlock++ {
+		pageSeq := logBlk*l.geo.PagesPerBlock + pageInBlock
+		slot := (pageSeq*l.geo.TotalLUNs()+lunIdx)*l.geo.PlanesPerLUN + plane
+		first := slot * l.perPage
+		for i := 0; i < l.perPage; i++ {
+			v := first + i
+			if v >= l.n {
+				return
+			}
+			l.BLKArr[v] = uint16(newPhys)
+		}
+	}
+}
+
+// PopulatedLUNs returns how many LUNs actually store vertices — the
+// denominator of the paper's Fig. 4b metric ("all the LUNs that store
+// the vertices"). Scaled corpora may populate only a prefix of the
+// Fig. 11 walk.
+func (l *LUNCSR) PopulatedLUNs() int {
+	slots := (l.n + l.perPage - 1) / l.perPage
+	full := l.geo.TotalLUNs() * l.geo.PlanesPerLUN
+	if slots >= full {
+		return l.geo.TotalLUNs()
+	}
+	luns := (slots + l.geo.PlanesPerLUN - 1) / l.geo.PlanesPerLUN
+	if luns > l.geo.TotalLUNs() {
+		luns = l.geo.TotalLUNs()
+	}
+	return luns
+}
+
+// PageOf returns the array-wide page identifier holding v, used by the
+// simulators to detect when candidates share a page access.
+func (l *LUNCSR) PageOf(v uint32) (int64, error) {
+	a, err := l.Address(v)
+	if err != nil {
+		return 0, err
+	}
+	return a.GlobalPage(l.geo), nil
+}
+
+// VerticesOnPageWith enumerates the vertex IDs co-resident on v's page.
+func (l *LUNCSR) VerticesOnPageWith(v uint32) []uint32 {
+	slot := int(v) / l.perPage
+	first := slot * l.perPage
+	out := make([]uint32, 0, l.perPage)
+	for i := 0; i < l.perPage; i++ {
+		w := first + i
+		if w >= l.n {
+			break
+		}
+		out = append(out, uint32(w))
+	}
+	return out
+}
+
+// CheckMultiPlaneFriendly verifies the Fig. 11 invariant used by
+// multi-plane operations: for any page sequence number, the addresses of
+// the corresponding slots across the planes of one LUN share block and
+// page indices while differing in plane bits. Returns the first
+// violation found, or nil.
+func (l *LUNCSR) CheckMultiPlaneFriendly() error {
+	if l.n < l.perPage*l.geo.PlanesPerLUN {
+		return nil // not enough vertices to span one LUN's planes
+	}
+	// Check a sample of LUN-page groups across the array.
+	step := l.n / 64
+	if step < 1 {
+		step = 1
+	}
+	for v := 0; v+l.perPage*l.geo.PlanesPerLUN <= l.n; v += step * l.perPage {
+		base := (v / l.perPage) * l.perPage
+		gl0, _, _, _ := l.slotCoords(uint32(base))
+		var group []nand.Address
+		ok := true
+		for p := 0; p < l.geo.PlanesPerLUN; p++ {
+			w := base + p*l.perPage
+			if w >= l.n {
+				ok = false
+				break
+			}
+			glp, _, _, _ := l.slotCoords(uint32(w))
+			if glp != gl0 {
+				ok = false // group crosses a LUN boundary; skip
+				break
+			}
+			a, err := l.Address(uint32(w))
+			if err != nil {
+				return err
+			}
+			group = append(group, a)
+		}
+		if !ok {
+			continue
+		}
+		if err := nand.CheckMultiPlane(l.geo, group); err != nil {
+			return fmt.Errorf("luncsr: placement violates multi-plane rules at vertex %d: %w", base, err)
+		}
+	}
+	return nil
+}

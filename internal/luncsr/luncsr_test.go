@@ -1,0 +1,264 @@
+package luncsr
+
+import (
+	"testing"
+
+	"ndsearch/internal/ftl"
+	"ndsearch/internal/graph"
+	"ndsearch/internal/nand"
+)
+
+// testGeo: 2 channels x 1 chip x 2 planes (1 LUN/chip => 2 LUNs total),
+// 4 blocks/plane, 2 pages/block, 1 KB pages.
+func testGeo() nand.Geometry {
+	return nand.Geometry{
+		Channels: 2, ChipsPerChannel: 1, PlanesPerChip: 2, PlanesPerLUN: 2,
+		BlocksPerPlane: 4, PagesPerBlock: 2, PageBytes: 1024,
+	}
+}
+
+func lineGraph(n int) *graph.CSR {
+	g := graph.New(n)
+	for v := 0; v < n-1; v++ {
+		g.AddEdge(uint32(v), uint32(v+1))
+		g.AddEdge(uint32(v+1), uint32(v))
+	}
+	return g.ToCSR()
+}
+
+func TestBuildValidation(t *testing.T) {
+	c := lineGraph(8)
+	if _, err := Build(c, testGeo(), 0); err == nil {
+		t.Error("zero vertexBytes must fail")
+	}
+	if _, err := Build(c, testGeo(), 2048); err == nil {
+		t.Error("vertex larger than page must fail")
+	}
+	// Capacity: 4 planes * 8 pages * 4/page = 128 vertices max.
+	if _, err := Build(lineGraph(200), testGeo(), 256); err == nil {
+		t.Error("overflowing corpus must fail")
+	}
+	if _, err := Build(c, testGeo(), 256); err != nil {
+		t.Errorf("valid build failed: %v", err)
+	}
+}
+
+func TestFig11MappingOrder(t *testing.T) {
+	// vertexBytes=256 -> perPage=4. Expected slot walk (Fig. 11):
+	// v0..3  -> LUN0 plane0 page0
+	// v4..7  -> LUN0 plane1 page0
+	// v8..11 -> LUN1 plane0 page0
+	// v12..15-> LUN1 plane1 page0
+	// v16..19-> LUN0 plane0 page1 (next page, back to first LUN)
+	l, err := Build(lineGraph(24), testGeo(), 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		v               uint32
+		lun, plane, blk int
+		page, col       int
+	}{
+		{0, 0, 0, 0, 0, 0},
+		{3, 0, 0, 0, 0, 768},
+		{4, 0, 1, 0, 0, 0},
+		{8, 1, 0, 0, 0, 0},
+		{12, 1, 1, 0, 0, 0},
+		{16, 0, 0, 0, 1, 0},
+		{17, 0, 0, 0, 1, 256},
+	}
+	for _, c := range cases {
+		a, err := l.Address(c.v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.GlobalLUN(l.Geometry()) != c.lun || a.Plane != c.plane ||
+			a.Block != c.blk || a.Page != c.page || a.Column != c.col {
+			t.Errorf("v%d: got LUN%d plane%d blk%d page%d col%d, want LUN%d plane%d blk%d page%d col%d",
+				c.v, a.GlobalLUN(l.Geometry()), a.Plane, a.Block, a.Page, a.Column,
+				c.lun, c.plane, c.blk, c.page, c.col)
+		}
+	}
+}
+
+func TestArraysMatchAddresses(t *testing.T) {
+	l, err := Build(lineGraph(32), testGeo(), 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := uint32(0); v < uint32(l.Len()); v++ {
+		a, err := l.Address(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int(l.LUNArr[v]) != a.GlobalLUN(l.Geometry()) {
+			t.Errorf("v%d LUN array %d != address %d", v, l.LUNArr[v], a.GlobalLUN(l.Geometry()))
+		}
+		if int(l.BLKArr[v]) != a.Block {
+			t.Errorf("v%d BLK array %d != address %d", v, l.BLKArr[v], a.Block)
+		}
+		if err := a.Validate(l.Geometry()); err != nil {
+			t.Errorf("v%d: invalid address: %v", v, err)
+		}
+	}
+}
+
+func TestAddressOutOfRange(t *testing.T) {
+	l, _ := Build(lineGraph(8), testGeo(), 256)
+	if _, err := l.Address(8); err == nil {
+		t.Error("out-of-range vertex must fail")
+	}
+	if _, err := l.PageOf(99); err == nil {
+		t.Error("PageOf out of range must fail")
+	}
+}
+
+func TestNeighborsPreserved(t *testing.T) {
+	c := lineGraph(10)
+	l, _ := Build(c, testGeo(), 256)
+	if l.Degree(0) != 1 || l.Degree(5) != 2 {
+		t.Error("degrees wrong")
+	}
+	ns := l.Neighbors(5)
+	if len(ns) != 2 || ns[0] != 4 || ns[1] != 6 {
+		t.Errorf("Neighbors(5) = %v", ns)
+	}
+}
+
+func TestPageSharing(t *testing.T) {
+	l, _ := Build(lineGraph(16), testGeo(), 256)
+	// v0..v3 share a page; v4 does not.
+	p0, _ := l.PageOf(0)
+	p3, _ := l.PageOf(3)
+	p4, _ := l.PageOf(4)
+	if p0 != p3 {
+		t.Error("v0 and v3 should share a page")
+	}
+	if p0 == p4 {
+		t.Error("v0 and v4 must not share a page")
+	}
+	mates := l.VerticesOnPageWith(1)
+	if len(mates) != 4 || mates[0] != 0 || mates[3] != 3 {
+		t.Errorf("page mates of v1 = %v", mates)
+	}
+}
+
+func TestVerticesOnPageTruncatesAtEnd(t *testing.T) {
+	l, _ := Build(lineGraph(6), testGeo(), 256)
+	mates := l.VerticesOnPageWith(5)
+	if len(mates) != 2 || mates[0] != 4 || mates[1] != 5 {
+		t.Errorf("tail page mates = %v", mates)
+	}
+}
+
+func TestMultiPlaneFriendly(t *testing.T) {
+	l, err := Build(lineGraph(64), testGeo(), 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.CheckMultiPlaneFriendly(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFTLRefreshUpdatesBLKArray(t *testing.T) {
+	geo := testGeo()
+	l, err := Build(lineGraph(64), geo, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := ftl.New(geo, ftl.Config{SpareBlocksPerPlane: 1}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.AttachFTL(f)
+
+	// Vertex 0 lives in plane 0 (global plane 0), logical block 0.
+	if l.GlobalPlane(0) != 0 || l.LogicalBlock(0) != 0 {
+		t.Fatalf("unexpected placement for v0: plane %d block %d", l.GlobalPlane(0), l.LogicalBlock(0))
+	}
+	before := l.BLKArr[0]
+	if err := f.Refresh(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	after := l.BLKArr[0]
+	if before == after {
+		t.Error("BLK array not updated after refresh")
+	}
+	phys, _ := f.Translate(0, 0)
+	if int(after) != phys {
+		t.Errorf("BLK array %d != FTL physical %d", after, phys)
+	}
+	// Address() must now reflect the moved block without any FTL call.
+	a, _ := l.Address(0)
+	if a.Block != phys {
+		t.Errorf("Address block %d != physical %d", a.Block, phys)
+	}
+	// Vertices in other planes/blocks unaffected.
+	a4, _ := l.Address(4) // plane 1 of LUN 0
+	if a4.Block != 0 {
+		t.Error("refresh leaked into plane 1")
+	}
+	// Multi-plane grouping must survive the refresh (block bits may
+	// differ across planes; page bits must still match).
+	if err := l.CheckMultiPlaneFriendly(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRemapCoversWholeBlock(t *testing.T) {
+	geo := testGeo()
+	// 2 pages per block * 4 vertices per page = 8 vertices per
+	// (LUN, plane) block. Fill enough vertices that logical block 0 of
+	// plane 0 holds v0..3 (page0) and v16..19 (page1).
+	l, err := Build(lineGraph(64), geo, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := ftl.New(geo, ftl.Config{SpareBlocksPerPlane: 1}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.AttachFTL(f)
+	if err := f.Refresh(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	phys, _ := f.Translate(0, 0)
+	for _, v := range []uint32{0, 1, 2, 3, 16, 17, 18, 19} {
+		if int(l.BLKArr[v]) != phys {
+			t.Errorf("v%d BLK = %d, want %d (block remap must cover both pages)", v, l.BLKArr[v], phys)
+		}
+	}
+	// v4 (plane 1, block 0) and v32 (plane 0, block 1) must be untouched.
+	if l.BLKArr[4] != 0 {
+		t.Errorf("v4 BLK = %d, want 0 (other plane must not move)", l.BLKArr[4])
+	}
+	if l.LogicalBlock(32) != 1 || l.BLKArr[32] != 1 {
+		t.Errorf("v32 BLK = %d, want its original block 1", l.BLKArr[32])
+	}
+}
+
+func TestDefaultGeometryPlacementScales(t *testing.T) {
+	// Paper-scale sanity: sift layout (128 B vector) on the default
+	// geometry: 16 KB page holds 128 vectors.
+	geo := nand.DefaultGeometry()
+	l, err := Build(lineGraph(100_000), geo, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.PerPage() != 128 {
+		t.Errorf("perPage = %d, want 128", l.PerPage())
+	}
+	// The first 256*2*128 = 65536 vertices all land on page 0 of their
+	// plane; LUNs must be covered round-robin.
+	lunSeen := map[int]bool{}
+	for v := uint32(0); v < 65536; v += 128 {
+		lunSeen[l.LUN(v)] = true
+	}
+	if len(lunSeen) != 256 {
+		t.Errorf("first page wave covers %d LUNs, want 256", len(lunSeen))
+	}
+	if err := l.CheckMultiPlaneFriendly(); err != nil {
+		t.Error(err)
+	}
+}

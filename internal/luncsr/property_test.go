@@ -1,0 +1,126 @@
+package luncsr
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ndsearch/internal/ftl"
+	"ndsearch/internal/nand"
+)
+
+// Property: the Fig. 11 placement is injective — no two vertices share a
+// (plane, block, page, column) slot — and every address validates.
+func TestPlacementBijective(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		geo := testGeo()
+		vb := []int{128, 256, 512, 1024}[rng.Intn(4)]
+		perPage := geo.PageBytes / vb
+		capacity := geo.TotalPlanes() * geo.PagesPerPlane() * perPage
+		n := 1 + rng.Intn(capacity)
+		l, err := Build(lineGraph(n), geo, vb)
+		if err != nil {
+			return false
+		}
+		seen := map[[2]int64]bool{}
+		for v := uint32(0); v < uint32(n); v++ {
+			a, err := l.Address(v)
+			if err != nil || a.Validate(geo) != nil {
+				return false
+			}
+			key := [2]int64{a.GlobalPage(geo), int64(a.Column)}
+			if seen[key] {
+				return false
+			}
+			seen[key] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: after arbitrary refresh sequences, Address() stays
+// consistent with the FTL's translation and multi-plane grouping stays
+// legal.
+func TestRefreshConsistencyProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		geo := testGeo()
+		// 48 vertices -> 12 page slots -> at most logical block 1 per
+		// plane, inside the FTL's non-spare region (spares = 2 of 4).
+		l, err := Build(lineGraph(48), geo, 256)
+		if err != nil {
+			return false
+		}
+		fl, err := ftl.New(geo, ftl.Config{SpareBlocksPerPlane: 2}, seed)
+		if err != nil {
+			return false
+		}
+		l.AttachFTL(fl)
+		logical := fl.LogicalBlocksPerPlane()
+		if logical < 2 {
+			return false
+		}
+		for i := 0; i < 30; i++ {
+			plane := rng.Intn(geo.TotalPlanes())
+			if err := fl.Refresh(plane, rng.Intn(logical)); err != nil {
+				return false
+			}
+		}
+		if fl.CheckInvariants() != nil {
+			return false
+		}
+		for v := uint32(0); v < uint32(l.Len()); v++ {
+			a, err := l.Address(v)
+			if err != nil {
+				return false
+			}
+			phys, err := fl.Translate(l.GlobalPlane(v), l.LogicalBlock(v))
+			if err != nil || a.Block != phys {
+				return false
+			}
+		}
+		return l.CheckMultiPlaneFriendly() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: VerticesOnPageWith returns exactly the vertices whose
+// PageOf matches.
+func TestPageMatesProperty(t *testing.T) {
+	geo := nand.Geometry{
+		Channels: 2, ChipsPerChannel: 1, PlanesPerChip: 2, PlanesPerLUN: 2,
+		BlocksPerPlane: 4, PagesPerBlock: 2, PageBytes: 1024,
+	}
+	l, err := Build(lineGraph(50), geo, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := uint32(0); v < uint32(l.Len()); v++ {
+		pv, _ := l.PageOf(v)
+		mates := l.VerticesOnPageWith(v)
+		mateSet := map[uint32]bool{}
+		for _, m := range mates {
+			pm, _ := l.PageOf(m)
+			if pm != pv {
+				t.Fatalf("mate %d of %d on different page", m, v)
+			}
+			mateSet[m] = true
+		}
+		if !mateSet[v] {
+			t.Fatalf("vertex %d not among its own page mates", v)
+		}
+		// Exhaustive converse on this small corpus.
+		for w := uint32(0); w < uint32(l.Len()); w++ {
+			pw, _ := l.PageOf(w)
+			if pw == pv && !mateSet[w] {
+				t.Fatalf("vertex %d shares %d's page but missing from mates", w, v)
+			}
+		}
+	}
+}

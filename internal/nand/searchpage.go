@@ -1,0 +1,165 @@
+package nand
+
+import (
+	"fmt"
+
+	"ndsearch/internal/vec"
+)
+
+// SearchPage is the paper's modified NAND instruction (Fig. 9b): a 36-bit
+// word with a 2-bit distance selector, a 26-bit row address (LUN, plane,
+// block, page), a 3-bit feature-vector dimension code, a 4-bit precision
+// code, and the 1-bit pageLocBit that flags when two or more queries'
+// candidates share the selected page.
+type SearchPage struct {
+	// Metric selects the distance kernel (the 2-bit "Distance" field).
+	Metric vec.Metric
+	// Row is the 26-bit row address packed as LUN|Plane|Block|Page.
+	Row uint32
+	// DimCode encodes the vector dimensionality (3 bits, power-of-two
+	// bucket: code d means dimension 16<<d, covering 16..2048).
+	DimCode uint8
+	// PrecCode encodes the element precision (4 bits; 0=f32, 1=u8, 2=i8).
+	PrecCode uint8
+	// PageLoc is set when the page holds candidates of multiple queries.
+	PageLoc bool
+}
+
+const (
+	rowBits  = 26
+	dimBits  = 3
+	precBits = 4
+)
+
+// DimCodeFor returns the 3-bit dimension bucket for dim: the smallest
+// code whose bucket (16<<code) covers dim.
+func DimCodeFor(dim int) (uint8, error) {
+	if dim < 1 {
+		return 0, fmt.Errorf("nand: non-positive dimension %d", dim)
+	}
+	for code := 0; code < 1<<dimBits; code++ {
+		if dim <= 16<<code {
+			return uint8(code), nil
+		}
+	}
+	return 0, fmt.Errorf("nand: dimension %d exceeds the 3-bit code range", dim)
+}
+
+// PrecCodeFor maps an element kind to the 4-bit precision field.
+func PrecCodeFor(k vec.ElemKind) uint8 { return uint8(k) }
+
+// RowAddress packs a physical address's row portion (LUN within chip,
+// plane, block, page) into 26 bits per the geometry's field widths.
+func RowAddress(g Geometry, a Address) (uint32, error) {
+	if err := a.Validate(g); err != nil {
+		return 0, err
+	}
+	row := uint32(a.LUN)
+	row = row*uint32(g.PlanesPerLUN) + uint32(a.Plane)
+	row = row*uint32(g.BlocksPerPlane) + uint32(a.Block)
+	row = row*uint32(g.PagesPerBlock) + uint32(a.Page)
+	if row >= 1<<rowBits {
+		return 0, fmt.Errorf("nand: row address %d overflows %d bits", row, rowBits)
+	}
+	return row, nil
+}
+
+// DecodeRow unpacks a 26-bit row address into LUN/plane/block/page.
+func DecodeRow(g Geometry, row uint32) (lun, plane, block, page int) {
+	page = int(row) % g.PagesPerBlock
+	row /= uint32(g.PagesPerBlock)
+	block = int(row) % g.BlocksPerPlane
+	row /= uint32(g.BlocksPerPlane)
+	plane = int(row) % g.PlanesPerLUN
+	row /= uint32(g.PlanesPerLUN)
+	lun = int(row)
+	return
+}
+
+// Encode packs the instruction into its 36-bit wire format.
+func (s SearchPage) Encode() (uint64, error) {
+	if s.Row >= 1<<rowBits {
+		return 0, fmt.Errorf("nand: row %d overflows", s.Row)
+	}
+	if s.DimCode >= 1<<dimBits {
+		return 0, fmt.Errorf("nand: dim code %d overflows", s.DimCode)
+	}
+	if s.PrecCode >= 1<<precBits {
+		return 0, fmt.Errorf("nand: prec code %d overflows", s.PrecCode)
+	}
+	w := uint64(s.Metric.Encode())
+	w = w<<rowBits | uint64(s.Row)
+	w = w<<dimBits | uint64(s.DimCode)
+	w = w<<precBits | uint64(s.PrecCode)
+	w <<= 1
+	if s.PageLoc {
+		w |= 1
+	}
+	return w, nil
+}
+
+// DecodeSearchPage unpacks a 36-bit instruction word.
+func DecodeSearchPage(w uint64) (SearchPage, error) {
+	if w >= 1<<36 {
+		return SearchPage{}, fmt.Errorf("nand: word exceeds 36 bits")
+	}
+	var s SearchPage
+	s.PageLoc = w&1 == 1
+	w >>= 1
+	s.PrecCode = uint8(w & (1<<precBits - 1))
+	w >>= precBits
+	s.DimCode = uint8(w & (1<<dimBits - 1))
+	w >>= dimBits
+	s.Row = uint32(w & (1<<rowBits - 1))
+	w >>= rowBits
+	m, err := vec.MetricFromEncoding(uint8(w & 0x3))
+	if err != nil {
+		return SearchPage{}, err
+	}
+	s.Metric = m
+	return s, nil
+}
+
+// OpKind distinguishes the baseline multi-LUN read from the modified
+// multi-LUN search (Fig. 9a).
+type OpKind uint8
+
+const (
+	// OpReadPage is the stock <Read Page> flow: full page buffers are
+	// transferred over the channel bus.
+	OpReadPage OpKind = iota
+	// OpSearchPage is the modified flow: distances are computed in-LUN
+	// and only the output buffers are transferred.
+	OpSearchPage
+)
+
+// WorkflowStep is one step of the multi-LUN command sequence.
+type WorkflowStep struct {
+	Name string
+	LUN  int // chip-local LUN index the step addresses (-1 = broadcast)
+}
+
+// MultiLUNWorkflow returns the command sequence of Fig. 9a for issuing
+// op to the given chip-local LUNs: per-LUN issue, then per-LUN status
+// poll, column select, and data-out — the data-out source being the page
+// buffer for reads and the output buffer for searches.
+func MultiLUNWorkflow(op OpKind, luns []int) []WorkflowStep {
+	issue := "<Read Page>"
+	buffer := "page buffer"
+	if op == OpSearchPage {
+		issue = "<Search Page>"
+		buffer = "output buffer"
+	}
+	var steps []WorkflowStep
+	for _, l := range luns {
+		steps = append(steps, WorkflowStep{Name: issue, LUN: l})
+	}
+	for _, l := range luns {
+		steps = append(steps,
+			WorkflowStep{Name: "<Read Status Enhanced> selects " + buffer, LUN: l},
+			WorkflowStep{Name: "<Change Read Column> on " + buffer, LUN: l},
+			WorkflowStep{Name: "data transfer", LUN: l},
+		)
+	}
+	return steps
+}

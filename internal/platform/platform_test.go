@@ -1,0 +1,235 @@
+package platform
+
+import (
+	"testing"
+
+	"ndsearch/internal/dataset"
+	"ndsearch/internal/trace"
+)
+
+// syntheticBatch fabricates a trace batch: queries x rounds, each round
+// visiting nbrs scattered vertices.
+func syntheticBatch(queries, rounds, nbrs int) *trace.Batch {
+	b := &trace.Batch{Dataset: "synthetic", Algo: "hnsw"}
+	v := uint32(1)
+	for q := 0; q < queries; q++ {
+		tq := trace.Query{QueryID: q}
+		for r := 0; r < rounds; r++ {
+			it := trace.Iter{Entry: v}
+			for n := 0; n < nbrs; n++ {
+				it.Neighbors = append(it.Neighbors, v)
+				v = (v*2654435761 + 12345) % 1_000_000
+			}
+			tq.Iters = append(tq.Iters, it)
+		}
+		b.Queries = append(b.Queries, tq)
+	}
+	return b
+}
+
+func billionWorkload() Workload {
+	return Workload{Profile: dataset.Sift1B(), MaxDegree: 32}
+}
+
+func smallWorkload() Workload {
+	return Workload{Profile: dataset.Glove100(), MaxDegree: 32}
+}
+
+func allPlatforms() []Platform {
+	return []Platform{NewCPU(), NewCPUT(), NewGPU(), NewSmartSSD(),
+		NewDeepStore(ChannelLevel), NewDeepStore(ChipLevel)}
+}
+
+func TestAllPlatformsProduceResults(t *testing.T) {
+	b := syntheticBatch(64, 10, 8)
+	for _, p := range allPlatforms() {
+		res, err := p.Simulate(b, billionWorkload())
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		if res.Latency <= 0 || res.QPS <= 0 {
+			t.Errorf("%s: degenerate result %+v", p.Name(), res)
+		}
+		if res.BatchSize != 64 {
+			t.Errorf("%s: batch size %d", p.Name(), res.BatchSize)
+		}
+		if res.Breakdown.Total() <= 0 {
+			t.Errorf("%s: empty breakdown", p.Name())
+		}
+	}
+}
+
+func TestEmptyBatchRejected(t *testing.T) {
+	for _, p := range allPlatforms() {
+		if _, err := p.Simulate(&trace.Batch{}, billionWorkload()); err == nil {
+			t.Errorf("%s accepted an empty batch", p.Name())
+		}
+	}
+}
+
+func TestCPUBreakdownMatchesFig1(t *testing.T) {
+	// Billion-scale CPU: SSD I/O read should dominate at ~62-75%.
+	b := syntheticBatch(256, 20, 8)
+	res, err := NewCPU().Simulate(b, billionWorkload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	io := res.Breakdown["SSD I/O read"]
+	frac := float64(io) / float64(res.Breakdown.Total())
+	if frac < 0.55 || frac > 0.85 {
+		t.Errorf("CPU SSD I/O fraction = %.2f, Fig. 1 reports 0.61-0.75", frac)
+	}
+}
+
+func TestCPUSmallDatasetHasNoIO(t *testing.T) {
+	b := syntheticBatch(64, 10, 8)
+	res, err := NewCPU().Simulate(b, smallWorkload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IOBytes != 0 {
+		t.Errorf("memory-resident dataset should not touch the SSD, moved %d bytes", res.IOBytes)
+	}
+}
+
+func TestCPUTBeatsCPUOnBillionScale(t *testing.T) {
+	b := syntheticBatch(256, 20, 8)
+	cpu, _ := NewCPU().Simulate(b, billionWorkload())
+	cput, _ := NewCPUT().Simulate(b, billionWorkload())
+	ratio := cput.QPS / cpu.QPS
+	// Fig. 21: CPU-T achieves ~5.3x over swapping CPU.
+	if ratio < 2 || ratio > 8 {
+		t.Errorf("CPU-T/CPU = %.2fx, want 2-8x", ratio)
+	}
+}
+
+func TestGPUBeatsCPU(t *testing.T) {
+	b := syntheticBatch(256, 20, 8)
+	for _, w := range []Workload{billionWorkload(), smallWorkload()} {
+		cpu, _ := NewCPU().Simulate(b, w)
+		gpu, _ := NewGPU().Simulate(b, w)
+		if gpu.QPS <= cpu.QPS {
+			t.Errorf("%s: GPU (%.0f) must beat CPU (%.0f)", w.Profile.Name, gpu.QPS, cpu.QPS)
+		}
+	}
+}
+
+func TestSmartSSDBeatsCPUOnBillion(t *testing.T) {
+	b := syntheticBatch(256, 20, 8)
+	cpu, _ := NewCPU().Simulate(b, billionWorkload())
+	smart, _ := NewSmartSSD().Simulate(b, billionWorkload())
+	if smart.QPS <= cpu.QPS {
+		t.Errorf("SmartSSD (%.0f) must beat swapping CPU (%.0f)", smart.QPS, cpu.QPS)
+	}
+	// But on memory-resident datasets it should NOT be a big win (§VII-B).
+	cpuS, _ := NewCPU().Simulate(b, smallWorkload())
+	smartS, _ := NewSmartSSD().Simulate(b, smallWorkload())
+	if smartS.QPS > cpuS.QPS*3 {
+		t.Errorf("SmartSSD should hardly beat CPU on small data: %.0f vs %.0f", smartS.QPS, cpuS.QPS)
+	}
+}
+
+func TestDeepStoreOrdering(t *testing.T) {
+	// §VII-B: DS-cp > DS-c for ANNS (compute is not the bottleneck).
+	b := syntheticBatch(256, 20, 8)
+	dsc, _ := NewDeepStore(ChannelLevel).Simulate(b, billionWorkload())
+	dscp, _ := NewDeepStore(ChipLevel).Simulate(b, billionWorkload())
+	if dscp.QPS <= dsc.QPS {
+		t.Errorf("DS-cp (%.0f) must beat DS-c (%.0f)", dscp.QPS, dsc.QPS)
+	}
+	if dscp.QPS > dsc.QPS*8 {
+		t.Errorf("DS-cp/DS-c = %.1fx implausibly high", dscp.QPS/dsc.QPS)
+	}
+}
+
+func TestDeepStoreBeatsSmartSSD(t *testing.T) {
+	// Fig. 13: DS-c and DS-cp outperform the SmartSSD-only design by
+	// exploiting internal parallelism.
+	b := syntheticBatch(1024, 20, 8)
+	smart, _ := NewSmartSSD().Simulate(b, billionWorkload())
+	dscp, _ := NewDeepStore(ChipLevel).Simulate(b, billionWorkload())
+	if dscp.QPS <= smart.QPS {
+		t.Errorf("DS-cp (%.0f) must beat SmartSSD (%.0f)", dscp.QPS, smart.QPS)
+	}
+}
+
+func TestNames(t *testing.T) {
+	want := map[string]bool{"CPU": true, "CPU-T": true, "GPU": true,
+		"SmartSSD": true, "DS-c": true, "DS-cp": true}
+	for _, p := range allPlatforms() {
+		if !want[p.Name()] {
+			t.Errorf("unexpected platform name %q", p.Name())
+		}
+	}
+}
+
+func TestHitRate(t *testing.T) {
+	if hitRate(100, 50) != 1 {
+		t.Error("resident dataset must hit 100%")
+	}
+	if got := hitRate(25, 100); got != 0.25 {
+		t.Errorf("hitRate = %v, want 0.25", got)
+	}
+	if hitRate(10, 0) != 1 {
+		t.Error("zero footprint is resident")
+	}
+}
+
+// Property: every platform's latency is monotone in offered work — more
+// queries never finish faster.
+func TestLatencyMonotoneInBatch(t *testing.T) {
+	small := syntheticBatch(64, 10, 8)
+	big := syntheticBatch(512, 10, 8)
+	for _, p := range allPlatforms() {
+		rs, err := p.Simulate(small, billionWorkload())
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, err := p.Simulate(big, billionWorkload())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rb.Latency < rs.Latency {
+			t.Errorf("%s: 8x batch finished faster (%v vs %v)", p.Name(), rb.Latency, rs.Latency)
+		}
+	}
+}
+
+// Property: billion-scale workloads are never faster than resident ones
+// for host platforms (capacity pressure only hurts).
+func TestCapacityPressureOnlyHurts(t *testing.T) {
+	b := syntheticBatch(128, 10, 8)
+	for _, p := range []Platform{NewCPU(), NewGPU()} {
+		resident, err := p.Simulate(b, smallWorkload())
+		if err != nil {
+			t.Fatal(err)
+		}
+		swapped, err := p.Simulate(b, billionWorkload())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if swapped.QPS > resident.QPS {
+			t.Errorf("%s: billion-scale faster than resident (%.0f vs %.0f QPS)",
+				p.Name(), swapped.QPS, resident.QPS)
+		}
+	}
+}
+
+// Property: DeepStore IOBytes scale with the vertex slice, not the page.
+func TestDeepStoreIOGranularity(t *testing.T) {
+	b := syntheticBatch(64, 5, 8)
+	ds := NewDeepStore(ChipLevel)
+	res, err := ds.Simulate(b, billionWorkload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	slice := billionWorkload().Profile.VertexBytes(32)
+	accesses := 64 * 5 * 8
+	maxBytes := int64(accesses) * slice
+	if res.IOBytes > maxBytes {
+		t.Errorf("DS-cp moved %d bytes, more than %d (slice-granular bound)", res.IOBytes, maxBytes)
+	}
+	if res.IOBytes < maxBytes/4 {
+		t.Errorf("DS-cp moved %d bytes, implausibly below the slice bound %d", res.IOBytes, maxBytes)
+	}
+}

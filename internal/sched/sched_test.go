@@ -1,0 +1,197 @@
+package sched
+
+import (
+	"testing"
+
+	"ndsearch/internal/graph"
+	"ndsearch/internal/luncsr"
+	"ndsearch/internal/nand"
+)
+
+func testLayout(t *testing.T, n int) *luncsr.LUNCSR {
+	t.Helper()
+	geo := nand.Geometry{
+		Channels: 2, ChipsPerChannel: 1, PlanesPerChip: 2, PlanesPerLUN: 2,
+		BlocksPerPlane: 8, PagesPerBlock: 4, PageBytes: 1024,
+	}
+	g := graph.New(n)
+	for v := 0; v < n-1; v++ {
+		g.AddEdge(uint32(v), uint32(v+1))
+		g.AddEdge(uint32(v+1), uint32(v))
+	}
+	// Add some shortcut edges so second-order sets are non-trivial.
+	for v := 0; v+4 < n; v += 3 {
+		g.AddEdge(uint32(v), uint32(v+4))
+		g.AddEdge(uint32(v+4), uint32(v))
+	}
+	l, err := luncsr.Build(g.ToCSR(), geo, 256) // 4 vertices per page
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestAllocateDynamicSharesPages(t *testing.T) {
+	l := testLayout(t, 64)
+	// Two queries targeting vertices on the same page (0..3 share page 0).
+	iters := []QueryIter{
+		{Query: 0, Entry: 9, Neighbors: []uint32{0, 1}},
+		{Query: 1, Entry: 9, Neighbors: []uint32{2, 3}},
+	}
+	da := Allocate(l, iters, true)
+	if da.PageReads != 1 {
+		t.Errorf("dynamic page reads = %d, want 1 (shared page)", da.PageReads)
+	}
+	if da.Tasks != 4 {
+		t.Errorf("tasks = %d, want 4", da.Tasks)
+	}
+	noDa := Allocate(l, iters, false)
+	if noDa.PageReads != 2 {
+		t.Errorf("sequential page reads = %d, want 2 (one per query)", noDa.PageReads)
+	}
+	if noDa.Tasks != 4 {
+		t.Errorf("sequential tasks = %d, want 4", noDa.Tasks)
+	}
+}
+
+func TestAllocateWithinQuerySharing(t *testing.T) {
+	l := testLayout(t, 64)
+	// Even without dynamic allocation, one query's candidates on the
+	// same page share a sense (the page buffer stays loaded within one
+	// query's request).
+	iters := []QueryIter{{Query: 0, Neighbors: []uint32{0, 1, 2, 3}}}
+	a := Allocate(l, iters, false)
+	if a.PageReads != 1 {
+		t.Errorf("within-query page reads = %d, want 1", a.PageReads)
+	}
+}
+
+func TestAllocateGroupsByLUN(t *testing.T) {
+	l := testLayout(t, 64)
+	// Vertices 0 (LUN 0) and 8 (LUN 1, per Fig. 11 walk) hit different LUNs.
+	iters := []QueryIter{{Query: 0, Neighbors: []uint32{0, 8}}}
+	a := Allocate(l, iters, true)
+	if a.LUNsTouched != 2 {
+		t.Errorf("LUNs touched = %d, want 2", a.LUNsTouched)
+	}
+	if len(a.ByLUN[0]) != 1 || len(a.ByLUN[1]) != 1 {
+		t.Errorf("per-LUN jobs = %v", a.ByLUN)
+	}
+}
+
+func TestAllocateSkipsOutOfRange(t *testing.T) {
+	l := testLayout(t, 16)
+	iters := []QueryIter{{Query: 0, Neighbors: []uint32{0, 9999}}}
+	a := Allocate(l, iters, true)
+	if a.Tasks != 1 {
+		t.Errorf("tasks = %d, want 1 (out-of-range vertex skipped)", a.Tasks)
+	}
+}
+
+func TestAllocateDeterministic(t *testing.T) {
+	l := testLayout(t, 64)
+	iters := []QueryIter{
+		{Query: 0, Neighbors: []uint32{5, 12, 33}},
+		{Query: 1, Neighbors: []uint32{5, 40, 41}},
+	}
+	a := Allocate(l, iters, true)
+	b := Allocate(l, iters, true)
+	if a.PageReads != b.PageReads || a.Tasks != b.Tasks || a.LUNsTouched != b.LUNsTouched {
+		t.Error("allocation not deterministic")
+	}
+	for lun := range a.ByLUN {
+		if len(a.ByLUN[lun]) != len(b.ByLUN[lun]) {
+			t.Fatalf("per-LUN job count differs for LUN %d", lun)
+		}
+		for i := range a.ByLUN[lun] {
+			if a.ByLUN[lun][i].Page != b.ByLUN[lun][i].Page {
+				t.Fatalf("job order differs for LUN %d", lun)
+			}
+		}
+	}
+}
+
+func TestSpeculateSelectsSecondOrder(t *testing.T) {
+	l := testLayout(t, 64)
+	// Entry 5's neighbors per construction: line edges 4,6 plus maybe
+	// shortcuts. Use its real adjacency as the first-order set.
+	first := append([]uint32(nil), l.Neighbors(5)...)
+	iters := []QueryIter{{Query: 0, Entry: 5, Neighbors: first}}
+	spec := Speculate(l, iters, SpeculateConfig{Budget: 8})
+	s := spec[0]
+	if len(s) == 0 {
+		t.Fatal("no speculation produced")
+	}
+	inFirst := map[uint32]bool{5: true}
+	for _, v := range first {
+		inFirst[v] = true
+	}
+	for _, w := range s {
+		if inFirst[w] {
+			t.Errorf("speculated vertex %d is already first-order", w)
+		}
+	}
+	if len(s) > 8 {
+		t.Errorf("budget exceeded: %d", len(s))
+	}
+}
+
+func TestSpeculateBudgetZero(t *testing.T) {
+	l := testLayout(t, 32)
+	iters := []QueryIter{{Query: 0, Entry: 0, Neighbors: []uint32{1}}}
+	if got := Speculate(l, iters, SpeculateConfig{Budget: 0}); got != nil {
+		t.Error("zero budget must return nil")
+	}
+}
+
+func TestMatchSpeculation(t *testing.T) {
+	spec := map[int][]uint32{0: {10, 11, 12}}
+	next := []QueryIter{
+		{Query: 0, Neighbors: []uint32{10, 13}},
+		{Query: 1, Neighbors: []uint32{20}},
+	}
+	remaining, out := MatchSpeculation(spec, next)
+	if out.Computed != 3 {
+		t.Errorf("Computed = %d, want 3", out.Computed)
+	}
+	if out.Hits != 1 {
+		t.Errorf("Hits = %d, want 1 (vertex 10)", out.Hits)
+	}
+	if len(remaining) != 2 {
+		t.Fatalf("remaining iters = %d", len(remaining))
+	}
+	if len(remaining[0].Neighbors) != 1 || remaining[0].Neighbors[0] != 13 {
+		t.Errorf("query 0 remaining = %v", remaining[0].Neighbors)
+	}
+	if len(remaining[1].Neighbors) != 1 || remaining[1].Neighbors[0] != 20 {
+		t.Errorf("query 1 remaining = %v", remaining[1].Neighbors)
+	}
+}
+
+func TestMatchSpeculationFullHit(t *testing.T) {
+	spec := map[int][]uint32{0: {10, 11}}
+	next := []QueryIter{{Query: 0, Neighbors: []uint32{10, 11}}}
+	remaining, out := MatchSpeculation(spec, next)
+	if out.Hits != 2 || len(remaining) != 0 {
+		t.Errorf("full hit mishandled: hits=%d remaining=%d", out.Hits, len(remaining))
+	}
+}
+
+func TestMatchSpeculationEmpty(t *testing.T) {
+	next := []QueryIter{{Query: 0, Neighbors: []uint32{1}}}
+	remaining, out := MatchSpeculation(nil, next)
+	if out.Computed != 0 || out.Hits != 0 || len(remaining) != 1 {
+		t.Error("empty speculation must be a no-op")
+	}
+}
+
+func TestSpecTasksToIters(t *testing.T) {
+	spec := map[int][]uint32{3: {7}, 1: {5, 6}}
+	iters := SpecTasksToIters(spec)
+	if len(iters) != 2 || iters[0].Query != 1 || iters[1].Query != 3 {
+		t.Errorf("iters = %+v (must be sorted by query)", iters)
+	}
+	if len(iters[0].Neighbors) != 2 {
+		t.Error("neighbors lost")
+	}
+}

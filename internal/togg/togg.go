@@ -1,0 +1,262 @@
+// Package togg implements TOGG (Xu et al. [81]): two-stage routing on a
+// proximity graph. Stage one performs optimised guided search — at each
+// hop only the neighbors lying in the query's direction octant (judged by
+// per-dimension sign agreement on the top-variance dimensions) are
+// expanded, which shortens the route to the query's region. Stage two
+// switches to the standard greedy beam search for the final refinement.
+// The paper's Fig. 21 runs it as an emerging ANNS workload.
+package togg
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"ndsearch/internal/ann"
+	"ndsearch/internal/graph"
+	"ndsearch/internal/trace"
+	"ndsearch/internal/vec"
+)
+
+// Config holds TOGG construction and search parameters.
+type Config struct {
+	// K is the number of nearest neighbors per vertex in the base KNN
+	// graph.
+	K int
+	// GuideDims is how many top-variance dimensions the guided stage
+	// compares sign-wise.
+	GuideDims int
+	// GuideHops bounds stage one's route length.
+	GuideHops int
+	// LSearch is stage two's beam width.
+	LSearch int
+	// Metric selects the distance function.
+	Metric vec.Metric
+	// Seed drives entry sampling.
+	Seed int64
+}
+
+// DefaultConfig returns a configuration close to the TOGG paper's.
+func DefaultConfig(metric vec.Metric) Config {
+	return Config{K: 16, GuideDims: 8, GuideHops: 64, LSearch: 64, Metric: metric, Seed: 1}
+}
+
+// Validate rejects unusable configurations.
+func (c Config) Validate() error {
+	if c.K < 2 {
+		return fmt.Errorf("togg: K must be >= 2, got %d", c.K)
+	}
+	if c.GuideDims < 1 || c.GuideHops < 1 || c.LSearch < 1 {
+		return fmt.Errorf("togg: degenerate guide/beam parameters")
+	}
+	return nil
+}
+
+// Index is a built TOGG index.
+type Index struct {
+	cfg       Config
+	data      []vec.Vector
+	dist      func(a, b vec.Vector) float32
+	g         *graph.Graph
+	entry     uint32
+	guideDims []int // top-variance dimensions used by stage one
+}
+
+var _ ann.Index = (*Index)(nil)
+
+// Build constructs the KNN base graph (exact for the scaled corpora used
+// here) and selects the guide dimensions by component variance.
+func Build(data []vec.Vector, cfg Config) (*Index, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(data) == 0 {
+		return nil, fmt.Errorf("togg: empty dataset")
+	}
+	x := &Index{cfg: cfg, data: data, dist: vec.DistanceFunc(cfg.Metric), g: graph.New(len(data))}
+	x.buildKNN()
+	x.pickGuideDims()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	x.entry = uint32(rng.Intn(len(data)))
+	return x, nil
+}
+
+func (x *Index) buildKNN() {
+	n := len(x.data)
+	k := x.cfg.K
+	if k > n-1 {
+		k = n - 1
+	}
+	for v := 0; v < n; v++ {
+		cands := make([]ann.Neighbor, 0, n-1)
+		for w := 0; w < n; w++ {
+			if w == v {
+				continue
+			}
+			cands = append(cands, ann.Neighbor{ID: uint32(w), Dist: x.dist(x.data[v], x.data[w])})
+		}
+		sort.Slice(cands, func(i, j int) bool {
+			if cands[i].Dist != cands[j].Dist {
+				return cands[i].Dist < cands[j].Dist
+			}
+			return cands[i].ID < cands[j].ID
+		})
+		out := make([]uint32, k)
+		for i := 0; i < k; i++ {
+			out[i] = cands[i].ID
+		}
+		x.g.SetNeighbors(uint32(v), out)
+	}
+	// Add reverse edges (bounded) so greedy routing cannot dead-end.
+	for v := 0; v < n; v++ {
+		for _, w := range append([]uint32(nil), x.g.Neighbors(uint32(v))...) {
+			if x.g.Degree(w) < 2*k {
+				x.g.AddEdge(w, uint32(v))
+			}
+		}
+	}
+}
+
+func (x *Index) pickGuideDims() {
+	dim := len(x.data[0])
+	mean := make([]float64, dim)
+	for _, v := range x.data {
+		for i, c := range v {
+			mean[i] += float64(c)
+		}
+	}
+	for i := range mean {
+		mean[i] /= float64(len(x.data))
+	}
+	variance := make([]float64, dim)
+	for _, v := range x.data {
+		for i, c := range v {
+			d := float64(c) - mean[i]
+			variance[i] += d * d
+		}
+	}
+	idxs := make([]int, dim)
+	for i := range idxs {
+		idxs[i] = i
+	}
+	sort.Slice(idxs, func(a, b int) bool { return variance[idxs[a]] > variance[idxs[b]] })
+	g := x.cfg.GuideDims
+	if g > dim {
+		g = dim
+	}
+	x.guideDims = idxs[:g]
+}
+
+// guidedStep selects among cur's neighbors the closest one lying in the
+// query's direction octant (sign agreement over the guide dimensions).
+// Returns false if no neighbor qualifies or improves.
+func (x *Index) guidedStep(query vec.Vector, cur uint32, curDist float32, tr *trace.Query) (uint32, float32, bool) {
+	nbrs := x.g.Neighbors(cur)
+	best := cur
+	bestDist := curDist
+	var computed []uint32
+	for _, n := range nbrs {
+		agree := 0
+		for _, d := range x.guideDims {
+			dq := query[d] - x.data[cur][d]
+			dn := x.data[n][d] - x.data[cur][d]
+			if (dq >= 0) == (dn >= 0) {
+				agree++
+			}
+		}
+		// Expand only neighbors pointing mostly toward the query.
+		if agree*2 < len(x.guideDims) {
+			continue
+		}
+		computed = append(computed, n)
+		if d := x.dist(query, x.data[n]); d < bestDist {
+			best, bestDist = n, d
+		}
+	}
+	if tr != nil && len(computed) > 0 {
+		tr.Iters = append(tr.Iters, trace.Iter{Entry: cur, Neighbors: computed})
+	}
+	return best, bestDist, best != cur
+}
+
+// Search returns the approximate top-k neighbors of query.
+func (x *Index) Search(query vec.Vector, k int) []ann.Neighbor {
+	res, _ := x.searchInternal(query, k, nil)
+	return res
+}
+
+// SearchTraced returns results plus the traversal trace.
+func (x *Index) SearchTraced(query vec.Vector, k int) ([]ann.Neighbor, trace.Query) {
+	tr := trace.Query{}
+	res, _ := x.searchInternal(query, k, &tr)
+	return res, tr
+}
+
+func (x *Index) searchInternal(query vec.Vector, k int, tr *trace.Query) ([]ann.Neighbor, error) {
+	// Stage one: guided routing toward the query's region.
+	cur := x.entry
+	curDist := x.dist(query, x.data[cur])
+	for hop := 0; hop < x.cfg.GuideHops; hop++ {
+		next, nextDist, moved := x.guidedStep(query, cur, curDist, tr)
+		if !moved {
+			break
+		}
+		cur, curDist = next, nextDist
+	}
+	// Stage two: greedy beam refinement from the routed entry.
+	l := x.cfg.LSearch
+	if l < k {
+		l = k
+	}
+	visited := map[uint32]bool{cur: true}
+	f := ann.NewFrontier(l)
+	f.Push(ann.Neighbor{ID: cur, Dist: curDist})
+	for {
+		c, ok := f.PopNearest()
+		if !ok {
+			break
+		}
+		if worst, full := f.WorstDist(); full && c.Dist > worst {
+			break
+		}
+		var computed []uint32
+		for _, n := range x.g.Neighbors(c.ID) {
+			if visited[n] {
+				continue
+			}
+			visited[n] = true
+			computed = append(computed, n)
+			f.Push(ann.Neighbor{ID: n, Dist: x.dist(query, x.data[n])})
+		}
+		if tr != nil && len(computed) > 0 {
+			tr.Iters = append(tr.Iters, trace.Iter{Entry: c.ID, Neighbors: computed})
+		}
+	}
+	res := f.Results()
+	if k < len(res) {
+		res = res[:k]
+	}
+	return res, nil
+}
+
+// Graph returns the proximity graph.
+func (x *Index) Graph() ann.GraphView { return x.g }
+
+// BaseGraph returns the mutable graph for placement experiments.
+func (x *Index) BaseGraph() *graph.Graph { return x.g }
+
+// Len returns the number of indexed vectors.
+func (x *Index) Len() int { return len(x.data) }
+
+// Entry returns the stage-one entry point.
+func (x *Index) Entry() uint32 { return x.entry }
+
+// GuideDims exposes the selected top-variance dimensions.
+func (x *Index) GuideDims() []int { return x.guideDims }
+
+// SetBeamWidth implements ann.Tunable (stage two's beam).
+func (x *Index) SetBeamWidth(w int) {
+	if w >= 1 {
+		x.cfg.LSearch = w
+	}
+}

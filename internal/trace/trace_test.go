@@ -1,0 +1,167 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func sampleBatch() *Batch {
+	return &Batch{
+		Dataset: "sift-1b",
+		Algo:    "hnsw",
+		Queries: []Query{
+			{QueryID: 0, Iters: []Iter{
+				{Entry: 5, Neighbors: []uint32{1, 2, 3}},
+				{Entry: 2, Neighbors: []uint32{7, 8}},
+			}},
+			{QueryID: 1, Iters: []Iter{
+				{Entry: 9, Neighbors: []uint32{2}},
+			}},
+		},
+	}
+}
+
+func TestQueryStats(t *testing.T) {
+	b := sampleBatch()
+	q := &b.Queries[0]
+	if got := q.Length(); got != 5 {
+		t.Errorf("Length = %d, want 5", got)
+	}
+	if got := q.Unique(); got != 5 {
+		t.Errorf("Unique = %d, want 5", got)
+	}
+	dup := Query{Iters: []Iter{{Entry: 0, Neighbors: []uint32{1, 1, 2}}}}
+	if got := dup.Unique(); got != 2 {
+		t.Errorf("Unique with dups = %d, want 2", got)
+	}
+}
+
+func TestBatchStats(t *testing.T) {
+	b := sampleBatch()
+	if got := b.TotalAccesses(); got != 6 {
+		t.Errorf("TotalAccesses = %d, want 6", got)
+	}
+	if got := b.MaxIterations(); got != 2 {
+		t.Errorf("MaxIterations = %d, want 2", got)
+	}
+	touched := b.VerticesTouched()
+	for _, v := range []uint32{1, 2, 3, 7, 8} {
+		if !touched[v] {
+			t.Errorf("vertex %d missing from touched set", v)
+		}
+	}
+	if touched[5] {
+		t.Error("entry vertex 5 should not count as computed-against")
+	}
+}
+
+func TestSerializationRoundTrip(t *testing.T) {
+	b := sampleBatch()
+	var buf bytes.Buffer
+	if err := b.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Dataset != b.Dataset || got.Algo != b.Algo {
+		t.Errorf("header mismatch: %q/%q", got.Dataset, got.Algo)
+	}
+	if len(got.Queries) != len(b.Queries) {
+		t.Fatalf("query count %d", len(got.Queries))
+	}
+	for i := range b.Queries {
+		if got.Queries[i].QueryID != b.Queries[i].QueryID {
+			t.Errorf("query %d ID mismatch", i)
+		}
+		if len(got.Queries[i].Iters) != len(b.Queries[i].Iters) {
+			t.Fatalf("query %d iter count mismatch", i)
+		}
+		for j, it := range b.Queries[i].Iters {
+			g := got.Queries[i].Iters[j]
+			if g.Entry != it.Entry || len(g.Neighbors) != len(it.Neighbors) {
+				t.Fatalf("query %d iter %d mismatch", i, j)
+			}
+			for k := range it.Neighbors {
+				if g.Neighbors[k] != it.Neighbors[k] {
+					t.Fatalf("query %d iter %d neighbor %d mismatch", i, j, k)
+				}
+			}
+		}
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("not a trace"))); err == nil {
+		t.Error("bad magic should fail")
+	}
+	var buf bytes.Buffer
+	if err := sampleBatch().Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if _, err := Read(bytes.NewReader(raw[:len(raw)-3])); err == nil {
+		t.Error("truncated trace should fail")
+	}
+	if _, err := Read(bytes.NewReader(raw[:8])); err == nil {
+		t.Error("header-only trace should fail")
+	}
+}
+
+func TestEmptyBatchRoundTrip(t *testing.T) {
+	b := &Batch{Dataset: "x", Algo: "y"}
+	var buf bytes.Buffer
+	if err := b.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Queries) != 0 || got.TotalAccesses() != 0 || got.MaxIterations() != 0 {
+		t.Error("empty batch mishandled")
+	}
+}
+
+// Property: random batches survive serialisation byte-for-byte.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := &Batch{Dataset: "d", Algo: "a"}
+		nq := rng.Intn(6)
+		for i := 0; i < nq; i++ {
+			q := Query{QueryID: i}
+			for j := 0; j < rng.Intn(5); j++ {
+				it := Iter{Entry: uint32(rng.Intn(1000))}
+				for k := 0; k < rng.Intn(8); k++ {
+					it.Neighbors = append(it.Neighbors, uint32(rng.Intn(1000)))
+				}
+				q.Iters = append(q.Iters, it)
+			}
+			b.Queries = append(b.Queries, q)
+		}
+		var buf bytes.Buffer
+		if err := b.Write(&buf); err != nil {
+			return false
+		}
+		raw := append([]byte(nil), buf.Bytes()...)
+		got, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		if got.TotalAccesses() != b.TotalAccesses() || len(got.Queries) != len(b.Queries) {
+			return false
+		}
+		var buf2 bytes.Buffer
+		if err := got.Write(&buf2); err != nil {
+			return false
+		}
+		return bytes.Equal(raw, buf2.Bytes())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,279 @@
+// Package vamana implements the Vamana graph used by DiskANN (Subramanya
+// et al. [70]), the paper's second primary workload: RobustPrune-based
+// construction over two passes with increasing alpha, beam search from
+// the medoid, and trace capture. DiskANN's defining system trait — the
+// SSD-resident index with DRAM caching of hot vertices — is reproduced
+// by the platform models; this package provides the algorithm itself.
+package vamana
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ndsearch/internal/ann"
+	"ndsearch/internal/graph"
+	"ndsearch/internal/trace"
+	"ndsearch/internal/vec"
+)
+
+// Config holds Vamana construction and search parameters.
+type Config struct {
+	// R is the maximum out-degree (the paper's R=32 layout constant).
+	R int
+	// L is the construction beam width (candidate list size).
+	L int
+	// LSearch is the default search beam width.
+	LSearch int
+	// Alpha is the RobustPrune distance slack (>= 1); the second
+	// construction pass uses this value, the first uses 1.0.
+	Alpha float32
+	// Metric selects the distance function.
+	Metric vec.Metric
+	// Seed drives the random insertion order.
+	Seed int64
+}
+
+// DefaultConfig mirrors the DiskANN defaults.
+func DefaultConfig(metric vec.Metric) Config {
+	return Config{R: 32, L: 75, LSearch: 64, Alpha: 1.2, Metric: metric, Seed: 1}
+}
+
+// Validate rejects unusable configurations.
+func (c Config) Validate() error {
+	if c.R < 2 {
+		return fmt.Errorf("vamana: R must be >= 2, got %d", c.R)
+	}
+	if c.L < 1 || c.LSearch < 1 {
+		return fmt.Errorf("vamana: beam widths must be >= 1")
+	}
+	if c.Alpha < 1 {
+		return fmt.Errorf("vamana: alpha must be >= 1, got %v", c.Alpha)
+	}
+	return nil
+}
+
+// Index is a built Vamana graph.
+type Index struct {
+	cfg    Config
+	data   []vec.Vector
+	dist   func(a, b vec.Vector) float32
+	g      *graph.Graph
+	medoid uint32
+}
+
+var _ ann.Index = (*Index)(nil)
+
+// Build constructs the Vamana graph: start from a random regular graph,
+// then run two RobustPrune passes (alpha=1 then alpha=cfg.Alpha) over a
+// random permutation of the points, exactly as DiskANN does.
+func Build(data []vec.Vector, cfg Config) (*Index, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(data) == 0 {
+		return nil, fmt.Errorf("vamana: empty dataset")
+	}
+	idx := &Index{
+		cfg:  cfg,
+		data: data,
+		dist: vec.DistanceFunc(cfg.Metric),
+		g:    graph.New(len(data)),
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	idx.medoid = idx.computeMedoid(rng)
+	idx.randomInit(rng)
+	perm := rng.Perm(len(data))
+	for _, alpha := range []float32{1.0, cfg.Alpha} {
+		for _, pi := range perm {
+			p := uint32(pi)
+			visited := idx.beamSearchVisited(data[p], cfg.L)
+			idx.robustPrune(p, visited, alpha)
+			for _, n := range idx.g.Neighbors(p) {
+				idx.g.AddEdge(n, p)
+				if idx.g.Degree(n) > cfg.R {
+					nbrs := idx.g.Neighbors(n)
+					cands := make([]ann.Neighbor, len(nbrs))
+					for i, w := range nbrs {
+						cands[i] = ann.Neighbor{ID: w, Dist: idx.dist(data[n], data[w])}
+					}
+					idx.robustPrune(n, cands, alpha)
+				}
+			}
+		}
+	}
+	return idx, nil
+}
+
+// computeMedoid approximates the medoid by sampling: the point minimising
+// distance to a random probe set. Exact medoid is O(n^2); sampling keeps
+// construction fast and is what DiskANN's implementation does at scale.
+func (x *Index) computeMedoid(rng *rand.Rand) uint32 {
+	n := len(x.data)
+	probes := 64
+	if probes > n {
+		probes = n
+	}
+	probeSet := rng.Perm(n)[:probes]
+	best, bestSum := uint32(0), float64(1e300)
+	step := n/256 + 1
+	for i := 0; i < n; i += step {
+		var sum float64
+		for _, p := range probeSet {
+			sum += float64(x.dist(x.data[i], x.data[p]))
+		}
+		if sum < bestSum {
+			bestSum = sum
+			best = uint32(i)
+		}
+	}
+	return best
+}
+
+// randomInit seeds each vertex with R random out-neighbors.
+func (x *Index) randomInit(rng *rand.Rand) {
+	n := len(x.data)
+	for v := 0; v < n; v++ {
+		for t := 0; t < x.cfg.R && t < n-1; t++ {
+			w := uint32(rng.Intn(n))
+			if int(w) != v {
+				x.g.AddEdge(uint32(v), w)
+			}
+		}
+	}
+}
+
+// beamSearchVisited runs the greedy beam search used during construction
+// and returns all visited candidates with distances.
+func (x *Index) beamSearchVisited(q vec.Vector, l int) []ann.Neighbor {
+	visited := map[uint32]bool{x.medoid: true}
+	f := ann.NewFrontier(l)
+	f.Push(ann.Neighbor{ID: x.medoid, Dist: x.dist(q, x.data[x.medoid])})
+	all := []ann.Neighbor{{ID: x.medoid, Dist: x.dist(q, x.data[x.medoid])}}
+	for {
+		c, ok := f.PopNearest()
+		if !ok {
+			break
+		}
+		if worst, full := f.WorstDist(); full && c.Dist > worst {
+			break
+		}
+		for _, n := range x.g.Neighbors(c.ID) {
+			if visited[n] {
+				continue
+			}
+			visited[n] = true
+			nb := ann.Neighbor{ID: n, Dist: x.dist(q, x.data[n])}
+			all = append(all, nb)
+			f.Push(nb)
+		}
+	}
+	return all
+}
+
+// robustPrune sets p's out-neighbors to at most R candidates using
+// DiskANN's alpha-RobustPrune: repeatedly take the closest remaining
+// candidate and discard every candidate c with
+// alpha * d(selected, c) <= d(p, c).
+func (x *Index) robustPrune(p uint32, cands []ann.Neighbor, alpha float32) {
+	// Merge current neighbors into the pool.
+	pool := append([]ann.Neighbor(nil), cands...)
+	for _, n := range x.g.Neighbors(p) {
+		pool = append(pool, ann.Neighbor{ID: n, Dist: x.dist(x.data[p], x.data[n])})
+	}
+	// De-duplicate, drop self.
+	seen := map[uint32]bool{p: true}
+	uniq := pool[:0]
+	for _, c := range pool {
+		if !seen[c.ID] {
+			seen[c.ID] = true
+			uniq = append(uniq, c)
+		}
+	}
+	ann.SortNeighbors(uniq)
+	var out []uint32
+	alive := uniq
+	for len(alive) > 0 && len(out) < x.cfg.R {
+		best := alive[0]
+		out = append(out, best.ID)
+		next := alive[:0]
+		for _, c := range alive[1:] {
+			if alpha*x.dist(x.data[best.ID], x.data[c.ID]) <= c.Dist {
+				continue // pruned: best covers c's direction
+			}
+			next = append(next, c)
+		}
+		alive = next
+	}
+	x.g.SetNeighbors(p, out)
+}
+
+// Search returns the approximate top-k neighbors of query.
+func (x *Index) Search(query vec.Vector, k int) []ann.Neighbor {
+	res, _ := x.searchInternal(query, k, nil)
+	return res
+}
+
+// SearchTraced returns results plus the traversal trace.
+func (x *Index) SearchTraced(query vec.Vector, k int) ([]ann.Neighbor, trace.Query) {
+	tr := trace.Query{}
+	res, _ := x.searchInternal(query, k, &tr)
+	return res, tr
+}
+
+func (x *Index) searchInternal(query vec.Vector, k int, tr *trace.Query) ([]ann.Neighbor, error) {
+	l := x.cfg.LSearch
+	if l < k {
+		l = k
+	}
+	visited := map[uint32]bool{x.medoid: true}
+	f := ann.NewFrontier(l)
+	f.Push(ann.Neighbor{ID: x.medoid, Dist: x.dist(query, x.data[x.medoid])})
+	for {
+		c, ok := f.PopNearest()
+		if !ok {
+			break
+		}
+		if worst, full := f.WorstDist(); full && c.Dist > worst {
+			break
+		}
+		var computed []uint32
+		for _, n := range x.g.Neighbors(c.ID) {
+			if visited[n] {
+				continue
+			}
+			visited[n] = true
+			computed = append(computed, n)
+			f.Push(ann.Neighbor{ID: n, Dist: x.dist(query, x.data[n])})
+		}
+		if tr != nil && len(computed) > 0 {
+			tr.Iters = append(tr.Iters, trace.Iter{Entry: c.ID, Neighbors: computed})
+		}
+	}
+	res := f.Results()
+	if k < len(res) {
+		res = res[:k]
+	}
+	return res, nil
+}
+
+// Graph returns the proximity graph.
+func (x *Index) Graph() ann.GraphView { return x.g }
+
+// BaseGraph returns the mutable graph for placement experiments.
+func (x *Index) BaseGraph() *graph.Graph { return x.g }
+
+// Len returns the number of indexed vectors.
+func (x *Index) Len() int { return len(x.data) }
+
+// Medoid returns the search entry point.
+func (x *Index) Medoid() uint32 { return x.medoid }
+
+// SetLSearch adjusts the search beam width.
+func (x *Index) SetLSearch(l int) {
+	if l >= 1 {
+		x.cfg.LSearch = l
+	}
+}
+
+// SetBeamWidth implements ann.Tunable (alias of SetLSearch).
+func (x *Index) SetBeamWidth(w int) { x.SetLSearch(w) }

@@ -1,0 +1,95 @@
+package vec
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// StoredBytes returns the at-rest footprint of one vector of dimension
+// dim with element kind k. This is what the NAND placement and the page
+// occupancy calculations use.
+func StoredBytes(k ElemKind, dim int) int { return k.Bytes() * dim }
+
+// Encode serialises v into dst using element kind k, returning the number
+// of bytes written. dst must have room for StoredBytes(k, v.Dim()).
+// U8/I8 components are clamped to their representable range, mirroring
+// how the datasets ship quantised descriptors.
+func Encode(k ElemKind, v Vector, dst []byte) (int, error) {
+	need := StoredBytes(k, len(v))
+	if len(dst) < need {
+		return 0, fmt.Errorf("vec: encode needs %d bytes, have %d", need, len(dst))
+	}
+	switch k {
+	case F32:
+		for i, x := range v {
+			binary.LittleEndian.PutUint32(dst[4*i:], math.Float32bits(x))
+		}
+	case U8:
+		for i, x := range v {
+			dst[i] = uint8(clamp(x, 0, 255))
+		}
+	case I8:
+		for i, x := range v {
+			dst[i] = uint8(int8(clamp(x, -128, 127)))
+		}
+	default:
+		return 0, fmt.Errorf("vec: unknown element kind %d", k)
+	}
+	return need, nil
+}
+
+// Decode reads a vector of dimension dim and element kind k from src.
+func Decode(k ElemKind, dim int, src []byte) (Vector, error) {
+	need := StoredBytes(k, dim)
+	if len(src) < need {
+		return nil, fmt.Errorf("vec: decode needs %d bytes, have %d", need, len(src))
+	}
+	out := make(Vector, dim)
+	switch k {
+	case F32:
+		for i := range out {
+			out[i] = math.Float32frombits(binary.LittleEndian.Uint32(src[4*i:]))
+		}
+	case U8:
+		for i := range out {
+			out[i] = float32(src[i])
+		}
+	case I8:
+		for i := range out {
+			out[i] = float32(int8(src[i]))
+		}
+	default:
+		return nil, fmt.Errorf("vec: unknown element kind %d", k)
+	}
+	return out, nil
+}
+
+func clamp(x, lo, hi float32) float32 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// Quantize rounds v to the representable grid of kind k and returns the
+// result as a float32 vector. F32 is returned unchanged (cloned). This is
+// used by dataset generators so that ground truth is computed on exactly
+// the values the simulated NAND stores.
+func Quantize(k ElemKind, v Vector) Vector {
+	out := v.Clone()
+	switch k {
+	case U8:
+		for i, x := range out {
+			out[i] = float32(uint8(clamp(x, 0, 255)))
+		}
+	case I8:
+		for i, x := range out {
+			out[i] = float32(int8(clamp(x, -128, 127)))
+		}
+	}
+	return out
+}

@@ -1,0 +1,45 @@
+package vec
+
+// MAC-group cycle cost model for the SiN engines (§IV-C4 of the paper).
+// Each LUN-level accelerator contains two MAC groups (one per plane);
+// each group has two multiply-accumulate units fed from the page buffer
+// via an adder tree, clocked at MACClockHz. A distance between a query
+// and one stored vector of dimension dim therefore takes roughly
+// dim/MACsPerGroup MAC cycles, plus a fixed pipeline fill.
+
+// MACModel describes the distance-computation datapath of one MAC group.
+type MACModel struct {
+	// ClockHz is the accelerator clock (800 MHz in the paper).
+	ClockHz float64
+	// MACsPerGroup is the number of multiply-accumulate lanes per group
+	// (2 in the paper's Table I configuration).
+	MACsPerGroup int
+	// PipelineFill is the fixed per-vector latency in cycles for the
+	// adder tree to drain.
+	PipelineFill int
+}
+
+// DefaultMACModel returns the Table I configuration.
+func DefaultMACModel() MACModel {
+	return MACModel{ClockHz: 800e6, MACsPerGroup: 2, PipelineFill: 8}
+}
+
+// CyclesPerDistance returns the MAC-group cycles to compute one distance
+// over a dim-component vector. Angular distance needs three accumulations
+// (dot, |a|^2, |b|^2) but |a|^2 is precomputed for the query and |b|^2 is
+// stored alongside the vector, so the datapath cost matches L2/IP.
+func (m MACModel) CyclesPerDistance(dim int) int {
+	if dim <= 0 {
+		return m.PipelineFill
+	}
+	lanes := m.MACsPerGroup
+	if lanes < 1 {
+		lanes = 1
+	}
+	return (dim+lanes-1)/lanes + m.PipelineFill
+}
+
+// SecondsPerDistance converts CyclesPerDistance to wall-clock seconds.
+func (m MACModel) SecondsPerDistance(dim int) float64 {
+	return float64(m.CyclesPerDistance(dim)) / m.ClockHz
+}

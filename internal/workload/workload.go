@@ -1,0 +1,181 @@
+// Package workload models the serving side of the paper's motivating
+// deployments (§I: vector databases, recommendation, RAG): an open-loop
+// arrival process feeds a batching front-end whose batches execute on a
+// simulated platform (NDSEARCH or a baseline), yielding end-to-end
+// request latency distributions rather than just batch throughput.
+//
+// The batcher follows the standard accumulate-or-timeout policy: a batch
+// closes when it reaches MaxBatch requests or when the oldest queued
+// request has waited FlushAfter. Batches execute back to back on the
+// device (no overlap), which matches the synchronous batch processing
+// model of Algorithm 1.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// BatchRunner turns a batch size into an execution latency — typically a
+// closure over core.System or a platform baseline with a pre-traced
+// query pool.
+type BatchRunner func(size int) (time.Duration, error)
+
+// Config describes the arrival process and batching policy.
+type Config struct {
+	// ArrivalRate is the mean query arrival rate (queries/second).
+	ArrivalRate float64
+	// Requests is the number of requests to simulate.
+	Requests int
+	// MaxBatch closes a batch at this size.
+	MaxBatch int
+	// FlushAfter closes a batch when the oldest request has waited this
+	// long.
+	FlushAfter time.Duration
+	// Seed drives the Poisson arrivals.
+	Seed int64
+}
+
+// Validate rejects unusable configurations.
+func (c Config) Validate() error {
+	if c.ArrivalRate <= 0 {
+		return fmt.Errorf("workload: arrival rate must be positive")
+	}
+	if c.Requests < 1 {
+		return fmt.Errorf("workload: need at least one request")
+	}
+	if c.MaxBatch < 1 {
+		return fmt.Errorf("workload: MaxBatch must be >= 1")
+	}
+	if c.FlushAfter <= 0 {
+		return fmt.Errorf("workload: FlushAfter must be positive")
+	}
+	return nil
+}
+
+// Result summarises a serving simulation.
+type Result struct {
+	// Requests is the number of completed requests.
+	Requests int
+	// Batches is the number of executed batches.
+	Batches int
+	// MeanBatch is the average batch size.
+	MeanBatch float64
+	// Throughput is completed requests over the simulated makespan.
+	Throughput float64
+	// P50, P95, P99 are end-to-end request latencies (queueing +
+	// batching delay + execution).
+	P50, P95, P99 time.Duration
+	// MaxQueueDelay is the worst batching delay observed.
+	MaxQueueDelay time.Duration
+	// Saturated reports whether the device could not keep up (queue
+	// grew monotonically through the run).
+	Saturated bool
+}
+
+// Simulate runs the open-loop serving model.
+func Simulate(cfg Config, run BatchRunner) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if run == nil {
+		return nil, fmt.Errorf("workload: nil batch runner")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	// Poisson arrivals: exponential gaps.
+	arrivals := make([]time.Duration, cfg.Requests)
+	var tArr time.Duration
+	for i := range arrivals {
+		gap := time.Duration(rng.ExpFloat64() / cfg.ArrivalRate * float64(time.Second))
+		tArr += gap
+		arrivals[i] = tArr
+	}
+
+	latencies := make([]time.Duration, 0, cfg.Requests)
+	var deviceFree time.Duration
+	var batches int
+	var batchSizeSum int
+	var maxQueue time.Duration
+	i := 0
+	for i < len(arrivals) {
+		// Collect the next batch: everything that has arrived by the time
+		// the batch closes, bounded by MaxBatch and FlushAfter.
+		first := arrivals[i]
+		// The batch cannot close before the device is free to observe it;
+		// requests keep accumulating while the device is busy.
+		closeAt := first + cfg.FlushAfter
+		if deviceFree > closeAt {
+			closeAt = deviceFree
+		}
+		j := i
+		for j < len(arrivals) && j-i < cfg.MaxBatch && arrivals[j] <= closeAt {
+			j++
+		}
+		// If the batch filled early, it closes at the arrival of its last
+		// member (no pointless waiting).
+		if j-i == cfg.MaxBatch {
+			if arrivals[j-1] > deviceFree {
+				closeAt = arrivals[j-1]
+			} else {
+				closeAt = deviceFree
+			}
+		}
+		size := j - i
+		lat, err := run(size)
+		if err != nil {
+			return nil, err
+		}
+		start := closeAt
+		if deviceFree > start {
+			start = deviceFree
+		}
+		end := start + lat
+		deviceFree = end
+		for k := i; k < j; k++ {
+			l := end - arrivals[k]
+			latencies = append(latencies, l)
+			if q := start - arrivals[k]; q > maxQueue {
+				maxQueue = q
+			}
+		}
+		batches++
+		batchSizeSum += size
+		i = j
+	}
+
+	sort.Slice(latencies, func(a, b int) bool { return latencies[a] < latencies[b] })
+	pct := func(p float64) time.Duration {
+		if len(latencies) == 0 {
+			return 0
+		}
+		idx := int(math.Ceil(p*float64(len(latencies)))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(latencies) {
+			idx = len(latencies) - 1
+		}
+		return latencies[idx]
+	}
+	res := &Result{
+		Requests:      len(latencies),
+		Batches:       batches,
+		MeanBatch:     float64(batchSizeSum) / float64(batches),
+		P50:           pct(0.50),
+		P95:           pct(0.95),
+		P99:           pct(0.99),
+		MaxQueueDelay: maxQueue,
+	}
+	if deviceFree > 0 {
+		res.Throughput = float64(res.Requests) / deviceFree.Seconds()
+	}
+	// Saturation heuristic: the device finished far later than the last
+	// arrival, meaning the backlog kept growing.
+	lastArrival := arrivals[len(arrivals)-1]
+	res.Saturated = deviceFree > lastArrival+10*cfg.FlushAfter &&
+		deviceFree > lastArrival*11/10
+	return res, nil
+}

@@ -1,0 +1,160 @@
+package workload
+
+import (
+	"testing"
+	"time"
+)
+
+// linearRunner models a device whose batch latency is fixed + per-query.
+func linearRunner(fixed, per time.Duration) BatchRunner {
+	return func(size int) (time.Duration, error) {
+		return fixed + time.Duration(size)*per, nil
+	}
+}
+
+func baseConfig() Config {
+	return Config{
+		ArrivalRate: 10000, // 10 K QPS offered
+		Requests:    2000,
+		MaxBatch:    256,
+		FlushAfter:  2 * time.Millisecond,
+		Seed:        1,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := baseConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []func(*Config){
+		func(c *Config) { c.ArrivalRate = 0 },
+		func(c *Config) { c.Requests = 0 },
+		func(c *Config) { c.MaxBatch = 0 },
+		func(c *Config) { c.FlushAfter = 0 },
+	}
+	for i, mutate := range cases {
+		c := baseConfig()
+		mutate(&c)
+		if c.Validate() == nil {
+			t.Errorf("case %d should fail validation", i)
+		}
+	}
+	if _, err := Simulate(baseConfig(), nil); err == nil {
+		t.Error("nil runner must fail")
+	}
+}
+
+func TestAllRequestsServed(t *testing.T) {
+	res, err := Simulate(baseConfig(), linearRunner(100*time.Microsecond, time.Microsecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests != 2000 {
+		t.Errorf("served %d of 2000", res.Requests)
+	}
+	if res.Batches < 1 || res.MeanBatch <= 0 {
+		t.Errorf("degenerate batching: %+v", res)
+	}
+	if res.P50 <= 0 || res.P99 < res.P95 || res.P95 < res.P50 {
+		t.Errorf("percentiles disordered: %v %v %v", res.P50, res.P95, res.P99)
+	}
+	if res.Saturated {
+		t.Error("fast device must not saturate at 10K QPS")
+	}
+}
+
+func TestLatencyIncludesBatchingDelay(t *testing.T) {
+	// A very fast device with a long flush window: latency should be
+	// dominated by the batching wait, bounded by FlushAfter + exec.
+	cfg := baseConfig()
+	cfg.FlushAfter = 5 * time.Millisecond
+	res, err := Simulate(cfg, linearRunner(10*time.Microsecond, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P50 < 500*time.Microsecond {
+		t.Errorf("p50 %v too low: batching delay missing", res.P50)
+	}
+	if res.P99 > 3*cfg.FlushAfter {
+		t.Errorf("p99 %v far beyond the flush bound", res.P99)
+	}
+}
+
+func TestSaturationDetection(t *testing.T) {
+	// Offered 10 K QPS, device capacity ~1 K QPS: must saturate.
+	cfg := baseConfig()
+	res, err := Simulate(cfg, linearRunner(0, time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Saturated {
+		t.Error("overloaded device must report saturation")
+	}
+	// Offered load within capacity: no saturation.
+	res2, err := Simulate(cfg, linearRunner(0, 10*time.Microsecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Saturated {
+		t.Error("underloaded device must not report saturation")
+	}
+	if res2.P99 >= res.P99 {
+		t.Error("lighter load must have lower tail latency")
+	}
+}
+
+func TestMaxBatchRespected(t *testing.T) {
+	cfg := baseConfig()
+	cfg.MaxBatch = 8
+	var maxSeen int
+	run := func(size int) (time.Duration, error) {
+		if size > maxSeen {
+			maxSeen = size
+		}
+		return 50 * time.Microsecond, nil
+	}
+	if _, err := Simulate(cfg, run); err != nil {
+		t.Fatal(err)
+	}
+	if maxSeen > 8 {
+		t.Errorf("batch of %d exceeds MaxBatch 8", maxSeen)
+	}
+	if maxSeen < 2 {
+		t.Errorf("batching never aggregated (max %d); arrival rate should fill batches", maxSeen)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, err := Simulate(baseConfig(), linearRunner(100*time.Microsecond, time.Microsecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(baseConfig(), linearRunner(100*time.Microsecond, time.Microsecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.P99 != b.P99 || a.Batches != b.Batches {
+		t.Error("simulation not deterministic")
+	}
+	c := baseConfig()
+	c.Seed = 99
+	alt, err := Simulate(c, linearRunner(100*time.Microsecond, time.Microsecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alt.P99 == a.P99 && alt.Batches == a.Batches {
+		t.Error("different seeds should perturb the arrival process")
+	}
+}
+
+func TestThroughputMatchesOfferedLoadWhenUnsaturated(t *testing.T) {
+	res, err := Simulate(baseConfig(), linearRunner(50*time.Microsecond, 500*time.Nanosecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Completed throughput should track the offered 10 K QPS within 25%.
+	if res.Throughput < 7500 || res.Throughput > 13000 {
+		t.Errorf("throughput %.0f far from offered 10000", res.Throughput)
+	}
+}
