@@ -6,19 +6,22 @@
 //	ndsearch [flags] <experiment>...
 //
 // where each experiment is one of: fig1 fig2 fig4 fig10 fig13 fig14
-// fig15 fig16 fig17 fig18 fig19 fig20 fig21 table1 all
+// fig15 fig16 fig17 fig18 fig19 fig20 fig21 table1 discussion all
 //
 // Flags:
 //
 //	-n       corpus size per dataset (default 4000)
 //	-batch   default query batch size (default 1024)
 //	-seed    global seed (default 1)
+//	-j       experiments to run concurrently (default 1); output is
+//	         byte-identical to a serial run
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"ndsearch/internal/figures"
 )
@@ -27,82 +30,32 @@ func main() {
 	n := flag.Int("n", 4000, "corpus size per dataset")
 	batch := flag.Int("batch", 1024, "default query batch size")
 	seed := flag.Int64("seed", 1, "global seed")
+	jobs := flag.Int("j", 1, "experiments to run concurrently")
 	flag.Parse()
 
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: ndsearch [flags] <fig1|fig2|fig4|fig10|fig13|fig14|fig15|fig16|fig17|fig18|fig19|fig20|fig21|table1|discussion|all>...")
+		fmt.Fprintf(os.Stderr, "usage: ndsearch [flags] <%s|all>...\n",
+			strings.Join(figures.ExperimentNames(), "|"))
 		os.Exit(2)
 	}
 	scale := figures.Scale{N: *n, Batch: *batch, K: 10, Seed: *seed}
 	suite := figures.NewSuite(scale)
-	for _, arg := range args {
-		if err := run(suite, arg); err != nil {
-			fmt.Fprintf(os.Stderr, "ndsearch: %s: %v\n", arg, err)
-			os.Exit(1)
-		}
+	if err := figures.RunMany(suite, args, *jobs, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "ndsearch: %v\n", err)
+		os.Exit(1)
 	}
 }
 
+// run executes one experiment serially and prints its tables — the
+// single-name path RunMany generalises; kept for direct use and tests.
 func run(s *figures.Suite, name string) error {
-	print1 := func(t *figures.Table, err error) error {
-		if err != nil {
-			return err
-		}
+	tables, err := s.Run(name)
+	if err != nil {
+		return err
+	}
+	for _, t := range tables {
 		t.Fprint(os.Stdout)
-		return nil
 	}
-	print2 := func(a, b *figures.Table, err error) error {
-		if err != nil {
-			return err
-		}
-		a.Fprint(os.Stdout)
-		b.Fprint(os.Stdout)
-		return nil
-	}
-	switch name {
-	case "fig1":
-		return print1(s.Fig1())
-	case "fig2":
-		if err := print1(s.Fig2a()); err != nil {
-			return err
-		}
-		return print1(s.Fig2b())
-	case "fig4":
-		return print2(s.Fig4())
-	case "fig10":
-		return print1(s.Fig10())
-	case "fig13":
-		return print1(s.Fig13())
-	case "fig14":
-		return print1(s.Fig14())
-	case "fig15":
-		return print1(s.Fig15())
-	case "fig16":
-		return print1(s.Fig16())
-	case "fig17":
-		return print1(s.Fig17())
-	case "fig18":
-		return print2(s.Fig18())
-	case "fig19":
-		return print1(s.Fig19())
-	case "fig20":
-		return print1(s.Fig20())
-	case "fig21":
-		return print1(s.Fig21())
-	case "table1":
-		return print1(s.Table1())
-	case "discussion":
-		return print1(s.Discussion())
-	case "all":
-		for _, f := range []string{"fig1", "fig2", "fig4", "fig10", "fig13", "fig14",
-			"fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "fig21", "table1", "discussion"} {
-			if err := run(s, f); err != nil {
-				return err
-			}
-		}
-		return nil
-	default:
-		return fmt.Errorf("unknown experiment %q", name)
-	}
+	return nil
 }

@@ -1,0 +1,80 @@
+// Command ndserve runs the sharded batch-search engine as an HTTP
+// service over a generated corpus — the serving-path counterpart to
+// cmd/ndsearch's figure reproduction.
+//
+// Usage:
+//
+//	ndserve [flags]
+//
+// Endpoints:
+//
+//	POST /search   {"query":[...], "k":10} or {"queries":[[...],...], "k":10}
+//	GET  /healthz  liveness + engine configuration
+//	GET  /stats    cumulative serving counters
+//
+// Flags:
+//
+//	-addr     listen address (default :8080)
+//	-dataset  dataset profile (default sift-1b)
+//	-algo     shard index: exact, hnsw, diskann (default hnsw)
+//	-n        corpus size (default 20000)
+//	-shards   shard count (default 4)
+//	-workers  worker-pool size (default GOMAXPROCS)
+//	-seed     generation/build seed (default 1)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"ndsearch/internal/dataset"
+	"ndsearch/internal/engine"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	profName := flag.String("dataset", "sift-1b", "dataset profile name")
+	algo := flag.String("algo", "hnsw", "shard index algorithm (exact, hnsw, diskann)")
+	n := flag.Int("n", 20000, "corpus size")
+	shards := flag.Int("shards", 4, "shard count")
+	workers := flag.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS)")
+	seed := flag.Int64("seed", 1, "generation/build seed")
+	flag.Parse()
+
+	srv, err := buildServer(*profName, *algo, *n, *shards, *workers, *seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ndserve: %v\n", err)
+		os.Exit(1)
+	}
+	log.Printf("ndserve: listening on %s", *addr)
+	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+}
+
+// buildServer generates the corpus, builds the sharded engine, and
+// wraps it in a Server. Split from main so tests can drive it.
+func buildServer(profName, algo string, n, shards, workers int, seed int64) (*Server, error) {
+	prof, err := dataset.ProfileByName(profName)
+	if err != nil {
+		return nil, err
+	}
+	d, err := dataset.Generate(prof, dataset.GenConfig{N: n, Queries: 1, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	builder, err := engine.BuilderByName(algo, prof.Metric, seed)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	e, err := engine.New(d.Vectors, engine.Config{Shards: shards, Workers: workers, Builder: builder})
+	if err != nil {
+		return nil, err
+	}
+	log.Printf("ndserve: built %d-shard %s engine over %d %s vectors in %v",
+		e.Shards(), algo, e.Len(), profName, time.Since(start).Round(time.Millisecond))
+	return NewServer(e, prof.Dim, profName, algo), nil
+}

@@ -1,0 +1,179 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"ndsearch/internal/ann"
+	"ndsearch/internal/dataset"
+	"ndsearch/internal/engine"
+	"ndsearch/internal/vec"
+)
+
+// testServer builds a small exact-sharded server plus the corpus it
+// serves, so tests can check wire results against ground truth.
+func testServer(t *testing.T, shards int) (*Server, *dataset.Dataset) {
+	t.Helper()
+	prof := dataset.Sift1B()
+	d, err := dataset.Generate(prof, dataset.GenConfig{N: 500, Queries: 16, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := engine.BuilderByName("exact", prof.Metric, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := engine.New(d.Vectors, engine.Config{Shards: shards, Workers: 4, Builder: b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewServer(e, prof.Dim, prof.Name, "exact"), d
+}
+
+func postSearch(t *testing.T, h http.Handler, req SearchRequest) (*httptest.ResponseRecorder, *SearchResponse) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/search", bytes.NewReader(body)))
+	if rec.Code != http.StatusOK {
+		return rec, nil
+	}
+	var resp SearchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("bad response JSON: %v", err)
+	}
+	return rec, &resp
+}
+
+func asFloats(v vec.Vector) []float32 { return []float32(v) }
+
+// The acceptance check: batch /search across >= 2 shards returns exactly
+// what an unsharded index returns for every query.
+func TestBatchSearchMatchesUnsharded(t *testing.T) {
+	srv, d := testServer(t, 3)
+	h := srv.Handler()
+	req := SearchRequest{K: 10}
+	for _, q := range d.Queries {
+		req.Queries = append(req.Queries, asFloats(q))
+	}
+	rec, resp := postSearch(t, h, req)
+	if resp == nil {
+		t.Fatalf("search failed: %d %s", rec.Code, rec.Body.String())
+	}
+	if len(resp.Results) != len(d.Queries) {
+		t.Fatalf("got %d result lists, want %d", len(resp.Results), len(d.Queries))
+	}
+	if resp.Batch.Shards != 3 || resp.Batch.Size != len(d.Queries) {
+		t.Fatalf("bad batch info %+v", resp.Batch)
+	}
+	unsharded := ann.NewExact(d.Profile.Metric, d.Vectors)
+	for qi, q := range d.Queries {
+		want := unsharded.Search(q, 10)
+		got := resp.Results[qi]
+		if len(got) != len(want) {
+			t.Fatalf("query %d: %d results, want %d", qi, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].ID != want[i].ID || got[i].Dist != want[i].Dist {
+				t.Fatalf("query %d result %d: got %+v, want %+v", qi, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSingleQueryAndDefaultK(t *testing.T) {
+	srv, d := testServer(t, 2)
+	rec, resp := postSearch(t, srv.Handler(), SearchRequest{Query: asFloats(d.Queries[0])})
+	if resp == nil {
+		t.Fatalf("search failed: %d %s", rec.Code, rec.Body.String())
+	}
+	if len(resp.Results) != 1 || len(resp.Results[0]) != 10 {
+		t.Fatalf("want 1 list of default k=10, got %d lists, first len %d",
+			len(resp.Results), len(resp.Results[0]))
+	}
+}
+
+func TestSearchRejectsBadRequests(t *testing.T) {
+	srv, d := testServer(t, 2)
+	h := srv.Handler()
+	q := asFloats(d.Queries[0])
+	for name, req := range map[string]SearchRequest{
+		"empty":     {},
+		"both":      {Query: q, Queries: [][]float32{q}},
+		"wrong dim": {Query: q[:4]},
+		"bad k":     {Query: q, K: -1},
+	} {
+		if rec, _ := postSearch(t, h, req); rec.Code != http.StatusBadRequest {
+			t.Errorf("%s: code %d, want 400", name, rec.Code)
+		}
+	}
+	// Non-POST and malformed JSON.
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/search", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /search: code %d, want 405", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/search", bytes.NewReader([]byte("{"))))
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("malformed JSON: code %d, want 400", rec.Code)
+	}
+}
+
+func TestSearchRejectsOversizedBody(t *testing.T) {
+	srv, d := testServer(t, 2)
+	srv.maxBodyBytes = 256
+	rec, _ := postSearch(t, srv.Handler(), SearchRequest{Query: asFloats(d.Queries[0])})
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body: code %d, want 413 (%s)", rec.Code, rec.Body.String())
+	}
+}
+
+func TestHealthzAndStats(t *testing.T) {
+	srv, d := testServer(t, 2)
+	h := srv.Handler()
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	var health HealthResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &health); err != nil || rec.Code != http.StatusOK {
+		t.Fatalf("healthz: code %d err %v", rec.Code, err)
+	}
+	if health.Status != "ok" || health.Shards != 2 || health.Vectors != 500 || health.Dim != 128 {
+		t.Fatalf("bad health payload %+v", health)
+	}
+
+	// Stats move after a search.
+	postSearch(t, h, SearchRequest{Query: asFloats(d.Queries[0]), K: 3})
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/stats", nil))
+	var stats StatsResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &stats); err != nil || rec.Code != http.StatusOK {
+		t.Fatalf("stats: code %d err %v", rec.Code, err)
+	}
+	if stats.Batches != 1 || stats.Queries != 1 || stats.ShardSearches != 2 {
+		t.Fatalf("bad stats payload %+v", stats)
+	}
+}
+
+func TestBuildServer(t *testing.T) {
+	srv, err := buildServer("glove-100", "exact", 300, 2, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv.engine.Shards() != 2 || srv.engine.Len() != 300 {
+		t.Fatalf("unexpected engine shape: shards=%d len=%d", srv.engine.Shards(), srv.engine.Len())
+	}
+	if _, err := buildServer("nope", "exact", 100, 1, 1, 1); err == nil {
+		t.Error("unknown dataset must fail")
+	}
+	if _, err := buildServer("sift-1b", "nope", 100, 1, 1, 1); err == nil {
+		t.Error("unknown algorithm must fail")
+	}
+}

@@ -1,0 +1,210 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"ndsearch/internal/ann"
+	"ndsearch/internal/engine"
+	"ndsearch/internal/vec"
+)
+
+// Server exposes a sharded engine over HTTP: POST /search for single
+// and batch queries, GET /healthz for liveness, GET /stats for the
+// engine's cumulative serving counters.
+type Server struct {
+	engine  *engine.Engine
+	dim     int
+	dataset string
+	algo    string
+	// defaultK applies when a request omits k.
+	defaultK int
+	// maxBatch rejects oversized batch requests.
+	maxBatch int
+	// maxBodyBytes caps the /search request body before JSON decoding,
+	// so the maxBatch check cannot be bypassed by one huge payload.
+	maxBodyBytes int64
+}
+
+// NewServer wraps a built engine. dim is the corpus dimensionality used
+// to validate request vectors.
+func NewServer(e *engine.Engine, dim int, dataset, algo string) *Server {
+	return &Server{
+		engine: e, dim: dim, dataset: dataset, algo: algo,
+		defaultK: 10, maxBatch: 4096, maxBodyBytes: 64 << 20,
+	}
+}
+
+// Handler returns the route mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/search", s.handleSearch)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/stats", s.handleStats)
+	return mux
+}
+
+// SearchRequest is the /search payload. Exactly one of Query (single)
+// or Queries (batch) must be set.
+type SearchRequest struct {
+	Query   []float32   `json:"query,omitempty"`
+	Queries [][]float32 `json:"queries,omitempty"`
+	K       int         `json:"k,omitempty"`
+}
+
+// SearchResult is one neighbor on the wire.
+type SearchResult struct {
+	ID   uint32  `json:"id"`
+	Dist float32 `json:"dist"`
+}
+
+// BatchInfo reports the executed batch, mirroring engine.BatchStats.
+type BatchInfo struct {
+	Size      int     `json:"size"`
+	Shards    int     `json:"shards"`
+	LatencyUS float64 `json:"latency_us"`
+	QPS       float64 `json:"qps"`
+}
+
+// SearchResponse is the /search reply: Results[i] answers query i.
+type SearchResponse struct {
+	Results [][]SearchResult `json:"results"`
+	Batch   BatchInfo        `json:"batch"`
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req SearchRequest
+	body := http.MaxBytesReader(w, r.Body, s.maxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			httpError(w, http.StatusRequestEntityTooLarge,
+				"request body exceeds %d bytes", s.maxBodyBytes)
+			return
+		}
+		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		return
+	}
+	batch, err := s.batchOf(&req)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	k := req.K
+	if k == 0 {
+		k = s.defaultK
+	}
+	if k < 1 {
+		httpError(w, http.StatusBadRequest, "k must be >= 1, got %d", k)
+		return
+	}
+	results, st := s.engine.SearchBatch(batch, k)
+	resp := SearchResponse{
+		Results: make([][]SearchResult, len(results)),
+		Batch: BatchInfo{
+			Size:      st.BatchSize,
+			Shards:    st.Shards,
+			LatencyUS: float64(st.Latency) / float64(time.Microsecond),
+			QPS:       st.QPS,
+		},
+	}
+	for i, ns := range results {
+		resp.Results[i] = toWire(ns)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// batchOf validates the request shape and returns the query batch.
+func (s *Server) batchOf(req *SearchRequest) ([]vec.Vector, error) {
+	var raw [][]float32
+	switch {
+	case req.Query != nil && req.Queries != nil:
+		return nil, fmt.Errorf("set either query or queries, not both")
+	case req.Query != nil:
+		raw = [][]float32{req.Query}
+	case req.Queries != nil:
+		raw = req.Queries
+	default:
+		return nil, fmt.Errorf("missing query or queries")
+	}
+	if len(raw) == 0 {
+		return nil, fmt.Errorf("empty batch")
+	}
+	if len(raw) > s.maxBatch {
+		return nil, fmt.Errorf("batch of %d exceeds limit %d", len(raw), s.maxBatch)
+	}
+	batch := make([]vec.Vector, len(raw))
+	for i, q := range raw {
+		if len(q) != s.dim {
+			return nil, fmt.Errorf("query %d has dim %d, corpus dim is %d", i, len(q), s.dim)
+		}
+		batch[i] = vec.Vector(q)
+	}
+	return batch, nil
+}
+
+func toWire(ns []ann.Neighbor) []SearchResult {
+	out := make([]SearchResult, len(ns))
+	for i, n := range ns {
+		out[i] = SearchResult{ID: n.ID, Dist: n.Dist}
+	}
+	return out
+}
+
+// HealthResponse is the /healthz payload.
+type HealthResponse struct {
+	Status  string `json:"status"`
+	Dataset string `json:"dataset"`
+	Algo    string `json:"algo"`
+	Vectors int    `json:"vectors"`
+	Shards  int    `json:"shards"`
+	Workers int    `json:"workers"`
+	Dim     int    `json:"dim"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status: "ok", Dataset: s.dataset, Algo: s.algo,
+		Vectors: s.engine.Len(), Shards: s.engine.Shards(),
+		Workers: s.engine.Workers(), Dim: s.dim,
+	})
+}
+
+// StatsResponse is the /stats payload: cumulative engine counters.
+type StatsResponse struct {
+	Batches            int64   `json:"batches"`
+	Queries            int64   `json:"queries"`
+	ShardSearches      int64   `json:"shard_searches"`
+	BusyUS             float64 `json:"busy_us"`
+	MeanQueryLatencyUS float64 `json:"mean_query_latency_us"`
+	MaxBatchLatencyUS  float64 `json:"max_batch_latency_us"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := s.engine.Stats()
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Batches:            st.Batches,
+		Queries:            st.Queries,
+		ShardSearches:      st.ShardSearches,
+		BusyUS:             float64(st.Busy) / float64(time.Microsecond),
+		MeanQueryLatencyUS: float64(st.MeanQueryLatency()) / float64(time.Microsecond),
+		MaxBatchLatencyUS:  float64(st.MaxBatchLatency) / float64(time.Microsecond),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,3 @@
+module ndsearch
+
+go 1.24

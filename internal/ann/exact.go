@@ -1,0 +1,52 @@
+package ann
+
+import (
+	"ndsearch/internal/trace"
+	"ndsearch/internal/vec"
+)
+
+// Exact is a brute-force Index over an in-memory corpus: every Search is
+// a full scan, so its results are the ground truth. It serves as the
+// reference baseline the sharded engine is validated against and as a
+// drop-in shard index when exactness matters more than speed.
+type Exact struct {
+	metric vec.Metric
+	data   []vec.Vector
+}
+
+// NewExact wraps data in a brute-force index under metric m. The slice
+// is retained, not copied.
+func NewExact(m vec.Metric, data []vec.Vector) *Exact {
+	return &Exact{metric: m, data: data}
+}
+
+// Search returns the exact top-k neighbors of query.
+func (e *Exact) Search(query vec.Vector, k int) []Neighbor {
+	return BruteForce(e.metric, e.data, query, k)
+}
+
+// SearchTraced returns the exact top-k and a single-iteration trace that
+// visits the whole corpus — the degenerate "graph" a full scan induces.
+func (e *Exact) SearchTraced(query vec.Vector, k int) ([]Neighbor, trace.Query) {
+	res := e.Search(query, k)
+	it := trace.Iter{Neighbors: make([]uint32, len(e.data))}
+	for i := range e.data {
+		it.Neighbors[i] = uint32(i)
+	}
+	if len(res) > 0 {
+		it.Entry = res[0].ID
+	}
+	return res, trace.Query{Iters: []trace.Iter{it}}
+}
+
+// Graph returns an edgeless view: a flat scan has no proximity graph.
+func (e *Exact) Graph() GraphView { return exactView{n: len(e.data)} }
+
+// Len returns the corpus size.
+func (e *Exact) Len() int { return len(e.data) }
+
+type exactView struct{ n int }
+
+func (v exactView) Len() int                  { return v.n }
+func (v exactView) Neighbors(uint32) []uint32 { return nil }
+func (v exactView) Degree(uint32) int         { return 0 }

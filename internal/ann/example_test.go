@@ -1,0 +1,56 @@
+package ann_test
+
+import (
+	"fmt"
+
+	"ndsearch/internal/ann"
+	"ndsearch/internal/vec"
+)
+
+// Example demonstrates the ann.Index contract on the brute-force Exact
+// index; hnsw.Build, vamana.Build, hcnng.Build and togg.Build return
+// approximate indexes satisfying the same interface.
+func Example() {
+	corpus := []vec.Vector{
+		{0, 0}, {1, 0}, {0, 1}, {2, 2}, {3, 3},
+	}
+	var idx ann.Index = ann.NewExact(vec.L2, corpus)
+
+	query := vec.Vector{0.9, 0.1}
+	for _, n := range idx.Search(query, 3) {
+		fmt.Printf("id=%d dist=%.2f\n", n.ID, n.Dist)
+	}
+	// Output:
+	// id=1 dist=0.02
+	// id=0 dist=0.82
+	// id=2 dist=1.62
+}
+
+// ExampleRecall shows recall@k against brute-force ground truth — the
+// metric every index build in this repository is tuned against.
+func ExampleRecall() {
+	corpus := []vec.Vector{{0, 0}, {1, 0}, {0, 1}, {1, 1}}
+	query := vec.Vector{0.2, 0.1}
+	exact := ann.BruteForce(vec.L2, corpus, query, 2)
+	approx := []ann.Neighbor{{ID: 0, Dist: 0.05}, {ID: 3, Dist: 1.45}}
+	fmt.Printf("recall@2 = %.1f\n", ann.Recall(approx, exact, 2))
+	// Output:
+	// recall@2 = 0.5
+}
+
+// ExampleFrontier walks the candidate/result-list machinery the greedy
+// graph traversals (and the engine's shard merge) are built on.
+func ExampleFrontier() {
+	f := ann.NewFrontier(2)
+	for _, n := range []ann.Neighbor{
+		{ID: 7, Dist: 3.0}, {ID: 1, Dist: 1.0}, {ID: 4, Dist: 2.0}, {ID: 9, Dist: 0.5},
+	} {
+		f.Push(n)
+	}
+	for _, n := range f.TopK(2) {
+		fmt.Printf("id=%d dist=%.1f\n", n.ID, n.Dist)
+	}
+	// Output:
+	// id=9 dist=0.5
+	// id=1 dist=1.0
+}

@@ -9,6 +9,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"ndsearch/internal/ann"
@@ -474,7 +475,16 @@ func (s *System) searchStage(alloc sched.Allocation) (time.Duration, stageStats)
 	planeTime := map[int]time.Duration{}
 	chanBytes := map[int]int64{}
 	addJobs := func(a sched.Allocation) {
-		for lun, jobs := range a.ByLUN {
+		// Visit LUNs in sorted order: the fault injector and FTL consume
+		// stateful RNG/counters per page job, so map-iteration order
+		// would otherwise make simulated latency vary run to run.
+		luns := make([]int, 0, len(a.ByLUN))
+		for lun := range a.ByLUN {
+			luns = append(luns, lun)
+		}
+		sort.Ints(luns)
+		for _, lun := range luns {
+			jobs := a.ByLUN[lun]
 			for _, job := range jobs {
 				key := job.GlobalPlane
 				if !s.cfg.Sched.MultiPlane {

@@ -1,0 +1,332 @@
+// Package engine is the production-shaped serving layer over the ANNS
+// indexes: it partitions a corpus across N shards (one ann.Index per
+// shard), fans query batches out to a bounded worker pool, merges the
+// per-shard top-k lists with the ann candidate-list machinery, and
+// reports per-batch latency/throughput statistics in the same shape as
+// core.Result. Sharding is contiguous, so a shard's local vertex i is
+// global vertex base+i; every merged Neighbor carries global IDs.
+//
+// The engine is the architectural seam the ROADMAP's scaling work builds
+// on: cmd/ndserve serves HTTP traffic from it, examples/serving drives
+// open-loop load through it, and later PRs can swap shard indexes or
+// distribute shards without touching callers.
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"ndsearch/internal/ann"
+	"ndsearch/internal/hnsw"
+	"ndsearch/internal/vamana"
+	"ndsearch/internal/vec"
+)
+
+// Builder constructs the index of one shard from its slice of the
+// corpus. shard is the shard ordinal (usable to diversify seeds); the
+// data slice aliases the engine's partition and must not be mutated.
+type Builder func(shard int, data []vec.Vector) (ann.Index, error)
+
+// Config parameterises engine construction.
+type Config struct {
+	// Shards is the partition count (>= 1). Shards exceeding the corpus
+	// size are clamped so no shard is empty.
+	Shards int
+	// Workers bounds in-flight shard searches engine-wide (shared by
+	// all concurrent SearchBatch callers) and concurrent shard builds.
+	// Defaults to GOMAXPROCS.
+	Workers int
+	// Builder constructs each shard's index. Required.
+	Builder Builder
+}
+
+func (c *Config) normalize(n int) error {
+	if c.Builder == nil {
+		return fmt.Errorf("engine: Config.Builder is required")
+	}
+	if c.Shards < 1 {
+		return fmt.Errorf("engine: Shards must be >= 1, got %d", c.Shards)
+	}
+	if n < 1 {
+		return fmt.Errorf("engine: empty corpus")
+	}
+	if c.Shards > n {
+		c.Shards = n
+	}
+	if c.Workers < 1 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	return nil
+}
+
+// shard is one partition: a built index plus its global-ID base offset.
+type shard struct {
+	index ann.Index
+	base  uint32
+}
+
+// Engine is a sharded, concurrency-safe batch-search engine.
+type Engine struct {
+	shards  []shard
+	workers int
+	len     int
+	// sem bounds in-flight shard searches engine-wide, so Workers holds
+	// even when many callers run SearchBatch concurrently.
+	sem chan struct{}
+
+	mu    sync.Mutex
+	stats Stats
+}
+
+// Partition splits n items into parts contiguous ranges as evenly as
+// possible and returns the part boundaries: offsets[i]..offsets[i+1] is
+// part i, len(offsets) == parts+1.
+func Partition(n, parts int) []int {
+	if parts < 1 {
+		parts = 1
+	}
+	offsets := make([]int, parts+1)
+	for i := 1; i <= parts; i++ {
+		offsets[i] = offsets[i-1] + n/parts
+		if i <= n%parts {
+			offsets[i]++
+		}
+	}
+	return offsets
+}
+
+// New partitions data across cfg.Shards contiguous shards and builds
+// each shard's index (concurrently, bounded by cfg.Workers).
+func New(data []vec.Vector, cfg Config) (*Engine, error) {
+	if err := cfg.normalize(len(data)); err != nil {
+		return nil, err
+	}
+	offsets := Partition(len(data), cfg.Shards)
+	e := &Engine{
+		shards:  make([]shard, cfg.Shards),
+		workers: cfg.Workers,
+		len:     len(data),
+		sem:     make(chan struct{}, cfg.Workers),
+	}
+	errs := make([]error, cfg.Shards)
+	sem := make(chan struct{}, cfg.Workers)
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Shards; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			idx, err := cfg.Builder(i, data[offsets[i]:offsets[i+1]])
+			if err != nil {
+				errs[i] = fmt.Errorf("engine: shard %d: %w", i, err)
+				return
+			}
+			e.shards[i] = shard{index: idx, base: uint32(offsets[i])}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return e, nil
+}
+
+// Shards returns the shard count.
+func (e *Engine) Shards() int { return len(e.shards) }
+
+// Len returns the total indexed vector count.
+func (e *Engine) Len() int { return e.len }
+
+// Workers returns the worker-pool bound.
+func (e *Engine) Workers() int { return e.workers }
+
+// Search returns the merged approximate top-k neighbors of one query
+// (global IDs). It is a batch of one; use SearchBatch for throughput.
+func (e *Engine) Search(query vec.Vector, k int) []ann.Neighbor {
+	res, _ := e.SearchBatch([]vec.Vector{query}, k)
+	if len(res) == 0 {
+		return nil
+	}
+	return res[0]
+}
+
+// BatchStats reports one batch execution, mirroring the latency and
+// throughput fields of core.Result so serving dashboards can consume
+// either source.
+type BatchStats struct {
+	// BatchSize is the query count of the batch.
+	BatchSize int
+	// Shards and Workers echo the engine configuration.
+	Shards, Workers int
+	// Latency is the wall-clock batch execution time.
+	Latency time.Duration
+	// QPS is BatchSize / Latency.
+	QPS float64
+	// ShardSearches is the number of (query, shard) tasks executed.
+	ShardSearches int
+}
+
+// SearchBatch fans the batch out to the worker pool as (query, shard)
+// tasks, merges each query's per-shard top-k lists, and returns the
+// merged results (global IDs, ascending by distance) plus batch stats.
+// It is safe for concurrent use.
+func (e *Engine) SearchBatch(queries []vec.Vector, k int) ([][]ann.Neighbor, *BatchStats) {
+	start := time.Now()
+	st := &BatchStats{
+		BatchSize: len(queries),
+		Shards:    len(e.shards),
+		Workers:   e.workers,
+	}
+	if len(queries) == 0 || k <= 0 {
+		st.Latency = time.Since(start)
+		return nil, st
+	}
+
+	// partial[qi][si] is query qi's top-k from shard si; every task owns
+	// a distinct slot, so workers need no locking.
+	partial := make([][][]ann.Neighbor, len(queries))
+	for qi := range partial {
+		partial[qi] = make([][]ann.Neighbor, len(e.shards))
+	}
+	type task struct{ qi, si int }
+	tasks := make(chan task)
+	workers := e.workers
+	if total := len(queries) * len(e.shards); workers > total {
+		workers = total
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range tasks {
+				// The engine-wide semaphore keeps total in-flight
+				// searches at Workers across concurrent SearchBatch
+				// callers, not Workers per call.
+				e.sem <- struct{}{}
+				sh := e.shards[t.si]
+				res := sh.index.Search(queries[t.qi], k)
+				<-e.sem
+				// Translate shard-local IDs to global IDs in place on
+				// the freshly returned slice.
+				for i := range res {
+					res[i].ID += sh.base
+				}
+				partial[t.qi][t.si] = res
+			}
+		}()
+	}
+	for qi := range queries {
+		for si := range e.shards {
+			tasks <- task{qi, si}
+		}
+	}
+	close(tasks)
+	wg.Wait()
+
+	out := make([][]ann.Neighbor, len(queries))
+	for qi := range queries {
+		out[qi] = mergeTopK(partial[qi], k)
+	}
+	st.ShardSearches = len(queries) * len(e.shards)
+	st.Latency = time.Since(start)
+	if st.Latency > 0 {
+		st.QPS = float64(st.BatchSize) / st.Latency.Seconds()
+	}
+	e.record(st)
+	return out, st
+}
+
+// mergeTopK merges per-shard result lists under the ann package's
+// global (distance, ID) order and truncates to k. A full sort (the
+// lists total at most shards*k entries) rather than a Frontier fold:
+// Frontier.Push drops equal-distance candidates once full, which would
+// break the exact-merge invariant on distance ties at the k-th position.
+func mergeTopK(lists [][]ann.Neighbor, k int) []ann.Neighbor {
+	var total int
+	for _, list := range lists {
+		total += len(list)
+	}
+	merged := make([]ann.Neighbor, 0, total)
+	for _, list := range lists {
+		merged = append(merged, list...)
+	}
+	ann.SortNeighbors(merged)
+	if k > len(merged) {
+		k = len(merged)
+	}
+	return merged[:k]
+}
+
+// Stats are cumulative serving counters (the /stats endpoint payload).
+type Stats struct {
+	// Batches and Queries count completed batch executions and the
+	// queries they carried.
+	Batches, Queries int64
+	// ShardSearches counts executed (query, shard) tasks.
+	ShardSearches int64
+	// Busy is the summed wall-clock batch latency.
+	Busy time.Duration
+	// MaxBatchLatency is the slowest batch seen.
+	MaxBatchLatency time.Duration
+}
+
+// MeanQueryLatency returns Busy spread over completed queries.
+func (s Stats) MeanQueryLatency() time.Duration {
+	if s.Queries == 0 {
+		return 0
+	}
+	return time.Duration(int64(s.Busy) / s.Queries)
+}
+
+func (e *Engine) record(st *BatchStats) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.stats.Batches++
+	e.stats.Queries += int64(st.BatchSize)
+	e.stats.ShardSearches += int64(st.ShardSearches)
+	e.stats.Busy += st.Latency
+	if st.Latency > e.stats.MaxBatchLatency {
+		e.stats.MaxBatchLatency = st.Latency
+	}
+}
+
+// Stats returns a snapshot of the cumulative counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// BuilderByName returns a shard-index Builder for a named algorithm:
+// "exact" (brute force), "hnsw", or "diskann" (Vamana). Seeds are
+// diversified per shard so replica graphs are not identical.
+func BuilderByName(algo string, m vec.Metric, seed int64) (Builder, error) {
+	switch algo {
+	case "exact":
+		return func(_ int, data []vec.Vector) (ann.Index, error) {
+			return ann.NewExact(m, data), nil
+		}, nil
+	case "hnsw":
+		return func(shard int, data []vec.Vector) (ann.Index, error) {
+			return hnsw.Build(data, hnsw.Config{
+				M: 12, EfConstruction: 100, EfSearch: 64,
+				Metric: m, Seed: seed + int64(shard),
+			})
+		}, nil
+	case "diskann":
+		return func(shard int, data []vec.Vector) (ann.Index, error) {
+			return vamana.Build(data, vamana.Config{
+				R: 24, L: 64, LSearch: 64, Alpha: 1.2,
+				Metric: m, Seed: seed + int64(shard),
+			})
+		}, nil
+	default:
+		return nil, fmt.Errorf("engine: unknown algorithm %q (want exact, hnsw, diskann)", algo)
+	}
+}

@@ -1,0 +1,41 @@
+package engine_test
+
+import (
+	"fmt"
+
+	"ndsearch/internal/engine"
+	"ndsearch/internal/vec"
+)
+
+// Example builds a two-shard engine over a small corpus and runs a
+// batch: per-shard top-k lists merge exactly, with shard-local IDs
+// translated back to global corpus positions.
+func Example() {
+	corpus := []vec.Vector{
+		{0, 0}, {1, 0}, {2, 0}, {3, 0}, // shard 0
+		{0, 9}, {1, 9}, {2, 9}, {3, 9}, // shard 1
+	}
+	builder, err := engine.BuilderByName("exact", vec.L2, 1)
+	if err != nil {
+		panic(err)
+	}
+	e, err := engine.New(corpus, engine.Config{Shards: 2, Workers: 2, Builder: builder})
+	if err != nil {
+		panic(err)
+	}
+
+	queries := []vec.Vector{{0.4, 0}, {2.6, 9}}
+	results, stats := e.SearchBatch(queries, 2)
+	for qi, ns := range results {
+		for _, n := range ns {
+			fmt.Printf("query %d: id=%d dist=%.2f\n", qi, n.ID, n.Dist)
+		}
+	}
+	fmt.Printf("batch of %d over %d shards\n", stats.BatchSize, stats.Shards)
+	// Output:
+	// query 0: id=0 dist=0.16
+	// query 0: id=1 dist=0.36
+	// query 1: id=7 dist=0.16
+	// query 1: id=6 dist=0.36
+	// batch of 2 over 2 shards
+}

@@ -35,8 +35,11 @@ func (s *Suite) Fig4() (*Table, *Table, error) {
 	}
 	rng := rand.New(rand.NewSource(s.Scale.Seed))
 	vertexBytes := vec.StoredBytes(w.Profile.Elem, w.Profile.Dim)
-	for i := 0; i < 10 && i < len(w.Batch.Queries); i++ {
-		q := &w.Batch.Queries[rng.Intn(len(w.Batch.Queries))]
+	// Sample from the default-scale prefix so the figure is independent
+	// of cache upsizing by other experiments (see Suite.batch).
+	pool := s.batch(w).Queries
+	for i := 0; i < 10 && i < len(pool); i++ {
+		q := &pool[rng.Intn(len(pool))]
 		pages := map[int64]bool{}
 		accesses := 0
 		for _, it := range q.Iters {
@@ -70,7 +73,7 @@ func (s *Suite) Fig4() (*Table, *Table, error) {
 	for bi := 0; bi < 10; bi++ {
 		luns := map[int]bool{}
 		for qi := 0; qi < batchSize; qi++ {
-			q := &w.Batch.Queries[(bi*batchSize+qi)%len(w.Batch.Queries)]
+			q := &pool[(bi*batchSize+qi)%len(pool)]
 			for _, it := range q.Iters {
 				for _, v := range it.Neighbors {
 					if int(v) < layout.Len() {
@@ -143,7 +146,7 @@ func (s *Suite) Fig14() (*Table, error) {
 				if err != nil {
 					return nil, err
 				}
-				res, err := sys.SimulateBatch(w.Batch)
+				res, err := sys.SimulateBatch(s.batch(w))
 				if err != nil {
 					return nil, err
 				}
@@ -189,7 +192,7 @@ func (s *Suite) Fig15() (*Table, error) {
 				if err != nil {
 					return nil, err
 				}
-				res, err := sys.SimulateBatch(w.Batch)
+				res, err := sys.SimulateBatch(s.batch(w))
 				if err != nil {
 					return nil, err
 				}

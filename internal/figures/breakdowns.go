@@ -91,11 +91,11 @@ func (s *Suite) Fig2b() (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		nd, err := sys.SimulateBatch(w.Batch)
+		nd, err := sys.SimulateBatch(s.batch(w))
 		if err != nil {
 			return nil, err
 		}
-		cp, err := cpu.Simulate(w.Batch, w.PlatformWorkload())
+		cp, err := cpu.Simulate(s.batch(w), w.PlatformWorkload())
 		if err != nil {
 			return nil, err
 		}
@@ -126,7 +126,7 @@ func (s *Suite) Fig17() (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			res, err := sys.SimulateBatch(w.Batch)
+			res, err := sys.SimulateBatch(s.batch(w))
 			if err != nil {
 				return nil, err
 			}

@@ -1,0 +1,116 @@
+package figures
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func expScale() Scale { return Scale{N: 400, Batch: 16, K: 5, Seed: 1} }
+
+func TestExpandNames(t *testing.T) {
+	got := ExpandNames([]string{"fig10", "all"})
+	if got[0] != "fig10" || len(got) != 1+len(ExperimentNames()) {
+		t.Fatalf("ExpandNames = %v", got)
+	}
+	if got[1] != "fig1" || got[len(got)-1] != "discussion" {
+		t.Fatalf("all expansion out of order: %v", got)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if _, err := NewSuite(expScale()).Run("fig99"); err == nil {
+		t.Fatal("unknown experiment must fail")
+	}
+	var buf bytes.Buffer
+	if err := RunMany(NewSuite(expScale()), []string{"fig10", "fig99"}, 2, &buf); err == nil {
+		t.Fatal("RunMany must surface the error")
+	} else if !strings.Contains(err.Error(), "fig99") {
+		t.Fatalf("error %v does not name the failing experiment", err)
+	}
+}
+
+// The -j invariant: parallel generation is byte-identical to serial.
+// The set deliberately mixes fig19 (which upsizes the shared workload
+// cache to 8x batch) with experiments that use the default batch, the
+// exact interleaving that would diverge if experiments read whole
+// cached batches instead of fixed-size prefixes.
+func TestRunManyParallelMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-experiment regeneration is slow")
+	}
+	names := []string{"fig13", "fig19", "fig4", "fig10", "table1", "discussion"}
+
+	var serial bytes.Buffer
+	if err := RunMany(NewSuite(expScale()), names, 1, &serial); err != nil {
+		t.Fatal(err)
+	}
+	var parallel bytes.Buffer
+	if err := RunMany(NewSuite(expScale()), names, 4, &parallel); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(serial.Bytes(), parallel.Bytes()) {
+		t.Fatalf("parallel output differs from serial:\n--- serial ---\n%s\n--- parallel ---\n%s",
+			firstDiff(serial.String(), parallel.String()), "")
+	}
+
+	// Reversed-order parallel run on a shared suite must also match:
+	// output order follows input order, not completion order.
+	rev := []string{"discussion", "table1", "fig10"}
+	var fwd, bwd bytes.Buffer
+	s := NewSuite(expScale())
+	if err := RunMany(s, rev, 3, &bwd); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range rev {
+		tables, err := s.Run(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tb := range tables {
+			tb.Fprint(&fwd)
+		}
+	}
+	if !bytes.Equal(fwd.Bytes(), bwd.Bytes()) {
+		t.Fatal("RunMany emission does not follow input order")
+	}
+}
+
+// firstDiff trims two outputs to the first differing line for readable
+// failure messages.
+func firstDiff(a, b string) string {
+	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
+	for i := 0; i < len(al) && i < len(bl); i++ {
+		if al[i] != bl[i] {
+			return "line " + al[i] + "\nvs\n" + bl[i]
+		}
+	}
+	return "length mismatch"
+}
+
+// Concurrent WorkloadSized calls on one suite must be race-free and
+// converge on a single cached workload per key (run under -race).
+func TestSuiteConcurrentWorkloads(t *testing.T) {
+	s := NewSuite(expScale())
+	var wg sync.WaitGroup
+	got := make([]*Workload, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			w, err := s.Workload("sift-1b", "hnsw")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			got[i] = w
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < 8; i++ {
+		if got[i] != got[0] {
+			t.Fatal("concurrent callers received different workload instances")
+		}
+	}
+}

@@ -49,7 +49,7 @@ func (s *Suite) Fig18() (*Table, *Table, error) {
 			if err != nil {
 				return nil, nil, err
 			}
-			res, err := sys.SimulateBatch(w.Batch)
+			res, err := sys.SimulateBatch(s.batch(w))
 			if err != nil {
 				return nil, nil, err
 			}
@@ -93,7 +93,7 @@ func (s *Suite) Fig20() (*Table, error) {
 				return nil
 			}
 			for _, p := range basePlatforms() {
-				res, err := p.Simulate(w.Batch, w.PlatformWorkload())
+				res, err := p.Simulate(s.batch(w), w.PlatformWorkload())
 				if err != nil {
 					return nil, err
 				}
@@ -105,7 +105,7 @@ func (s *Suite) Fig20() (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			nd, err := sys.SimulateBatch(w.Batch)
+			nd, err := sys.SimulateBatch(s.batch(w))
 			if err != nil {
 				return nil, err
 			}

@@ -7,6 +7,7 @@ package figures
 
 import (
 	"fmt"
+	"sync"
 
 	"ndsearch/internal/ann"
 	"ndsearch/internal/core"
@@ -75,15 +76,35 @@ func (w *Workload) PlatformWorkload() platform.Workload {
 	return platform.Workload{Profile: w.Profile, MaxDegree: w.MaxDegree}
 }
 
-// Suite builds and caches workloads across figures.
+// Suite builds and caches workloads across figures. It is safe for
+// concurrent use: experiments running in parallel (RunMany, ndsearch
+// -j) share cached workloads, with per-workload locking so distinct
+// workloads build concurrently while same-key callers wait for one
+// build.
 type Suite struct {
 	Scale Scale
-	cache map[string]*Workload
+	mu    sync.Mutex
+	cache map[string]*workloadSlot
+}
+
+// workloadSlot serialises construction of one (dataset, algo) workload.
+type workloadSlot struct {
+	mu sync.Mutex
+	w  *Workload
 }
 
 // NewSuite creates a suite at the given scale.
 func NewSuite(s Scale) *Suite {
-	return &Suite{Scale: s, cache: map[string]*Workload{}}
+	return &Suite{Scale: s, cache: map[string]*workloadSlot{}}
+}
+
+// batch returns w's default-scale batch: exactly Scale.Batch traced
+// queries, even when another experiment upsized the cached workload.
+// Experiments must use this (or SubBatch) instead of w.Batch so their
+// output does not depend on which experiments ran before them — the
+// invariant that makes parallel RunMany byte-identical to serial runs.
+func (s *Suite) batch(w *Workload) *trace.Batch {
+	return w.SubBatch(s.Scale.Batch)
 }
 
 // Algos lists the two primary evaluation algorithms in paper order.
@@ -99,8 +120,17 @@ func (s *Suite) Workload(profName, algo string) (*Workload, error) {
 // queries, rebuilding the cached entry if it is too small.
 func (s *Suite) WorkloadSized(profName, algo string, queries int) (*Workload, error) {
 	key := fmt.Sprintf("%s/%s", profName, algo)
-	if w, ok := s.cache[key]; ok && len(w.Batch.Queries) >= queries {
-		return w, nil
+	s.mu.Lock()
+	slot, ok := s.cache[key]
+	if !ok {
+		slot = &workloadSlot{}
+		s.cache[key] = slot
+	}
+	s.mu.Unlock()
+	slot.mu.Lock()
+	defer slot.mu.Unlock()
+	if slot.w != nil && len(slot.w.Batch.Queries) >= queries {
+		return slot.w, nil
 	}
 	prof, err := dataset.ProfileByName(profName)
 	if err != nil {
@@ -135,7 +165,7 @@ func (s *Suite) WorkloadSized(profName, algo string, queries int) (*Workload, er
 	if probe > 0 {
 		w.Recall10 = sum / float64(probe)
 	}
-	s.cache[key] = w
+	slot.w = w
 	return w, nil
 }
 

@@ -34,7 +34,7 @@ func (s *Suite) Fig13() (*Table, error) {
 			}
 			var cpuQPS float64
 			for _, p := range basePlatforms() {
-				res, err := p.Simulate(w.Batch, w.PlatformWorkload())
+				res, err := p.Simulate(s.batch(w), w.PlatformWorkload())
 				if err != nil {
 					return nil, err
 				}
@@ -47,7 +47,7 @@ func (s *Suite) Fig13() (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			nd, err := sys.SimulateBatch(w.Batch)
+			nd, err := sys.SimulateBatch(s.batch(w))
 			if err != nil {
 				return nil, err
 			}
@@ -80,15 +80,15 @@ func (s *Suite) Fig16() (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		cpuRes, err := platform.NewCPU().Simulate(w.Batch, w.PlatformWorkload())
+		cpuRes, err := platform.NewCPU().Simulate(s.batch(w), w.PlatformWorkload())
 		if err != nil {
 			return nil, err
 		}
-		gpuRes, err := platform.NewGPU().Simulate(w.Batch, w.PlatformWorkload())
+		gpuRes, err := platform.NewGPU().Simulate(s.batch(w), w.PlatformWorkload())
 		if err != nil {
 			return nil, err
 		}
-		dscpRes, err := platform.NewDeepStore(platform.ChipLevel).Simulate(w.Batch, w.PlatformWorkload())
+		dscpRes, err := platform.NewDeepStore(platform.ChipLevel).Simulate(s.batch(w), w.PlatformWorkload())
 		if err != nil {
 			return nil, err
 		}
@@ -102,7 +102,7 @@ func (s *Suite) Fig16() (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			res, err := sys.SimulateBatch(w.Batch)
+			res, err := sys.SimulateBatch(s.batch(w))
 			if err != nil {
 				return nil, err
 			}
@@ -176,7 +176,7 @@ func (s *Suite) Fig21() (*Table, error) {
 		}
 		var cpuQPS float64
 		for _, p := range plats {
-			res, err := p.Simulate(w.Batch, w.PlatformWorkload())
+			res, err := p.Simulate(s.batch(w), w.PlatformWorkload())
 			if err != nil {
 				return nil, err
 			}
@@ -189,7 +189,7 @@ func (s *Suite) Fig21() (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		nd, err := sys.SimulateBatch(w.Batch)
+		nd, err := sys.SimulateBatch(s.batch(w))
 		if err != nil {
 			return nil, err
 		}
