@@ -14,13 +14,20 @@
 //
 // Flags:
 //
-//	-addr     listen address (default :8080)
-//	-dataset  dataset profile (default sift-1b)
-//	-algo     shard index: exact, hnsw, diskann (default hnsw)
-//	-n        corpus size (default 20000)
-//	-shards   shard count (default 4)
-//	-workers  worker-pool size (default GOMAXPROCS)
-//	-seed     generation/build seed (default 1)
+//	-addr           listen address (default :8080)
+//	-dataset        dataset profile (default sift-1b)
+//	-algo           shard index: exact, hnsw, diskann (default hnsw)
+//	-n              corpus size (default 20000)
+//	-shards         shard count (default 4)
+//	-workers        worker-pool size (default GOMAXPROCS)
+//	-seed           generation/build seed (default 1)
+//	-coalesce-max   coalesced batch size threshold, 0 disables (default 256)
+//	-coalesce-wait  coalescing deadline (default 500us)
+//
+// With coalescing enabled (the default), concurrent single-query
+// /search requests are admitted through a micro-batcher that forms
+// engine batches of up to -coalesce-max queries, dispatching at the
+// latest -coalesce-wait after a request arrives.
 package main
 
 import (
@@ -31,6 +38,7 @@ import (
 	"os"
 	"time"
 
+	"ndsearch/internal/batcher"
 	"ndsearch/internal/dataset"
 	"ndsearch/internal/engine"
 )
@@ -43,20 +51,29 @@ func main() {
 	shards := flag.Int("shards", 4, "shard count")
 	workers := flag.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS)")
 	seed := flag.Int64("seed", 1, "generation/build seed")
+	coalesceMax := flag.Int("coalesce-max", batcher.DefaultMaxBatch,
+		"coalesced batch size threshold for single-query requests (0 disables coalescing)")
+	coalesceWait := flag.Duration("coalesce-wait", batcher.DefaultMaxWait,
+		"max time a single-query request waits for a coalesced batch to form")
 	flag.Parse()
 
-	srv, err := buildServer(*profName, *algo, *n, *shards, *workers, *seed)
+	srv, err := buildServer(*profName, *algo, *n, *shards, *workers, *seed, *coalesceMax, *coalesceWait)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ndserve: %v\n", err)
 		os.Exit(1)
 	}
 	log.Printf("ndserve: listening on %s", *addr)
+	// No srv.Close() on this path: in-flight handlers may still be mid
+	// SearchBatch when the accept loop fails, and the process is exiting
+	// anyway. Close exists for embedders and tests.
 	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
 }
 
 // buildServer generates the corpus, builds the sharded engine, and
-// wraps it in a Server. Split from main so tests can drive it.
-func buildServer(profName, algo string, n, shards, workers int, seed int64) (*Server, error) {
+// wraps it in a Server, enabling coalescing when coalesceMax > 0. Split
+// from main so tests can drive it.
+func buildServer(profName, algo string, n, shards, workers int, seed int64,
+	coalesceMax int, coalesceWait time.Duration) (*Server, error) {
 	prof, err := dataset.ProfileByName(profName)
 	if err != nil {
 		return nil, err
@@ -76,5 +93,11 @@ func buildServer(profName, algo string, n, shards, workers int, seed int64) (*Se
 	}
 	log.Printf("ndserve: built %d-shard %s engine over %d %s vectors in %v",
 		e.Shards(), algo, e.Len(), profName, time.Since(start).Round(time.Millisecond))
-	return NewServer(e, prof.Dim, profName, algo), nil
+	srv := NewServer(e, prof.Dim, profName, algo)
+	if coalesceMax > 0 {
+		srv.EnableCoalescing(batcher.Config{MaxBatch: coalesceMax, MaxWait: coalesceWait})
+		log.Printf("ndserve: coalescing single-query requests (max %d, wait %v)",
+			coalesceMax, coalesceWait)
+	}
+	return srv, nil
 }

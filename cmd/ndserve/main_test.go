@@ -3,11 +3,14 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"testing"
+	"time"
 
 	"ndsearch/internal/ann"
+	"ndsearch/internal/batcher"
 	"ndsearch/internal/dataset"
 	"ndsearch/internal/engine"
 	"ndsearch/internal/vec"
@@ -30,7 +33,9 @@ func testServer(t *testing.T, shards int) (*Server, *dataset.Dataset) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return NewServer(e, prof.Dim, prof.Name, "exact"), d
+	srv := NewServer(e, prof.Dim, prof.Name, "exact")
+	t.Cleanup(srv.Close)
+	return srv, d
 }
 
 func postSearch(t *testing.T, h http.Handler, req SearchRequest) (*httptest.ResponseRecorder, *SearchResponse) {
@@ -126,6 +131,103 @@ func TestSearchRejectsBadRequests(t *testing.T) {
 	}
 }
 
+// NaN/Inf query components poison heap ordering; admission must reject
+// them with a 400-shaped error before they reach the engine. (JSON
+// itself cannot carry NaN/Inf literals, so the check is exercised at
+// the batchOf validation seam all request paths share.)
+func TestRejectsNonFiniteQueryComponents(t *testing.T) {
+	srv, d := testServer(t, 2)
+	nan := float32(math.NaN())
+	inf := float32(math.Inf(1))
+	q := append([]float32(nil), asFloats(d.Queries[0])...)
+	for name, bad := range map[string]float32{"NaN": nan, "+Inf": inf, "-Inf": -inf} {
+		q[3] = bad
+		if _, err := srv.batchOf(&SearchRequest{Query: q}); err == nil {
+			t.Errorf("%s component accepted, want rejection", name)
+		}
+		if _, err := srv.batchOf(&SearchRequest{Queries: [][]float32{asFloats(d.Queries[0]), q}}); err == nil {
+			t.Errorf("%s component in batch accepted, want rejection", name)
+		}
+	}
+	q[3] = 1.5
+	if _, err := srv.batchOf(&SearchRequest{Query: q}); err != nil {
+		t.Errorf("finite query rejected: %v", err)
+	}
+}
+
+// /healthz and /stats are read-only: anything but GET/HEAD is a 405,
+// matching /search's method check.
+func TestHealthzStatsRejectNonGet(t *testing.T) {
+	srv, _ := testServer(t, 2)
+	h := srv.Handler()
+	for _, path := range []string{"/healthz", "/stats"} {
+		for _, method := range []string{http.MethodPost, http.MethodDelete, http.MethodPut} {
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, httptest.NewRequest(method, path, nil))
+			if rec.Code != http.StatusMethodNotAllowed {
+				t.Errorf("%s %s: code %d, want 405", method, path, rec.Code)
+			}
+			if allow := rec.Header().Get("Allow"); allow != "GET, HEAD" {
+				t.Errorf("%s %s: Allow = %q", method, path, allow)
+			}
+		}
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodHead, path, nil))
+		if rec.Code != http.StatusOK {
+			t.Errorf("HEAD %s: code %d, want 200", path, rec.Code)
+		}
+	}
+}
+
+// With coalescing enabled, a single-query request returns the same
+// results as the direct path and reports coalesced batch info; /stats
+// grows a coalescer section.
+func TestCoalescedSingleQueryPath(t *testing.T) {
+	srv, d := testServer(t, 2)
+	srv.EnableCoalescing(batcher.Config{MaxBatch: 8, MaxWait: 200 * time.Microsecond})
+	h := srv.Handler()
+	unsharded := ann.NewExact(d.Profile.Metric, d.Vectors)
+	for qi, q := range d.Queries[:4] {
+		rec, resp := postSearch(t, h, SearchRequest{Query: asFloats(q), K: 5})
+		if resp == nil {
+			t.Fatalf("query %d failed: %d %s", qi, rec.Code, rec.Body.String())
+		}
+		if !resp.Batch.Coalesced || resp.Batch.Size < 1 || resp.Batch.CoalescedSubmits < 1 {
+			t.Fatalf("query %d: batch info not coalesced: %+v", qi, resp.Batch)
+		}
+		want := unsharded.Search(q, 5)
+		if len(resp.Results) != 1 || len(resp.Results[0]) != len(want) {
+			t.Fatalf("query %d: bad result shape", qi)
+		}
+		for i := range want {
+			if resp.Results[0][i].ID != want[i].ID || resp.Results[0][i].Dist != want[i].Dist {
+				t.Fatalf("query %d result %d: got %+v, want %+v",
+					qi, i, resp.Results[0][i], want[i])
+			}
+		}
+	}
+	// Explicit batches stay on the direct path.
+	_, resp := postSearch(t, h, SearchRequest{
+		Queries: [][]float32{asFloats(d.Queries[0]), asFloats(d.Queries[1])}, K: 3,
+	})
+	if resp == nil || resp.Batch.Coalesced {
+		t.Fatalf("explicit batch must not be coalesced: %+v", resp)
+	}
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/stats", nil))
+	var stats StatsResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Coalescer == nil || stats.Coalescer.Submits != 4 || stats.Coalescer.Batches < 1 {
+		t.Fatalf("bad coalescer stats: %+v", stats.Coalescer)
+	}
+	if len(stats.PerShardSearches) != 2 {
+		t.Fatalf("per_shard_searches = %v, want 2 shards", stats.PerShardSearches)
+	}
+}
+
 func TestSearchRejectsOversizedBody(t *testing.T) {
 	srv, d := testServer(t, 2)
 	srv.maxBodyBytes = 256
@@ -163,17 +265,29 @@ func TestHealthzAndStats(t *testing.T) {
 }
 
 func TestBuildServer(t *testing.T) {
-	srv, err := buildServer("glove-100", "exact", 300, 2, 2, 1)
+	srv, err := buildServer("glove-100", "exact", 300, 2, 2, 1, 64, time.Millisecond)
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(srv.Close)
 	if srv.engine.Shards() != 2 || srv.engine.Len() != 300 {
 		t.Fatalf("unexpected engine shape: shards=%d len=%d", srv.engine.Shards(), srv.engine.Len())
 	}
-	if _, err := buildServer("nope", "exact", 100, 1, 1, 1); err == nil {
+	if srv.coalescer == nil {
+		t.Error("coalesce-max > 0 must enable coalescing")
+	}
+	plain, err := buildServer("glove-100", "exact", 100, 1, 1, 1, 0, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(plain.Close)
+	if plain.coalescer != nil {
+		t.Error("coalesce-max = 0 must disable coalescing")
+	}
+	if _, err := buildServer("nope", "exact", 100, 1, 1, 1, 0, 0); err == nil {
 		t.Error("unknown dataset must fail")
 	}
-	if _, err := buildServer("sift-1b", "nope", 100, 1, 1, 1); err == nil {
+	if _, err := buildServer("sift-1b", "nope", 100, 1, 1, 1, 0, 0); err == nil {
 		t.Error("unknown algorithm must fail")
 	}
 }

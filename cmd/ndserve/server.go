@@ -4,22 +4,29 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"time"
 
 	"ndsearch/internal/ann"
+	"ndsearch/internal/batcher"
 	"ndsearch/internal/engine"
 	"ndsearch/internal/vec"
 )
 
 // Server exposes a sharded engine over HTTP: POST /search for single
 // and batch queries, GET /healthz for liveness, GET /stats for the
-// engine's cumulative serving counters.
+// engine's cumulative serving counters. With coalescing enabled,
+// single-query requests are admitted through a batcher.Batcher so
+// concurrent callers share engine batches.
 type Server struct {
 	engine  *engine.Engine
 	dim     int
 	dataset string
 	algo    string
+	// coalescer, when non-nil, serves single-query requests; explicit
+	// batch requests already amortise a dispatch and go direct.
+	coalescer *batcher.Batcher
 	// defaultK applies when a request omits k.
 	defaultK int
 	// maxBatch rejects oversized batch requests.
@@ -36,6 +43,20 @@ func NewServer(e *engine.Engine, dim int, dataset, algo string) *Server {
 		engine: e, dim: dim, dataset: dataset, algo: algo,
 		defaultK: 10, maxBatch: 4096, maxBodyBytes: 64 << 20,
 	}
+}
+
+// EnableCoalescing routes single-query /search requests through an
+// asynchronous micro-batcher over the engine.
+func (s *Server) EnableCoalescing(cfg batcher.Config) {
+	s.coalescer = batcher.New(s.engine, cfg)
+}
+
+// Close stops the coalescer (if enabled) and the engine's worker pool.
+func (s *Server) Close() {
+	if s.coalescer != nil {
+		s.coalescer.Close()
+	}
+	s.engine.Close()
 }
 
 // Handler returns the route mux.
@@ -61,12 +82,20 @@ type SearchResult struct {
 	Dist float32 `json:"dist"`
 }
 
-// BatchInfo reports the executed batch, mirroring engine.BatchStats.
+// BatchInfo reports the executed engine batch, mirroring
+// engine.BatchStats. For a coalesced request, Size is the formed engine
+// batch the request rode in and the coalesce fields describe admission.
 type BatchInfo struct {
 	Size      int     `json:"size"`
 	Shards    int     `json:"shards"`
 	LatencyUS float64 `json:"latency_us"`
 	QPS       float64 `json:"qps"`
+	// Coalesced marks requests served through the micro-batcher.
+	Coalesced bool `json:"coalesced,omitempty"`
+	// CoalescedSubmits is the number of requests sharing the batch.
+	CoalescedSubmits int `json:"coalesced_submits,omitempty"`
+	// CoalesceWaitUS is the time the request queued before dispatch.
+	CoalesceWaitUS float64 `json:"coalesce_wait_us,omitempty"`
 }
 
 // SearchResponse is the /search reply: Results[i] answers query i.
@@ -105,15 +134,39 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "k must be >= 1, got %d", k)
 		return
 	}
-	results, st := s.engine.SearchBatch(batch, k)
-	resp := SearchResponse{
-		Results: make([][]SearchResult, len(results)),
-		Batch: BatchInfo{
+	var (
+		results [][]ann.Neighbor
+		info    BatchInfo
+	)
+	if s.coalescer != nil && len(batch) == 1 {
+		res, bi, err := s.coalescer.Search(batch[0], k)
+		if err != nil {
+			httpError(w, http.StatusServiceUnavailable, "%v", err)
+			return
+		}
+		results = [][]ann.Neighbor{res}
+		info = BatchInfo{
+			Size:             bi.FormedSize,
+			Shards:           bi.Engine.Shards,
+			LatencyUS:        float64(bi.Engine.Latency) / float64(time.Microsecond),
+			QPS:              bi.Engine.QPS,
+			Coalesced:        true,
+			CoalescedSubmits: bi.Submits,
+			CoalesceWaitUS:   float64(bi.Wait) / float64(time.Microsecond),
+		}
+	} else {
+		var st *engine.BatchStats
+		results, st = s.engine.SearchBatch(batch, k)
+		info = BatchInfo{
 			Size:      st.BatchSize,
 			Shards:    st.Shards,
 			LatencyUS: float64(st.Latency) / float64(time.Microsecond),
 			QPS:       st.QPS,
-		},
+		}
+	}
+	resp := SearchResponse{
+		Results: make([][]SearchResult, len(results)),
+		Batch:   info,
 	}
 	for i, ns := range results {
 		resp.Results[i] = toWire(ns)
@@ -145,6 +198,14 @@ func (s *Server) batchOf(req *SearchRequest) ([]vec.Vector, error) {
 		if len(q) != s.dim {
 			return nil, fmt.Errorf("query %d has dim %d, corpus dim is %d", i, len(q), s.dim)
 		}
+		// NaN components poison every (distance, ID) comparison and Inf
+		// saturates distances, silently wrecking heap order and recall —
+		// reject them at admission instead.
+		for j, c := range q {
+			if f := float64(c); math.IsNaN(f) || math.IsInf(f, 0) {
+				return nil, fmt.Errorf("query %d component %d is not finite (%v)", i, j, c)
+			}
+		}
 		batch[i] = vec.Vector(q)
 	}
 	return batch, nil
@@ -169,7 +230,21 @@ type HealthResponse struct {
 	Dim     int    `json:"dim"`
 }
 
+// allowGet gates read-only endpoints to GET/HEAD, mirroring /search's
+// method check; anything else is a 405 with an Allow header.
+func allowGet(w http.ResponseWriter, r *http.Request) bool {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		w.Header().Set("Allow", "GET, HEAD")
+		httpError(w, http.StatusMethodNotAllowed, "GET or HEAD only")
+		return false
+	}
+	return true
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if !allowGet(w, r) {
+		return
+	}
 	writeJSON(w, http.StatusOK, HealthResponse{
 		Status: "ok", Dataset: s.dataset, Algo: s.algo,
 		Vectors: s.engine.Len(), Shards: s.engine.Shards(),
@@ -177,26 +252,59 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// StatsResponse is the /stats payload: cumulative engine counters.
+// StatsResponse is the /stats payload: cumulative engine counters,
+// per-shard task counts, and (when enabled) coalescer counters.
 type StatsResponse struct {
-	Batches            int64   `json:"batches"`
-	Queries            int64   `json:"queries"`
-	ShardSearches      int64   `json:"shard_searches"`
-	BusyUS             float64 `json:"busy_us"`
-	MeanQueryLatencyUS float64 `json:"mean_query_latency_us"`
-	MaxBatchLatencyUS  float64 `json:"max_batch_latency_us"`
+	Batches            int64           `json:"batches"`
+	Queries            int64           `json:"queries"`
+	ShardSearches      int64           `json:"shard_searches"`
+	PerShardSearches   []int64         `json:"per_shard_searches"`
+	BusyUS             float64         `json:"busy_us"`
+	MeanQueryLatencyUS float64         `json:"mean_query_latency_us"`
+	MaxBatchLatencyUS  float64         `json:"max_batch_latency_us"`
+	Coalescer          *CoalescerStats `json:"coalescer,omitempty"`
+}
+
+// CoalescerStats is the admission-layer section of /stats.
+type CoalescerStats struct {
+	Submits         int64   `json:"submits"`
+	Queries         int64   `json:"queries"`
+	Batches         int64   `json:"batches"`
+	MeanFormedBatch float64 `json:"mean_formed_batch"`
+	MaxFormedBatch  int     `json:"max_formed_batch"`
+	MeanWaitUS      float64 `json:"mean_wait_us"`
+	MaxWaitUS       float64 `json:"max_wait_us"`
+	QueueDepth      int     `json:"queue_depth"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if !allowGet(w, r) {
+		return
+	}
 	st := s.engine.Stats()
-	writeJSON(w, http.StatusOK, StatsResponse{
+	resp := StatsResponse{
 		Batches:            st.Batches,
 		Queries:            st.Queries,
 		ShardSearches:      st.ShardSearches,
+		PerShardSearches:   st.PerShardSearches,
 		BusyUS:             float64(st.Busy) / float64(time.Microsecond),
 		MeanQueryLatencyUS: float64(st.MeanQueryLatency()) / float64(time.Microsecond),
 		MaxBatchLatencyUS:  float64(st.MaxBatchLatency) / float64(time.Microsecond),
-	})
+	}
+	if s.coalescer != nil {
+		cs := s.coalescer.Stats()
+		resp.Coalescer = &CoalescerStats{
+			Submits:         cs.Submits,
+			Queries:         cs.Queries,
+			Batches:         cs.Batches,
+			MeanFormedBatch: cs.MeanFormedBatch(),
+			MaxFormedBatch:  cs.MaxFormedBatch,
+			MeanWaitUS:      float64(cs.MeanWait()) / float64(time.Microsecond),
+			MaxWaitUS:       float64(cs.WaitMax) / float64(time.Microsecond),
+			QueueDepth:      cs.QueueDepth,
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

@@ -169,15 +169,30 @@ func NewFrontier(ef int) *Frontier {
 }
 
 // Push offers a neighbor to both heaps. It returns true if the neighbor
-// entered the result list (i.e. it was competitive).
+// entered the result list (i.e. it was competitive). Once the result
+// list is full, admission follows the package's (distance, ID) total
+// order: a candidate that ties the current worst on distance but has a
+// smaller ID evicts it, so a Frontier fold retains exactly the ef
+// smallest neighbors under that order.
 func (f *Frontier) Push(n Neighbor) bool {
-	if len(f.results) < f.ef {
+	if f.PushResult(n) {
 		heap.Push(&f.candidates, n)
+		return true
+	}
+	return false
+}
+
+// PushResult offers a neighbor to the bounded result list only, leaving
+// the candidate heap untouched — the fold for top-k merges that never
+// expand candidates (e.g. combining per-shard result lists). Admission
+// order matches Push.
+func (f *Frontier) PushResult(n Neighbor) bool {
+	if len(f.results) < f.ef {
 		heap.Push(&f.results, n)
 		return true
 	}
-	if worst := f.results[0]; n.Dist < worst.Dist {
-		heap.Push(&f.candidates, n)
+	worst := f.results[0]
+	if n.Dist < worst.Dist || (n.Dist == worst.Dist && n.ID < worst.ID) {
 		heap.Pop(&f.results)
 		heap.Push(&f.results, n)
 		return true

@@ -107,6 +107,69 @@ func TestFrontierRejectsWorse(t *testing.T) {
 	}
 }
 
+// Once full, a frontier must resolve distance ties at the boundary by
+// the (distance, ID) total order: smaller ID wins.
+func TestFrontierTieBreaksByID(t *testing.T) {
+	f := NewFrontier(2)
+	f.Push(Neighbor{1, 1})
+	f.Push(Neighbor{7, 3})
+	if f.Push(Neighbor{9, 3}) {
+		t.Error("equal distance, larger ID must be rejected")
+	}
+	if !f.Push(Neighbor{5, 3}) {
+		t.Error("equal distance, smaller ID must evict the worst result")
+	}
+	if f.Push(Neighbor{5, 3}) {
+		t.Error("candidate equal to the worst result must be rejected")
+	}
+	rs := f.Results()
+	if len(rs) != 2 || rs[0] != (Neighbor{1, 1}) || rs[1] != (Neighbor{5, 3}) {
+		t.Errorf("results = %v, want [{1 1} {5 3}]", rs)
+	}
+}
+
+// Property: folding every corpus distance through a Frontier — via Push
+// and via the result-list-only PushResult — yields exactly the
+// brute-force top-k, on corpora built from duplicated vectors so
+// distance ties are dense at every boundary.
+func TestFrontierTiesMatchBruteForce(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		// Few distinct positions, many copies: most distances collide.
+		distinct := randomData(3+rng.Intn(4), 4, seed+100)
+		data := make([]vec.Vector, 60)
+		for i := range data {
+			data[i] = distinct[rng.Intn(len(distinct))]
+		}
+		q := distinct[rng.Intn(len(distinct))]
+		dist := vec.DistanceFunc(vec.L2)
+		for _, k := range []int{1, 2, 5, 17, len(data)} {
+			full := NewFrontier(k)
+			resOnly := NewFrontier(k)
+			for i, v := range data {
+				n := Neighbor{ID: uint32(i), Dist: dist(q, v)}
+				full.Push(n)
+				resOnly.PushResult(n)
+			}
+			want := BruteForce(vec.L2, data, q, k)
+			for name, got := range map[string][]Neighbor{
+				"Push": full.Results(), "PushResult": resOnly.Results(),
+			} {
+				if len(got) != len(want) {
+					t.Fatalf("seed %d k=%d %s: %d results, want %d",
+						seed, k, name, len(got), len(want))
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("seed %d k=%d %s result %d: frontier %v != brute force %v",
+							seed, k, name, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
 func TestFrontierPopAndDone(t *testing.T) {
 	f := NewFrontier(2)
 	if !f.Done() {

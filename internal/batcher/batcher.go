@@ -1,0 +1,319 @@
+// Package batcher is the admission layer between request handlers and
+// the sharded engine: an asynchronous micro-batching scheduler that
+// coalesces concurrent, independently submitted queries into engine
+// batches. The paper's throughput story (conf_isca_WangLZSLCLC24 §VII)
+// depends on amortising a device pass over many queries; this package
+// recovers that batching for serving paths where each caller carries
+// only one query (or a small batch), instead of batching only what a
+// single request happens to contain.
+//
+// A batch is dispatched when the pending queue reaches Config.MaxBatch
+// queries or when Config.MaxWait has elapsed since the first pending
+// query arrived, whichever comes first — so coalescing adds at most
+// MaxWait of queueing latency. Submits sharing a k coalesce into one
+// engine batch; distinct k values dispatch as separate engine batches
+// within the same flush, because k shapes an approximate index's search
+// width — this keeps every caller's results byte-identical to a direct
+// engine search at its own k, independent of co-tenants.
+package batcher
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ndsearch/internal/ann"
+	"ndsearch/internal/engine"
+	"ndsearch/internal/vec"
+)
+
+// Engine is the backend a Batcher coalesces onto. *engine.Engine
+// satisfies it.
+type Engine interface {
+	SearchBatch(queries []vec.Vector, k int) ([][]ann.Neighbor, *engine.BatchStats)
+}
+
+// Defaults applied by New when the corresponding Config field is unset.
+const (
+	DefaultMaxBatch = 256
+	DefaultMaxWait  = 500 * time.Microsecond
+)
+
+// ErrClosed is returned by Submit after Close.
+var ErrClosed = errors.New("batcher: closed")
+
+// Config parameterises the coalescing policy.
+type Config struct {
+	// MaxBatch dispatches the pending queue once it holds this many
+	// queries. Defaults to DefaultMaxBatch.
+	MaxBatch int
+	// MaxWait dispatches a non-empty pending queue this long after its
+	// first query arrived, bounding the latency cost of coalescing.
+	// Defaults to DefaultMaxWait.
+	MaxWait time.Duration
+}
+
+// waiter is one Submit call parked until its batch completes.
+type waiter struct {
+	queries []vec.Vector
+	k       int
+	enq     time.Time
+	res     [][]ann.Neighbor
+	info    BatchInfo
+	ready   chan struct{}
+}
+
+// BatchInfo describes the coalesced engine batch that served one
+// Submit call.
+type BatchInfo struct {
+	// FormedSize is the total query count of the engine batch.
+	FormedSize int
+	// Submits is the number of Submit calls coalesced into the batch.
+	Submits int
+	// K is the result budget the engine batch ran with (submits only
+	// share a batch when their k matches).
+	K int
+	// Wait is the time this submit spent queued before dispatch.
+	Wait time.Duration
+	// Engine echoes the backend's own stats for the formed batch.
+	Engine *engine.BatchStats
+}
+
+// Stats are cumulative coalescing counters (updated at dispatch) plus
+// the instantaneous queue depth.
+type Stats struct {
+	// Submits and Queries count dispatched Submit calls and the
+	// queries they carried.
+	Submits, Queries int64
+	// Batches counts formed engine batches.
+	Batches int64
+	// MaxFormedBatch is the largest engine batch formed.
+	MaxFormedBatch int
+	// WaitTotal and WaitMax aggregate per-submit queueing delay.
+	WaitTotal, WaitMax time.Duration
+	// QueueDepth is the number of queries pending at snapshot time.
+	QueueDepth int
+}
+
+// MeanFormedBatch returns the average formed engine-batch size.
+func (s Stats) MeanFormedBatch() float64 {
+	if s.Batches == 0 {
+		return 0
+	}
+	return float64(s.Queries) / float64(s.Batches)
+}
+
+// MeanWait returns the average per-submit queueing delay.
+func (s Stats) MeanWait() time.Duration {
+	if s.Submits == 0 {
+		return 0
+	}
+	return time.Duration(int64(s.WaitTotal) / s.Submits)
+}
+
+// Batcher coalesces concurrent Submit calls into engine batches. It is
+// safe for concurrent use.
+type Batcher struct {
+	eng    Engine
+	cfg    Config
+	submit chan *waiter
+	// done is closed when the dispatcher (and every in-flight batch it
+	// spawned) has drained.
+	done  chan struct{}
+	depth atomic.Int64
+
+	// closeMu serialises Submit sends against Close closing the submit
+	// channel; Submit holds the read side only while enqueueing.
+	closeMu sync.RWMutex
+	closed  bool
+
+	mu    sync.Mutex
+	stats Stats
+}
+
+// New starts a Batcher over eng. Call Close to stop it; the Batcher
+// does not own (and never closes) the engine.
+func New(eng Engine, cfg Config) *Batcher {
+	if cfg.MaxBatch < 1 {
+		cfg.MaxBatch = DefaultMaxBatch
+	}
+	if cfg.MaxWait <= 0 {
+		cfg.MaxWait = DefaultMaxWait
+	}
+	b := &Batcher{
+		eng:    eng,
+		cfg:    cfg,
+		submit: make(chan *waiter, cfg.MaxBatch),
+		done:   make(chan struct{}),
+	}
+	go b.dispatch()
+	return b
+}
+
+// Submit enqueues queries for coalesced execution and blocks until the
+// batch they joined completes. Results[i] answers queries[i],
+// byte-identical to a direct engine search with the same k.
+func (b *Batcher) Submit(queries []vec.Vector, k int) ([][]ann.Neighbor, BatchInfo, error) {
+	if len(queries) == 0 {
+		return nil, BatchInfo{}, errors.New("batcher: empty submit")
+	}
+	if k < 1 {
+		return nil, BatchInfo{}, fmt.Errorf("batcher: k must be >= 1, got %d", k)
+	}
+	w := &waiter{queries: queries, k: k, enq: time.Now(), ready: make(chan struct{})}
+	b.closeMu.RLock()
+	if b.closed {
+		b.closeMu.RUnlock()
+		return nil, BatchInfo{}, ErrClosed
+	}
+	b.depth.Add(int64(len(queries)))
+	b.submit <- w
+	b.closeMu.RUnlock()
+	<-w.ready
+	return w.res, w.info, nil
+}
+
+// Search submits a single query — the coalesced counterpart of
+// engine.Engine.Search.
+func (b *Batcher) Search(query vec.Vector, k int) ([]ann.Neighbor, BatchInfo, error) {
+	res, info, err := b.Submit([]vec.Vector{query}, k)
+	if err != nil {
+		return nil, info, err
+	}
+	return res[0], info, nil
+}
+
+// Close stops accepting submits, dispatches whatever is pending, and
+// waits for in-flight batches to complete. It is idempotent.
+func (b *Batcher) Close() {
+	b.closeMu.Lock()
+	if !b.closed {
+		b.closed = true
+		close(b.submit)
+	}
+	b.closeMu.Unlock()
+	<-b.done
+}
+
+// Stats returns a snapshot of the cumulative counters.
+func (b *Batcher) Stats() Stats {
+	b.mu.Lock()
+	st := b.stats
+	b.mu.Unlock()
+	st.QueueDepth = int(b.depth.Load())
+	return st
+}
+
+// dispatch is the scheduler loop: it accumulates waiters and hands each
+// formed batch to its own goroutine, so a slow engine pass never blocks
+// the next batch from forming.
+func (b *Batcher) dispatch() {
+	defer close(b.done)
+	var (
+		pending  []*waiter
+		nqueries int
+		// deadline is nil (never fires) while the queue is empty and is
+		// armed by the first enqueue, giving the MaxWait bound.
+		deadline <-chan time.Time
+		inflight sync.WaitGroup
+	)
+	flush := func() {
+		if len(pending) == 0 {
+			return
+		}
+		batch, n := pending, nqueries
+		pending, nqueries, deadline = nil, 0, nil
+		inflight.Add(1)
+		go func() {
+			defer inflight.Done()
+			b.run(batch, n)
+		}()
+	}
+	for {
+		select {
+		case w, ok := <-b.submit:
+			if !ok {
+				flush()
+				inflight.Wait()
+				return
+			}
+			if len(pending) == 0 {
+				deadline = time.After(b.cfg.MaxWait)
+			}
+			pending = append(pending, w)
+			nqueries += len(w.queries)
+			if nqueries >= b.cfg.MaxBatch {
+				flush()
+			}
+		case <-deadline:
+			flush()
+		}
+	}
+}
+
+// run executes one flush: group the waiters by k (k shapes the search,
+// so mixing k values would make a caller's results depend on its
+// co-tenants), run one engine batch per group, and fan each waiter's
+// slice of its group's results back. Stats are published before any
+// waiter is released, so a caller that has returned from Submit is
+// always already counted in Stats().
+func (b *Batcher) run(batch []*waiter, n int) {
+	dispatched := time.Now()
+	b.depth.Add(-int64(n))
+	groups := make(map[int][]*waiter)
+	for _, w := range batch {
+		groups[w.k] = append(groups[w.k], w)
+	}
+
+	var waitTotal, waitMax time.Duration
+	maxFormed := 0
+	sizes := make(map[int]int, len(groups))
+	for k, ws := range groups {
+		gn := 0
+		for _, w := range ws {
+			gn += len(w.queries)
+			wait := dispatched.Sub(w.enq)
+			waitTotal += wait
+			if wait > waitMax {
+				waitMax = wait
+			}
+		}
+		sizes[k] = gn
+		if gn > maxFormed {
+			maxFormed = gn
+		}
+	}
+	b.mu.Lock()
+	b.stats.Submits += int64(len(batch))
+	b.stats.Queries += int64(n)
+	b.stats.Batches += int64(len(groups))
+	if maxFormed > b.stats.MaxFormedBatch {
+		b.stats.MaxFormedBatch = maxFormed
+	}
+	b.stats.WaitTotal += waitTotal
+	if waitMax > b.stats.WaitMax {
+		b.stats.WaitMax = waitMax
+	}
+	b.mu.Unlock()
+
+	for k, ws := range groups {
+		gn := sizes[k]
+		queries := make([]vec.Vector, 0, gn)
+		for _, w := range ws {
+			queries = append(queries, w.queries...)
+		}
+		res, est := b.eng.SearchBatch(queries, k)
+		off := 0
+		for _, w := range ws {
+			w.res = res[off : off+len(w.queries)]
+			off += len(w.queries)
+			w.info = BatchInfo{
+				FormedSize: gn, Submits: len(ws), K: k,
+				Wait: dispatched.Sub(w.enq), Engine: est,
+			}
+			close(w.ready)
+		}
+	}
+}

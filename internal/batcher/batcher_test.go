@@ -1,0 +1,268 @@
+package batcher
+
+import (
+	"reflect"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"ndsearch/internal/ann"
+	"ndsearch/internal/dataset"
+	"ndsearch/internal/engine"
+	"ndsearch/internal/vec"
+)
+
+func testEngine(t testing.TB, n, queries, shards, workers int) (*engine.Engine, *dataset.Dataset) {
+	t.Helper()
+	d, err := dataset.Generate(dataset.Sift1B(), dataset.GenConfig{N: n, Queries: queries, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := engine.BuilderByName("exact", d.Profile.Metric, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := engine.New(d.Vectors, engine.Config{Shards: shards, Workers: workers, Builder: b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(e.Close)
+	return e, d
+}
+
+// The acceptance invariant: results fanned back through the batcher are
+// byte-identical to a direct engine search, under many concurrent
+// single-query submitters (run with -race).
+func TestCoalescedMatchesDirect(t *testing.T) {
+	e, d := testEngine(t, 500, 32, 3, 4)
+	const k = 7
+	direct, _ := e.SearchBatch(d.Queries, k)
+
+	bat := New(e, Config{MaxBatch: 8, MaxWait: 200 * time.Microsecond})
+	defer bat.Close()
+	const rounds = 4
+	got := make([][][]ann.Neighbor, rounds)
+	var wg sync.WaitGroup
+	for r := 0; r < rounds; r++ {
+		got[r] = make([][]ann.Neighbor, len(d.Queries))
+		for qi := range d.Queries {
+			wg.Add(1)
+			go func(r, qi int) {
+				defer wg.Done()
+				res, info, err := bat.Search(d.Queries[qi], k)
+				if err != nil {
+					t.Errorf("round %d query %d: %v", r, qi, err)
+					return
+				}
+				if info.FormedSize < 1 || info.Submits < 1 || info.K < k {
+					t.Errorf("round %d query %d: bad info %+v", r, qi, info)
+				}
+				got[r][qi] = res
+			}(r, qi)
+		}
+	}
+	wg.Wait()
+	for r := 0; r < rounds; r++ {
+		for qi := range d.Queries {
+			if !reflect.DeepEqual(got[r][qi], direct[qi]) {
+				t.Fatalf("round %d query %d: coalesced %v != direct %v",
+					r, qi, got[r][qi], direct[qi])
+			}
+		}
+	}
+	st := bat.Stats()
+	if st.Submits != rounds*int64(len(d.Queries)) || st.Queries != st.Submits {
+		t.Fatalf("bad submit counters: %+v", st)
+	}
+	if st.Batches < 1 || st.MaxFormedBatch < 1 || st.MeanFormedBatch() <= 0 {
+		t.Fatalf("bad batch counters: %+v", st)
+	}
+	if st.QueueDepth != 0 {
+		t.Fatalf("queue not drained: %+v", st)
+	}
+}
+
+// Submits with different k flush together but dispatch as separate
+// engine batches (k shapes an approximate index's search width), so
+// each caller's results match a direct engine search at its own k.
+func TestMixedKSplitsEngineBatches(t *testing.T) {
+	e, d := testEngine(t, 300, 2, 2, 2)
+	bat := New(e, Config{MaxBatch: 2, MaxWait: time.Minute})
+	defer bat.Close()
+	type out struct {
+		res  []ann.Neighbor
+		info BatchInfo
+	}
+	outs := make([]out, 2)
+	ks := []int{3, 9}
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, info, err := bat.Search(d.Queries[i], ks[i])
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			outs[i] = out{res, info}
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < 2; i++ {
+		if len(outs[i].res) != ks[i] {
+			t.Fatalf("submit %d: %d results, want k=%d", i, len(outs[i].res), ks[i])
+		}
+		if outs[i].info.K != ks[i] || outs[i].info.FormedSize != 1 || outs[i].info.Submits != 1 {
+			t.Fatalf("submit %d: info %+v, want own engine batch at k=%d", i, outs[i].info, ks[i])
+		}
+		want := ann.BruteForce(d.Profile.Metric, d.Vectors, d.Queries[i], ks[i])
+		if !reflect.DeepEqual(outs[i].res, want) {
+			t.Fatalf("submit %d: %v != brute force %v", i, outs[i].res, want)
+		}
+	}
+	if st := bat.Stats(); st.Batches != 2 || st.Submits != 2 || st.MaxFormedBatch != 1 {
+		t.Fatalf("mixed-k flush must form one engine batch per k: %+v", st)
+	}
+}
+
+// Reaching MaxBatch queries dispatches immediately, without waiting out
+// the deadline.
+func TestSizeTriggeredDispatch(t *testing.T) {
+	e, d := testEngine(t, 200, 4, 2, 2)
+	bat := New(e, Config{MaxBatch: 4, MaxWait: time.Minute})
+	defer bat.Close()
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, _, err := bat.Search(d.Queries[i], 3); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("size-triggered dispatch took %v; deadline must not be the trigger", elapsed)
+	}
+	if st := bat.Stats(); st.Batches != 1 || st.MaxFormedBatch != 4 {
+		t.Fatalf("want one batch of 4, got %+v", st)
+	}
+}
+
+// A lone submit below MaxBatch dispatches once MaxWait elapses.
+func TestDeadlineTriggeredDispatch(t *testing.T) {
+	e, d := testEngine(t, 200, 1, 2, 2)
+	bat := New(e, Config{MaxBatch: 1 << 20, MaxWait: time.Millisecond})
+	defer bat.Close()
+	res, info, err := bat.Search(d.Queries[0], 5)
+	if err != nil || len(res) != 5 {
+		t.Fatalf("res=%v err=%v", res, err)
+	}
+	if info.FormedSize != 1 || info.Submits != 1 {
+		t.Fatalf("info %+v, want singleton batch", info)
+	}
+}
+
+// Close dispatches the pending queue, then rejects new submits; it is
+// idempotent.
+func TestCloseFlushesAndRejects(t *testing.T) {
+	e, d := testEngine(t, 200, 2, 2, 2)
+	bat := New(e, Config{MaxBatch: 1 << 20, MaxWait: time.Minute})
+	done := make(chan error, 1)
+	go func() {
+		res, _, err := bat.Search(d.Queries[0], 3)
+		if err == nil && len(res) != 3 {
+			t.Errorf("pending submit returned %d results, want 3", len(res))
+		}
+		done <- err
+	}()
+	// Let the submit reach the dispatcher before closing.
+	for bat.Stats().QueueDepth == 0 {
+		time.Sleep(100 * time.Microsecond)
+	}
+	bat.Close()
+	if err := <-done; err != nil {
+		t.Fatalf("pending submit must be served on Close, got %v", err)
+	}
+	if _, _, err := bat.Submit([]vec.Vector{d.Queries[1]}, 3); err != ErrClosed {
+		t.Fatalf("Submit after Close = %v, want ErrClosed", err)
+	}
+	bat.Close() // idempotent
+}
+
+func TestSubmitValidation(t *testing.T) {
+	e, d := testEngine(t, 100, 1, 1, 1)
+	bat := New(e, Config{})
+	defer bat.Close()
+	if _, _, err := bat.Submit(nil, 3); err == nil {
+		t.Error("empty submit must fail")
+	}
+	if _, _, err := bat.Submit([]vec.Vector{d.Queries[0]}, 0); err == nil {
+		t.Error("k=0 must fail")
+	}
+}
+
+// The closed-loop acceptance benchmark as a test: N concurrent
+// single-query submitters through the batcher must reach >= 3x the QPS
+// of serialized one-query SearchBatch calls, with byte-identical
+// results. The speedup comes from keeping the engine's worker pool full;
+// it needs real cores, so the ratio assertion is gated on GOMAXPROCS.
+func TestCoalescedThroughputBeatsSerialized(t *testing.T) {
+	if testing.Short() {
+		t.Skip("throughput measurement skipped in short mode")
+	}
+	e, d := testEngine(t, 3000, 256, 1, runtime.GOMAXPROCS(0))
+	const k = 10
+	direct, _ := e.SearchBatch(d.Queries, k)
+
+	serialStart := time.Now()
+	for qi := range d.Queries {
+		res, _ := e.SearchBatch(d.Queries[qi:qi+1], k)
+		if !reflect.DeepEqual(res[0], direct[qi]) {
+			t.Fatalf("serialized query %d diverged", qi)
+		}
+	}
+	serial := time.Since(serialStart)
+
+	bat := New(e, Config{MaxBatch: 64, MaxWait: 200 * time.Microsecond})
+	defer bat.Close()
+	const submitters = 16
+	got := make([][]ann.Neighbor, len(d.Queries))
+	coalStart := time.Now()
+	var wg sync.WaitGroup
+	for g := 0; g < submitters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for qi := g; qi < len(d.Queries); qi += submitters {
+				res, _, err := bat.Search(d.Queries[qi], k)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				got[qi] = res
+			}
+		}(g)
+	}
+	wg.Wait()
+	coalesced := time.Since(coalStart)
+
+	for qi := range d.Queries {
+		if !reflect.DeepEqual(got[qi], direct[qi]) {
+			t.Fatalf("coalesced query %d: %v != direct %v", qi, got[qi], direct[qi])
+		}
+	}
+	speedup := serial.Seconds() / coalesced.Seconds()
+	t.Logf("serialized %v, coalesced %v: %.2fx QPS (GOMAXPROCS=%d, stats %+v)",
+		serial, coalesced, speedup, runtime.GOMAXPROCS(0), bat.Stats())
+	if procs := runtime.GOMAXPROCS(0); procs < 4 {
+		t.Skipf("results verified byte-identical; %d procs cannot demonstrate the 3x speedup", procs)
+	}
+	if speedup < 3 {
+		t.Fatalf("coalesced speedup %.2fx, want >= 3x", speedup)
+	}
+}

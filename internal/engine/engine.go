@@ -1,10 +1,11 @@
 // Package engine is the production-shaped serving layer over the ANNS
 // indexes: it partitions a corpus across N shards (one ann.Index per
-// shard), fans query batches out to a bounded worker pool, merges the
-// per-shard top-k lists with the ann candidate-list machinery, and
-// reports per-batch latency/throughput statistics in the same shape as
-// core.Result. Sharding is contiguous, so a shard's local vertex i is
-// global vertex base+i; every merged Neighbor carries global IDs.
+// shard), fans query batches out to a persistent bounded worker pool
+// (started in New, stopped by Close), merges the per-shard top-k lists
+// with the ann candidate-list machinery, and reports per-batch
+// latency/throughput statistics in the same shape as core.Result.
+// Sharding is contiguous, so a shard's local vertex i is global vertex
+// base+i; every merged Neighbor carries global IDs.
 //
 // The engine is the architectural seam the ROADMAP's scaling work builds
 // on: cmd/ndserve serves HTTP traffic from it, examples/serving drives
@@ -16,6 +17,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ndsearch/internal/ann"
@@ -67,17 +69,36 @@ type shard struct {
 	base  uint32
 }
 
-// Engine is a sharded, concurrency-safe batch-search engine.
+// Engine is a sharded, concurrency-safe batch-search engine. Its worker
+// pool is persistent: New starts Workers goroutines that drain a shared
+// task channel until Close, so SearchBatch pays no per-call goroutine
+// setup and the Workers bound holds engine-wide across concurrent
+// callers by construction.
 type Engine struct {
 	shards  []shard
 	workers int
 	len     int
-	// sem bounds in-flight shard searches engine-wide, so Workers holds
-	// even when many callers run SearchBatch concurrently.
-	sem chan struct{}
+	// tasks feeds the persistent worker pool; SearchBatch callers
+	// enqueue one task per (query, shard) pair.
+	tasks chan task
+	// wg tracks the pool goroutines so Close can wait for them.
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+	// perShard counts executed tasks per shard (load-skew telemetry).
+	perShard []atomic.Int64
 
 	mu    sync.Mutex
 	stats Stats
+}
+
+// task is one (query, shard) search. Each task owns a distinct result
+// slot, so workers need no locking; done releases the waiting caller.
+type task struct {
+	query vec.Vector
+	k     int
+	si    int
+	out   *[]ann.Neighbor
+	done  *sync.WaitGroup
 }
 
 // Partition splits n items into parts contiguous ranges as evenly as
@@ -97,8 +118,10 @@ func Partition(n, parts int) []int {
 	return offsets
 }
 
-// New partitions data across cfg.Shards contiguous shards and builds
-// each shard's index (concurrently, bounded by cfg.Workers).
+// New partitions data across cfg.Shards contiguous shards, builds each
+// shard's index (concurrently, bounded by cfg.Workers), and starts the
+// persistent worker pool. Call Close when done with the engine to stop
+// the pool.
 func New(data []vec.Vector, cfg Config) (*Engine, error) {
 	if err := cfg.normalize(len(data)); err != nil {
 		return nil, err
@@ -108,7 +131,10 @@ func New(data []vec.Vector, cfg Config) (*Engine, error) {
 		shards:  make([]shard, cfg.Shards),
 		workers: cfg.Workers,
 		len:     len(data),
-		sem:     make(chan struct{}, cfg.Workers),
+		// A modest buffer decouples task producers from worker pickup
+		// without letting one huge batch monopolise the queue.
+		tasks:    make(chan task, 4*cfg.Workers),
+		perShard: make([]atomic.Int64, cfg.Shards),
 	}
 	errs := make([]error, cfg.Shards)
 	sem := make(chan struct{}, cfg.Workers)
@@ -133,7 +159,38 @@ func New(data []vec.Vector, cfg Config) (*Engine, error) {
 			return nil, err
 		}
 	}
+	for w := 0; w < cfg.Workers; w++ {
+		e.wg.Add(1)
+		go e.worker()
+	}
 	return e, nil
+}
+
+// worker drains the shared task channel until Close closes it.
+func (e *Engine) worker() {
+	defer e.wg.Done()
+	for t := range e.tasks {
+		sh := e.shards[t.si]
+		res := sh.index.Search(t.query, t.k)
+		// Translate shard-local IDs to global IDs in place on the
+		// freshly returned slice.
+		for i := range res {
+			res[i].ID += sh.base
+		}
+		*t.out = res
+		e.perShard[t.si].Add(1)
+		t.done.Done()
+	}
+}
+
+// Close stops the worker pool and waits for the workers to exit. It is
+// idempotent. SearchBatch and Search must not be called after (or
+// concurrently with) Close.
+func (e *Engine) Close() {
+	e.closeOnce.Do(func() {
+		close(e.tasks)
+		e.wg.Wait()
+	})
 }
 
 // Shards returns the shard count.
@@ -188,46 +245,20 @@ func (e *Engine) SearchBatch(queries []vec.Vector, k int) ([][]ann.Neighbor, *Ba
 	}
 
 	// partial[qi][si] is query qi's top-k from shard si; every task owns
-	// a distinct slot, so workers need no locking.
+	// a distinct slot, so workers need no locking. The done WaitGroup
+	// pairs this call with exactly its own tasks on the shared pool.
 	partial := make([][][]ann.Neighbor, len(queries))
 	for qi := range partial {
 		partial[qi] = make([][]ann.Neighbor, len(e.shards))
 	}
-	type task struct{ qi, si int }
-	tasks := make(chan task)
-	workers := e.workers
-	if total := len(queries) * len(e.shards); workers > total {
-		workers = total
-	}
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for t := range tasks {
-				// The engine-wide semaphore keeps total in-flight
-				// searches at Workers across concurrent SearchBatch
-				// callers, not Workers per call.
-				e.sem <- struct{}{}
-				sh := e.shards[t.si]
-				res := sh.index.Search(queries[t.qi], k)
-				<-e.sem
-				// Translate shard-local IDs to global IDs in place on
-				// the freshly returned slice.
-				for i := range res {
-					res[i].ID += sh.base
-				}
-				partial[t.qi][t.si] = res
-			}
-		}()
-	}
-	for qi := range queries {
+	var done sync.WaitGroup
+	done.Add(len(queries) * len(e.shards))
+	for qi, q := range queries {
 		for si := range e.shards {
-			tasks <- task{qi, si}
+			e.tasks <- task{query: q, k: k, si: si, out: &partial[qi][si], done: &done}
 		}
 	}
-	close(tasks)
-	wg.Wait()
+	done.Wait()
 
 	out := make([][]ann.Neighbor, len(queries))
 	for qi := range queries {
@@ -242,25 +273,19 @@ func (e *Engine) SearchBatch(queries []vec.Vector, k int) ([][]ann.Neighbor, *Ba
 	return out, st
 }
 
-// mergeTopK merges per-shard result lists under the ann package's
-// global (distance, ID) order and truncates to k. A full sort (the
-// lists total at most shards*k entries) rather than a Frontier fold:
-// Frontier.Push drops equal-distance candidates once full, which would
-// break the exact-merge invariant on distance ties at the k-th position.
+// mergeTopK folds per-shard result lists through a bounded Frontier
+// result list. PushResult admits by the ann package's (distance, ID)
+// total order — including ties at the k-th position — so the fold is an
+// exact merge, without the candidate-heap bookkeeping graph traversal
+// needs.
 func mergeTopK(lists [][]ann.Neighbor, k int) []ann.Neighbor {
-	var total int
+	f := ann.NewFrontier(k)
 	for _, list := range lists {
-		total += len(list)
+		for _, n := range list {
+			f.PushResult(n)
+		}
 	}
-	merged := make([]ann.Neighbor, 0, total)
-	for _, list := range lists {
-		merged = append(merged, list...)
-	}
-	ann.SortNeighbors(merged)
-	if k > len(merged) {
-		k = len(merged)
-	}
-	return merged[:k]
+	return f.Results()
 }
 
 // Stats are cumulative serving counters (the /stats endpoint payload).
@@ -274,6 +299,11 @@ type Stats struct {
 	Busy time.Duration
 	// MaxBatchLatency is the slowest batch seen.
 	MaxBatchLatency time.Duration
+	// PerShardSearches counts executed (query, shard) tasks per shard,
+	// so partition skew is observable. Per-shard counters tick as tasks
+	// complete while the batch totals above update once per batch, so a
+	// snapshot taken mid-batch may show their sum ahead of ShardSearches.
+	PerShardSearches []int64
 }
 
 // MeanQueryLatency returns Busy spread over completed queries.
@@ -299,8 +329,13 @@ func (e *Engine) record(st *BatchStats) {
 // Stats returns a snapshot of the cumulative counters.
 func (e *Engine) Stats() Stats {
 	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.stats
+	st := e.stats
+	e.mu.Unlock()
+	st.PerShardSearches = make([]int64, len(e.perShard))
+	for i := range e.perShard {
+		st.PerShardSearches[i] = e.perShard[i].Load()
+	}
+	return st
 }
 
 // BuilderByName returns a shard-index Builder for a named algorithm:

@@ -32,6 +32,7 @@ func exactEngine(t *testing.T, data []vec.Vector, m vec.Metric, shards, workers 
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(e.Close)
 	return e
 }
 
@@ -136,9 +137,8 @@ func TestConcurrentBatches(t *testing.T) {
 }
 
 // Distance ties at the k-th position across shards must resolve by the
-// global (distance, ID) order, exactly as brute force does — the case a
-// Frontier-based merge gets wrong (it drops equal-distance candidates
-// once full).
+// global (distance, ID) order, exactly as brute force does — the case
+// the Frontier-based merge relies on Frontier.Push's ID tie-break for.
 func TestMergeResolvesTiesLikeBruteForce(t *testing.T) {
 	// Eight vectors, four distinct positions, each duplicated across the
 	// two shard halves: every distance ties between shards.
@@ -204,6 +204,53 @@ func TestWorkersBoundHoldsAcrossConcurrentBatches(t *testing.T) {
 	wg.Wait()
 	if got := atomic.LoadInt64(&peak); got > workers {
 		t.Fatalf("observed %d concurrent shard searches, bound is %d", got, workers)
+	}
+}
+
+// Close must stop the pool exactly once, be idempotent, and leave
+// completed results and counters intact.
+func TestClose(t *testing.T) {
+	d := testData(t, 100, 8)
+	b, err := BuilderByName("exact", d.Profile.Metric, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(d.Vectors, Config{Shards: 2, Workers: 2, Builder: b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _ := e.SearchBatch(d.Queries, 3)
+	if len(res) != len(d.Queries) {
+		t.Fatalf("got %d result lists, want %d", len(res), len(d.Queries))
+	}
+	e.Close()
+	e.Close() // idempotent
+	st := e.Stats()
+	if st.Batches != 1 || st.Queries != int64(len(d.Queries)) {
+		t.Fatalf("stats lost across Close: %+v", st)
+	}
+}
+
+// Every query visits every shard, so the per-shard counters must be
+// uniform and sum to ShardSearches.
+func TestPerShardSearchCounters(t *testing.T) {
+	d := testData(t, 300, 12)
+	e := exactEngine(t, d.Vectors, d.Profile.Metric, 3, 2)
+	e.SearchBatch(d.Queries, 4)
+	e.SearchBatch(d.Queries[:5], 4)
+	st := e.Stats()
+	if len(st.PerShardSearches) != 3 {
+		t.Fatalf("PerShardSearches = %v, want 3 shards", st.PerShardSearches)
+	}
+	var sum int64
+	for si, c := range st.PerShardSearches {
+		if c != st.Queries {
+			t.Errorf("shard %d executed %d searches, want %d", si, c, st.Queries)
+		}
+		sum += c
+	}
+	if sum != st.ShardSearches {
+		t.Fatalf("per-shard sum %d != ShardSearches %d", sum, st.ShardSearches)
 	}
 }
 

@@ -23,6 +23,7 @@ func Example() {
 	if err != nil {
 		panic(err)
 	}
+	defer e.Close()
 
 	queries := []vec.Vector{{0.4, 0}, {2.6, 9}}
 	results, stats := e.SearchBatch(queries, 2)
