@@ -41,12 +41,14 @@ type GraphView interface {
 }
 
 // BruteForce scans the whole corpus and returns the exact top-k under
-// metric m — the ground truth for recall.
+// metric m — the ground truth for recall. It runs on the kernel path
+// (query preprocessed once, unrolled inner loops), so its distances are
+// bit-identical to Exact and the sharded engine's exact shards.
 func BruteForce(m vec.Metric, data []vec.Vector, query vec.Vector, k int) []Neighbor {
-	dist := vec.DistanceFunc(m)
+	q := vec.PrepareQuery(m, query)
 	all := make([]Neighbor, len(data))
 	for i, v := range data {
-		all[i] = Neighbor{ID: uint32(i), Dist: dist(query, v)}
+		all[i] = Neighbor{ID: uint32(i), Dist: q.DistanceTo(v)}
 	}
 	sortNeighbors(all)
 	if k > len(all) {
@@ -250,8 +252,10 @@ func (f *Frontier) TopK(k int) []Neighbor {
 	return rs[:k]
 }
 
-// Validate sanity-checks a result list: ascending order, unique IDs,
-// IDs within range. Used by tests and the simulator's invariant checks.
+// Validate sanity-checks a result list: ascending (distance, ID) order
+// — the package's total order, including ID-ascending tie-breaks —
+// unique IDs, IDs within range. Used by tests and the simulator's
+// invariant checks.
 func Validate(ns []Neighbor, n int) error {
 	seen := make(map[uint32]bool, len(ns))
 	for i, x := range ns {
@@ -262,8 +266,14 @@ func Validate(ns []Neighbor, n int) error {
 			return fmt.Errorf("ann: duplicate result ID %d", x.ID)
 		}
 		seen[x.ID] = true
-		if i > 0 && x.Dist < ns[i-1].Dist {
-			return fmt.Errorf("ann: results not sorted at index %d", i)
+		if i > 0 {
+			prev := ns[i-1]
+			if x.Dist < prev.Dist {
+				return fmt.Errorf("ann: results not sorted at index %d", i)
+			}
+			if x.Dist == prev.Dist && x.ID < prev.ID {
+				return fmt.Errorf("ann: tie at index %d not in ascending ID order (%d after %d)", i, x.ID, prev.ID)
+			}
 		}
 	}
 	return nil

@@ -142,12 +142,14 @@ func TestFrontierTiesMatchBruteForce(t *testing.T) {
 			data[i] = distinct[rng.Intn(len(distinct))]
 		}
 		q := distinct[rng.Intn(len(distinct))]
-		dist := vec.DistanceFunc(vec.L2)
+		// Feed the frontier the same kernel-path distances BruteForce
+		// computes, so the comparison is about fold semantics alone.
+		pq := vec.PrepareQuery(vec.L2, q)
 		for _, k := range []int{1, 2, 5, 17, len(data)} {
 			full := NewFrontier(k)
 			resOnly := NewFrontier(k)
 			for i, v := range data {
-				n := Neighbor{ID: uint32(i), Dist: dist(q, v)}
+				n := Neighbor{ID: uint32(i), Dist: pq.DistanceTo(v)}
 				full.Push(n)
 				resOnly.PushResult(n)
 			}
@@ -237,6 +239,14 @@ func TestValidate(t *testing.T) {
 	}
 	if err := Validate([]Neighbor{{0, 2}, {1, 1}}, 5); err == nil {
 		t.Error("descending distances must fail")
+	}
+	// The full (distance, ID) total order: equal-distance runs must be
+	// in ascending ID order, not merely non-descending by distance.
+	if err := Validate([]Neighbor{{0, 1}, {2, 2}, {1, 2}}, 5); err == nil {
+		t.Error("tie in descending ID order must fail")
+	}
+	if err := Validate([]Neighbor{{0, 1}, {1, 2}, {2, 2}, {3, 3}}, 5); err != nil {
+		t.Errorf("tie in ascending ID order must pass: %v", err)
 	}
 }
 

@@ -8,29 +8,49 @@ import (
 // Exact is a brute-force Index over an in-memory corpus: every Search is
 // a full scan, so its results are the ground truth. It serves as the
 // reference baseline the sharded engine is validated against and as a
-// drop-in shard index when exactness matters more than speed.
+// drop-in shard index when exactness matters more than speed. The
+// corpus is held in a contiguous vec.Matrix with precomputed norms, so
+// the scan runs on the batched kernel path.
 type Exact struct {
-	metric vec.Metric
-	data   []vec.Vector
+	kern *vec.Kernel
 }
 
-// NewExact wraps data in a brute-force index under metric m. The slice
-// is retained, not copied.
+// NewExact copies data into a contiguous flat store under metric m. The
+// input slices are not retained.
 func NewExact(m vec.Metric, data []vec.Vector) *Exact {
-	return &Exact{metric: m, data: data}
+	return &Exact{kern: vec.NewKernel(m, vec.NewMatrix(data))}
 }
 
-// Search returns the exact top-k neighbors of query.
+// Search returns the exact top-k neighbors of query. Distances are
+// bit-identical to BruteForce over the same corpus: both run the same
+// kernel arithmetic (BruteForce computes stored norms on the fly with
+// the same accumulation Matrix construction uses).
 func (e *Exact) Search(query vec.Vector, k int) []Neighbor {
-	return BruteForce(e.metric, e.data, query, k)
+	n := e.kern.Matrix().Rows()
+	if n == 0 {
+		return nil
+	}
+	q := e.kern.Prepare(query)
+	dists := make([]float32, n)
+	e.kern.DistsAll(q, dists)
+	all := make([]Neighbor, n)
+	for i, d := range dists {
+		all[i] = Neighbor{ID: uint32(i), Dist: d}
+	}
+	sortNeighbors(all)
+	if k > len(all) {
+		k = len(all)
+	}
+	return all[:k]
 }
 
 // SearchTraced returns the exact top-k and a single-iteration trace that
 // visits the whole corpus — the degenerate "graph" a full scan induces.
 func (e *Exact) SearchTraced(query vec.Vector, k int) ([]Neighbor, trace.Query) {
 	res := e.Search(query, k)
-	it := trace.Iter{Neighbors: make([]uint32, len(e.data))}
-	for i := range e.data {
+	n := e.kern.Matrix().Rows()
+	it := trace.Iter{Neighbors: make([]uint32, n)}
+	for i := 0; i < n; i++ {
 		it.Neighbors[i] = uint32(i)
 	}
 	if len(res) > 0 {
@@ -40,10 +60,10 @@ func (e *Exact) SearchTraced(query vec.Vector, k int) ([]Neighbor, trace.Query) 
 }
 
 // Graph returns an edgeless view: a flat scan has no proximity graph.
-func (e *Exact) Graph() GraphView { return exactView{n: len(e.data)} }
+func (e *Exact) Graph() GraphView { return exactView{n: e.kern.Matrix().Rows()} }
 
 // Len returns the corpus size.
-func (e *Exact) Len() int { return len(e.data) }
+func (e *Exact) Len() int { return e.kern.Matrix().Rows() }
 
 type exactView struct{ n int }
 

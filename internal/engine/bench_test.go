@@ -1,0 +1,65 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"ndsearch/internal/vec"
+)
+
+// BenchmarkSearchBatch is the end-to-end engine throughput benchmark:
+// a sharded exact engine (every query pays the full kernel scan of
+// every shard) driven with a fixed query batch. qps is reported as a
+// custom metric; BENCH_kernels.json commits a run as the serving-layer
+// perf baseline.
+func BenchmarkSearchBatch(b *testing.B) {
+	const (
+		n     = 4096
+		dim   = 128
+		batch = 64
+		k     = 10
+	)
+	rng := rand.New(rand.NewSource(9))
+	data := make([]vec.Vector, n)
+	for i := range data {
+		v := make(vec.Vector, dim)
+		for d := range v {
+			v[d] = rng.Float32()
+		}
+		data[i] = v
+	}
+	queries := make([]vec.Vector, batch)
+	for i := range queries {
+		v := make(vec.Vector, dim)
+		for d := range v {
+			v[d] = rng.Float32()
+		}
+		queries[i] = v
+	}
+	for _, metric := range []vec.Metric{vec.L2, vec.Angular} {
+		for _, shards := range []int{1, 4} {
+			b.Run(fmt.Sprintf("exact/%v/shards%d", metric, shards), func(b *testing.B) {
+				builder, err := BuilderByName("exact", metric, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				e, err := New(data, Config{Shards: shards, Builder: builder})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer e.Close()
+				b.ResetTimer()
+				var qps float64
+				for i := 0; i < b.N; i++ {
+					res, st := e.SearchBatch(queries, k)
+					if len(res) != batch {
+						b.Fatalf("got %d results, want %d", len(res), batch)
+					}
+					qps = st.QPS
+				}
+				b.ReportMetric(qps, "qps")
+			})
+		}
+	}
+}

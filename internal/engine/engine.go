@@ -103,10 +103,15 @@ type task struct {
 
 // Partition splits n items into parts contiguous ranges as evenly as
 // possible and returns the part boundaries: offsets[i]..offsets[i+1] is
-// part i, len(offsets) == parts+1.
+// part i, len(offsets) == parts+1. parts is clamped to [1, n] (to 1
+// when n == 0), so no returned range is ever empty for a non-empty
+// input — direct callers get the same guarantee Config.normalize gives
+// the engine and cannot build empty shards.
 func Partition(n, parts int) []int {
-	if parts < 1 {
+	if parts < 1 || n == 0 {
 		parts = 1
+	} else if parts > n {
+		parts = n
 	}
 	offsets := make([]int, parts+1)
 	for i := 1; i <= parts; i++ {

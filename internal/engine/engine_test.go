@@ -255,16 +255,24 @@ func TestPerShardSearchCounters(t *testing.T) {
 }
 
 func TestPartition(t *testing.T) {
-	for _, tc := range []struct{ n, parts int }{
-		{10, 3}, {1, 1}, {7, 7}, {100, 16}, {5, 2},
+	// wantParts is the clamped part count: parts bounded to [1, n]
+	// (to 1 when n == 0), so no range is empty for non-empty input.
+	for _, tc := range []struct{ n, parts, wantParts int }{
+		{10, 3, 3}, {1, 1, 1}, {7, 7, 7}, {100, 16, 16}, {5, 2, 2},
+		// Clamping cases: parts > n, parts < 1, empty input.
+		{3, 8, 3}, {1, 5, 1}, {10, 0, 1}, {10, -2, 1}, {0, 4, 1}, {0, 0, 1},
 	} {
 		off := Partition(tc.n, tc.parts)
-		if len(off) != tc.parts+1 || off[0] != 0 || off[tc.parts] != tc.n {
-			t.Fatalf("Partition(%d,%d) = %v", tc.n, tc.parts, off)
+		if len(off) != tc.wantParts+1 || off[0] != 0 || off[tc.wantParts] != tc.n {
+			t.Fatalf("Partition(%d,%d) = %v, want %d parts covering [0,%d)",
+				tc.n, tc.parts, off, tc.wantParts, tc.n)
 		}
-		for i := 1; i <= tc.parts; i++ {
+		for i := 1; i <= tc.wantParts; i++ {
 			size := off[i] - off[i-1]
-			if size < tc.n/tc.parts || size > tc.n/tc.parts+1 {
+			if tc.n > 0 && size < 1 {
+				t.Fatalf("Partition(%d,%d) produced empty part %d: %v", tc.n, tc.parts, i-1, off)
+			}
+			if size < tc.n/tc.wantParts || size > tc.n/tc.wantParts+1 {
 				t.Fatalf("Partition(%d,%d) uneven: %v", tc.n, tc.parts, off)
 			}
 		}

@@ -52,18 +52,22 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// Index is a built HCNNG graph.
+// Index is a built HCNNG graph. The corpus lives in a contiguous
+// vec.Matrix; all distance evaluation goes through the batched kernel
+// layer (query preprocessed once per search, stored norms precomputed
+// at build).
 type Index struct {
 	cfg   Config
-	data  []vec.Vector
-	dist  func(a, b vec.Vector) float32
+	mat   *vec.Matrix
+	kern  *vec.Kernel
 	g     *graph.Graph
 	entry uint32
 }
 
 var _ ann.Index = (*Index)(nil)
 
-// Build constructs the HCNNG index.
+// Build constructs the HCNNG index. The vectors are copied into a
+// contiguous flat store; the input slices are not retained.
 func Build(data []vec.Vector, cfg Config) (*Index, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -71,7 +75,8 @@ func Build(data []vec.Vector, cfg Config) (*Index, error) {
 	if len(data) == 0 {
 		return nil, fmt.Errorf("hcnng: empty dataset")
 	}
-	idx := &Index{cfg: cfg, data: data, dist: vec.DistanceFunc(cfg.Metric), g: graph.New(len(data))}
+	mat := vec.NewMatrix(data)
+	idx := &Index{cfg: cfg, mat: mat, kern: vec.NewKernel(cfg.Metric, mat), g: graph.New(len(data))}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	points := make([]uint32, len(data))
 	for i := range points {
@@ -108,7 +113,7 @@ func (x *Index) cluster(points []uint32, rng *rand.Rand) {
 	}
 	var left, right []uint32
 	for _, p := range points {
-		if x.dist(x.data[p], x.data[a]) <= x.dist(x.data[p], x.data[b]) {
+		if x.kern.DistRows(int(p), int(a)) <= x.kern.DistRows(int(p), int(b)) {
 			left = append(left, p)
 		} else {
 			right = append(right, p)
@@ -140,7 +145,7 @@ func (x *Index) mstEdges(points []uint32) {
 	}
 	inTree[0] = true
 	for i := 1; i < n; i++ {
-		minDist[i] = x.dist(x.data[points[0]], x.data[points[i]])
+		minDist[i] = x.kern.DistRows(int(points[0]), int(points[i]))
 		minEdge[i] = 0
 	}
 	for added := 1; added < n; added++ {
@@ -158,7 +163,7 @@ func (x *Index) mstEdges(points []uint32) {
 		x.g.AddEdge(points[minEdge[best]], points[best])
 		for i := 0; i < n; i++ {
 			if !inTree[i] {
-				if d := x.dist(x.data[points[best]], x.data[points[i]]); d < minDist[i] {
+				if d := x.kern.DistRows(int(points[best]), int(points[i])); d < minDist[i] {
 					minDist[i] = d
 					minEdge[i] = best
 				}
@@ -176,7 +181,7 @@ func (x *Index) capDegrees() {
 		}
 		cands := make([]ann.Neighbor, len(nbrs))
 		for i, n := range nbrs {
-			cands[i] = ann.Neighbor{ID: n, Dist: x.dist(x.data[v], x.data[n])}
+			cands[i] = ann.Neighbor{ID: n, Dist: x.kern.DistRows(v, int(n))}
 		}
 		sort.Slice(cands, func(i, j int) bool { return cands[i].Dist < cands[j].Dist })
 		out := make([]uint32, x.cfg.MaxDegree)
@@ -205,9 +210,10 @@ func (x *Index) searchInternal(query vec.Vector, k int, tr *trace.Query) ([]ann.
 	if l < k {
 		l = k
 	}
+	q := x.kern.Prepare(query)
 	visited := map[uint32]bool{x.entry: true}
 	f := ann.NewFrontier(l)
-	f.Push(ann.Neighbor{ID: x.entry, Dist: x.dist(query, x.data[x.entry])})
+	f.Push(ann.Neighbor{ID: x.entry, Dist: x.kern.DistTo(q, int(x.entry))})
 	for {
 		c, ok := f.PopNearest()
 		if !ok {
@@ -223,7 +229,7 @@ func (x *Index) searchInternal(query vec.Vector, k int, tr *trace.Query) ([]ann.
 			}
 			visited[n] = true
 			computed = append(computed, n)
-			f.Push(ann.Neighbor{ID: n, Dist: x.dist(query, x.data[n])})
+			f.Push(ann.Neighbor{ID: n, Dist: x.kern.DistTo(q, int(n))})
 		}
 		if tr != nil && len(computed) > 0 {
 			tr.Iters = append(tr.Iters, trace.Iter{Entry: c.ID, Neighbors: computed})
@@ -243,7 +249,7 @@ func (x *Index) Graph() ann.GraphView { return x.g }
 func (x *Index) BaseGraph() *graph.Graph { return x.g }
 
 // Len returns the number of indexed vectors.
-func (x *Index) Len() int { return len(x.data) }
+func (x *Index) Len() int { return x.mat.Rows() }
 
 // Entry returns the search entry point.
 func (x *Index) Entry() uint32 { return x.entry }

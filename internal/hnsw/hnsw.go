@@ -48,11 +48,14 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// Index is a built HNSW graph over a fixed corpus.
+// Index is a built HNSW graph over a fixed corpus. The corpus lives in
+// a contiguous vec.Matrix; all distance evaluation goes through the
+// batched kernel layer (query preprocessed once per search, stored
+// norms precomputed at build).
 type Index struct {
 	cfg      Config
-	data     []vec.Vector
-	dist     func(a, b vec.Vector) float32
+	mat      *vec.Matrix
+	kern     *vec.Kernel
 	layers   []*graph.Graph // layers[0] is the base layer
 	levels   []int          // highest layer of each vertex
 	entry    uint32
@@ -61,8 +64,8 @@ type Index struct {
 
 var _ ann.Index = (*Index)(nil)
 
-// Build constructs an HNSW index over data. The data slice is retained
-// (not copied); callers must not mutate it afterwards.
+// Build constructs an HNSW index over data. The vectors are copied into
+// a contiguous flat store; the input slices are not retained.
 func Build(data []vec.Vector, cfg Config) (*Index, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -70,10 +73,11 @@ func Build(data []vec.Vector, cfg Config) (*Index, error) {
 	if len(data) == 0 {
 		return nil, fmt.Errorf("hnsw: empty dataset")
 	}
+	mat := vec.NewMatrix(data)
 	idx := &Index{
 		cfg:      cfg,
-		data:     data,
-		dist:     vec.DistanceFunc(cfg.Metric),
+		mat:      mat,
+		kern:     vec.NewKernel(cfg.Metric, mat),
 		levels:   make([]int, len(data)),
 		maxLevel: -1,
 	}
@@ -88,7 +92,7 @@ func Build(data []vec.Vector, cfg Config) (*Index, error) {
 
 func (x *Index) ensureLayers(level int) {
 	for len(x.layers) <= level {
-		x.layers = append(x.layers, graph.New(len(x.data)))
+		x.layers = append(x.layers, graph.New(x.mat.Rows()))
 	}
 }
 
@@ -100,7 +104,7 @@ func (x *Index) insert(v uint32, level int) {
 		x.maxLevel = level
 		return
 	}
-	q := x.data[v]
+	q := x.kern.Prepare(x.mat.Row(int(v)))
 	ep := x.entry
 	// Greedy descent through layers above the insertion level.
 	for l := x.maxLevel; l > level; l-- {
@@ -143,7 +147,7 @@ func (x *Index) shrink(w uint32, l, m int) {
 	}
 	cands := make([]ann.Neighbor, len(nbrs))
 	for i, n := range nbrs {
-		cands[i] = ann.Neighbor{ID: n, Dist: x.dist(x.data[w], x.data[n])}
+		cands[i] = ann.Neighbor{ID: n, Dist: x.kern.DistRows(int(w), int(n))}
 	}
 	ann.SortNeighbors(cands)
 	selected := x.selectHeuristic(cands, m)
@@ -168,7 +172,7 @@ func (x *Index) selectHeuristic(cands []ann.Neighbor, m int) []ann.Neighbor {
 		}
 		good := true
 		for _, s := range selected {
-			if x.dist(x.data[c.ID], x.data[s.ID]) < c.Dist {
+			if x.kern.DistRows(int(c.ID), int(s.ID)) < c.Dist {
 				good = false
 				break
 			}
@@ -200,9 +204,9 @@ func (x *Index) selectHeuristic(cands []ann.Neighbor, m int) []ann.Neighbor {
 
 // greedyClosest walks layer l greedily from ep toward q, returning the
 // local minimum. When tr is non-nil each expansion is recorded.
-func (x *Index) greedyClosest(q vec.Vector, ep uint32, l int, tr *trace.Query) (uint32, float32) {
+func (x *Index) greedyClosest(q vec.PreparedQuery, ep uint32, l int, tr *trace.Query) (uint32, float32) {
 	cur := ep
-	curDist := x.dist(q, x.data[cur])
+	curDist := x.kern.DistTo(q, int(cur))
 	for {
 		improved := false
 		nbrs := x.layers[l].Neighbors(cur)
@@ -211,7 +215,7 @@ func (x *Index) greedyClosest(q vec.Vector, ep uint32, l int, tr *trace.Query) (
 			tr.Iters = append(tr.Iters, it)
 		}
 		for _, n := range nbrs {
-			if d := x.dist(q, x.data[n]); d < curDist {
+			if d := x.kern.DistTo(q, int(n)); d < curDist {
 				cur, curDist = n, d
 				improved = true
 			}
@@ -225,10 +229,10 @@ func (x *Index) greedyClosest(q vec.Vector, ep uint32, l int, tr *trace.Query) (
 // searchLayer is the ef-bounded best-first search on one layer. When tr
 // is non-nil, every vertex expansion appends a trace iteration listing
 // the not-yet-visited neighbors whose distances were computed.
-func (x *Index) searchLayer(q vec.Vector, ep uint32, ef, l int, tr *trace.Query) []ann.Neighbor {
+func (x *Index) searchLayer(q vec.PreparedQuery, ep uint32, ef, l int, tr *trace.Query) []ann.Neighbor {
 	visited := map[uint32]bool{ep: true}
 	f := ann.NewFrontier(ef)
-	f.Push(ann.Neighbor{ID: ep, Dist: x.dist(q, x.data[ep])})
+	f.Push(ann.Neighbor{ID: ep, Dist: x.kern.DistTo(q, int(ep))})
 	for {
 		c, ok := f.PopNearest()
 		if !ok {
@@ -244,7 +248,7 @@ func (x *Index) searchLayer(q vec.Vector, ep uint32, ef, l int, tr *trace.Query)
 			}
 			visited[n] = true
 			computed = append(computed, n)
-			f.Push(ann.Neighbor{ID: n, Dist: x.dist(q, x.data[n])})
+			f.Push(ann.Neighbor{ID: n, Dist: x.kern.DistTo(q, int(n))})
 		}
 		if tr != nil && len(computed) > 0 {
 			tr.Iters = append(tr.Iters, trace.Iter{Entry: c.ID, Neighbors: computed})
@@ -267,15 +271,16 @@ func (x *Index) SearchTraced(query vec.Vector, k int) ([]ann.Neighbor, trace.Que
 }
 
 func (x *Index) search(query vec.Vector, k int, tr *trace.Query) ([]ann.Neighbor, error) {
+	q := x.kern.Prepare(query)
 	ep := x.entry
 	for l := x.maxLevel; l > 0; l-- {
-		ep, _ = x.greedyClosest(query, ep, l, tr)
+		ep, _ = x.greedyClosest(q, ep, l, tr)
 	}
 	ef := x.cfg.EfSearch
 	if ef < k {
 		ef = k
 	}
-	res := x.searchLayer(query, ep, ef, 0, tr)
+	res := x.searchLayer(q, ep, ef, 0, tr)
 	if k < len(res) {
 		res = res[:k]
 	}
@@ -289,7 +294,7 @@ func (x *Index) Graph() ann.GraphView { return x.layers[0] }
 func (x *Index) BaseGraph() *graph.Graph { return x.layers[0] }
 
 // Len returns the number of indexed vectors.
-func (x *Index) Len() int { return len(x.data) }
+func (x *Index) Len() int { return x.mat.Rows() }
 
 // MaxLevel returns the highest populated layer.
 func (x *Index) MaxLevel() int { return x.maxLevel }

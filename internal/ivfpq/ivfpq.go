@@ -76,10 +76,12 @@ type entry struct {
 	code []uint8
 }
 
-// Index is a built IVF-PQ index.
+// Index is a built IVF-PQ index. The raw corpus lives in a contiguous
+// vec.Matrix so exact re-ranking runs on the batched kernel path.
 type Index struct {
 	cfg       Config
-	data      []vec.Vector
+	mat       *vec.Matrix
+	kern      *vec.Kernel
 	dim       int
 	segDim    int
 	coarse    []vec.Vector   // NList centroids
@@ -103,7 +105,8 @@ func Build(data []vec.Vector, cfg Config) (*Index, error) {
 			cfg.NProbe = cfg.NList
 		}
 	}
-	x := &Index{cfg: cfg, data: data, dim: dim, segDim: dim / cfg.Segments}
+	mat := vec.NewMatrix(data)
+	x := &Index{cfg: cfg, mat: mat, kern: vec.NewKernel(cfg.Metric, mat), dim: dim, segDim: dim / cfg.Segments}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	x.coarse = kMeans(data, cfg.NList, cfg.KMeansIters, rng)
 
@@ -232,9 +235,12 @@ func (x *Index) SearchStats(query vec.Vector, k int) ([]ann.Neighbor, ScanStats)
 		list int
 		dist float32
 	}
+	// The prepared query evaluates both the coarse ranking and the
+	// exact re-rank with the query preprocessed once.
+	pq := x.kern.Prepare(query)
 	cds := make([]cd, len(x.coarse))
 	for i, c := range x.coarse {
-		cds[i] = cd{list: i, dist: vec.L2Squared(c, query)}
+		cds[i] = cd{list: i, dist: pq.DistanceTo(c)}
 	}
 	sort.Slice(cds, func(i, j int) bool { return cds[i].dist < cds[j].dist })
 	probes := x.cfg.NProbe
@@ -262,19 +268,23 @@ func (x *Index) SearchStats(query vec.Vector, k int) ([]ann.Neighbor, ScanStats)
 		st.BytesStreamed += int64(len(x.lists[li])) * int64(x.CodeBytes())
 	}
 	ann.SortNeighbors(cands)
-	// Exact re-rank of the ADC shortlist.
+	// Exact re-rank of the ADC shortlist. The tail beyond the shortlist
+	// keeps its ADC-estimated distances and is re-merged with the
+	// re-ranked head, so the search still returns min(k, candidates)
+	// results when Rerank < k instead of truncating to the shortlist.
 	if x.cfg.Rerank > 0 {
 		top := x.cfg.Rerank
 		if top > len(cands) {
 			top = len(cands)
 		}
-		shortlist := cands[:top]
-		for i := range shortlist {
-			shortlist[i].Dist = vec.L2Squared(query, x.data[shortlist[i].ID])
+		for i := range cands[:top] {
+			cands[i].Dist = x.kern.DistTo(pq, int(cands[i].ID))
 			st.Reranked++
 		}
-		ann.SortNeighbors(shortlist)
-		cands = shortlist
+		// Re-sort the full list: exact head distances and ADC tail
+		// estimates share the ascending (distance, ID) order the ann
+		// package's Validate enforces.
+		ann.SortNeighbors(cands)
 	}
 	if k < len(cands) {
 		cands = cands[:k]
@@ -283,7 +293,7 @@ func (x *Index) SearchStats(query vec.Vector, k int) ([]ann.Neighbor, ScanStats)
 }
 
 // Len returns the number of indexed vectors.
-func (x *Index) Len() int { return len(x.data) }
+func (x *Index) Len() int { return x.mat.Rows() }
 
 // NLists returns the coarse list count.
 func (x *Index) NLists() int { return len(x.lists) }

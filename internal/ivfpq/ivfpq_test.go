@@ -207,3 +207,49 @@ func TestDeterministicBuild(t *testing.T) {
 		}
 	}
 }
+
+// Regression: when Rerank < k, the reranked shortlist must be re-merged
+// with the remaining ADC candidates so the search still returns
+// min(k, candidates) results instead of truncating to the shortlist.
+func TestRerankSmallerThanK(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Rerank = 5
+	idx, d := buildTestIndex(t, 400, cfg)
+	k := 20
+	for _, q := range d.Queries {
+		res, st := idx.SearchStats(q, k)
+		// Every probed list contributes candidates; with 400 vectors in
+		// 64 lists and 8 probes there are always >= k candidates.
+		if st.CodesScanned < k {
+			t.Fatalf("scan too small to test: %d candidates", st.CodesScanned)
+		}
+		if len(res) != k {
+			t.Fatalf("Rerank=%d < k=%d returned %d results, want %d",
+				cfg.Rerank, k, len(res), k)
+		}
+		if st.Reranked != cfg.Rerank {
+			t.Fatalf("reranked %d, want %d", st.Reranked, cfg.Rerank)
+		}
+		if err := ann.Validate(res, idx.Len()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Fewer candidates than k: a single probe of a small list must
+	// still return every candidate it scanned, reranked.
+	tiny := DefaultConfig()
+	tiny.NList, tiny.NProbe, tiny.Rerank = 64, 1, 2
+	idx2, d2 := buildTestIndex(t, 300, tiny)
+	for _, q := range d2.Queries {
+		res, st := idx2.SearchStats(q, k)
+		want := st.CodesScanned
+		if want > k {
+			want = k
+		}
+		if len(res) != want {
+			t.Fatalf("returned %d results, want min(k, candidates) = %d", len(res), want)
+		}
+		if err := ann.Validate(res, idx2.Len()); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -52,11 +52,14 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// Index is a built TOGG index.
+// Index is a built TOGG index. The corpus lives in a contiguous
+// vec.Matrix; all distance evaluation goes through the batched kernel
+// layer (query preprocessed once per search, stored norms precomputed
+// at build).
 type Index struct {
 	cfg       Config
-	data      []vec.Vector
-	dist      func(a, b vec.Vector) float32
+	mat       *vec.Matrix
+	kern      *vec.Kernel
 	g         *graph.Graph
 	entry     uint32
 	guideDims []int // top-variance dimensions used by stage one
@@ -65,7 +68,9 @@ type Index struct {
 var _ ann.Index = (*Index)(nil)
 
 // Build constructs the KNN base graph (exact for the scaled corpora used
-// here) and selects the guide dimensions by component variance.
+// here) and selects the guide dimensions by component variance. The
+// vectors are copied into a contiguous flat store; the input slices are
+// not retained.
 func Build(data []vec.Vector, cfg Config) (*Index, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -73,7 +78,8 @@ func Build(data []vec.Vector, cfg Config) (*Index, error) {
 	if len(data) == 0 {
 		return nil, fmt.Errorf("togg: empty dataset")
 	}
-	x := &Index{cfg: cfg, data: data, dist: vec.DistanceFunc(cfg.Metric), g: graph.New(len(data))}
+	mat := vec.NewMatrix(data)
+	x := &Index{cfg: cfg, mat: mat, kern: vec.NewKernel(cfg.Metric, mat), g: graph.New(len(data))}
 	x.buildKNN()
 	x.pickGuideDims()
 	rng := rand.New(rand.NewSource(cfg.Seed))
@@ -82,7 +88,7 @@ func Build(data []vec.Vector, cfg Config) (*Index, error) {
 }
 
 func (x *Index) buildKNN() {
-	n := len(x.data)
+	n := x.mat.Rows()
 	k := x.cfg.K
 	if k > n-1 {
 		k = n - 1
@@ -93,7 +99,7 @@ func (x *Index) buildKNN() {
 			if w == v {
 				continue
 			}
-			cands = append(cands, ann.Neighbor{ID: uint32(w), Dist: x.dist(x.data[v], x.data[w])})
+			cands = append(cands, ann.Neighbor{ID: uint32(w), Dist: x.kern.DistRows(v, w)})
 		}
 		sort.Slice(cands, func(i, j int) bool {
 			if cands[i].Dist != cands[j].Dist {
@@ -118,19 +124,20 @@ func (x *Index) buildKNN() {
 }
 
 func (x *Index) pickGuideDims() {
-	dim := len(x.data[0])
+	dim := x.mat.Dim()
+	rows := x.mat.Rows()
 	mean := make([]float64, dim)
-	for _, v := range x.data {
-		for i, c := range v {
+	for r := 0; r < rows; r++ {
+		for i, c := range x.mat.Row(r) {
 			mean[i] += float64(c)
 		}
 	}
 	for i := range mean {
-		mean[i] /= float64(len(x.data))
+		mean[i] /= float64(rows)
 	}
 	variance := make([]float64, dim)
-	for _, v := range x.data {
-		for i, c := range v {
+	for r := 0; r < rows; r++ {
+		for i, c := range x.mat.Row(r) {
 			d := float64(c) - mean[i]
 			variance[i] += d * d
 		}
@@ -150,16 +157,19 @@ func (x *Index) pickGuideDims() {
 // guidedStep selects among cur's neighbors the closest one lying in the
 // query's direction octant (sign agreement over the guide dimensions).
 // Returns false if no neighbor qualifies or improves.
-func (x *Index) guidedStep(query vec.Vector, cur uint32, curDist float32, tr *trace.Query) (uint32, float32, bool) {
+func (x *Index) guidedStep(q vec.PreparedQuery, cur uint32, curDist float32, tr *trace.Query) (uint32, float32, bool) {
 	nbrs := x.g.Neighbors(cur)
 	best := cur
 	bestDist := curDist
+	query := q.Vec()
+	curRow := x.mat.Row(int(cur))
 	var computed []uint32
 	for _, n := range nbrs {
 		agree := 0
+		nRow := x.mat.Row(int(n))
 		for _, d := range x.guideDims {
-			dq := query[d] - x.data[cur][d]
-			dn := x.data[n][d] - x.data[cur][d]
+			dq := query[d] - curRow[d]
+			dn := nRow[d] - curRow[d]
 			if (dq >= 0) == (dn >= 0) {
 				agree++
 			}
@@ -169,7 +179,7 @@ func (x *Index) guidedStep(query vec.Vector, cur uint32, curDist float32, tr *tr
 			continue
 		}
 		computed = append(computed, n)
-		if d := x.dist(query, x.data[n]); d < bestDist {
+		if d := x.kern.DistTo(q, int(n)); d < bestDist {
 			best, bestDist = n, d
 		}
 	}
@@ -193,11 +203,12 @@ func (x *Index) SearchTraced(query vec.Vector, k int) ([]ann.Neighbor, trace.Que
 }
 
 func (x *Index) searchInternal(query vec.Vector, k int, tr *trace.Query) ([]ann.Neighbor, error) {
+	q := x.kern.Prepare(query)
 	// Stage one: guided routing toward the query's region.
 	cur := x.entry
-	curDist := x.dist(query, x.data[cur])
+	curDist := x.kern.DistTo(q, int(cur))
 	for hop := 0; hop < x.cfg.GuideHops; hop++ {
-		next, nextDist, moved := x.guidedStep(query, cur, curDist, tr)
+		next, nextDist, moved := x.guidedStep(q, cur, curDist, tr)
 		if !moved {
 			break
 		}
@@ -226,7 +237,7 @@ func (x *Index) searchInternal(query vec.Vector, k int, tr *trace.Query) ([]ann.
 			}
 			visited[n] = true
 			computed = append(computed, n)
-			f.Push(ann.Neighbor{ID: n, Dist: x.dist(query, x.data[n])})
+			f.Push(ann.Neighbor{ID: n, Dist: x.kern.DistTo(q, int(n))})
 		}
 		if tr != nil && len(computed) > 0 {
 			tr.Iters = append(tr.Iters, trace.Iter{Entry: c.ID, Neighbors: computed})
@@ -246,7 +257,7 @@ func (x *Index) Graph() ann.GraphView { return x.g }
 func (x *Index) BaseGraph() *graph.Graph { return x.g }
 
 // Len returns the number of indexed vectors.
-func (x *Index) Len() int { return len(x.data) }
+func (x *Index) Len() int { return x.mat.Rows() }
 
 // Entry returns the stage-one entry point.
 func (x *Index) Entry() uint32 { return x.entry }

@@ -52,11 +52,14 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// Index is a built Vamana graph.
+// Index is a built Vamana graph. The corpus lives in a contiguous
+// vec.Matrix; all distance evaluation goes through the batched kernel
+// layer (query preprocessed once per search, stored norms precomputed
+// at build).
 type Index struct {
 	cfg    Config
-	data   []vec.Vector
-	dist   func(a, b vec.Vector) float32
+	mat    *vec.Matrix
+	kern   *vec.Kernel
 	g      *graph.Graph
 	medoid uint32
 }
@@ -65,7 +68,9 @@ var _ ann.Index = (*Index)(nil)
 
 // Build constructs the Vamana graph: start from a random regular graph,
 // then run two RobustPrune passes (alpha=1 then alpha=cfg.Alpha) over a
-// random permutation of the points, exactly as DiskANN does.
+// random permutation of the points, exactly as DiskANN does. The
+// vectors are copied into a contiguous flat store; the input slices are
+// not retained.
 func Build(data []vec.Vector, cfg Config) (*Index, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -73,10 +78,11 @@ func Build(data []vec.Vector, cfg Config) (*Index, error) {
 	if len(data) == 0 {
 		return nil, fmt.Errorf("vamana: empty dataset")
 	}
+	mat := vec.NewMatrix(data)
 	idx := &Index{
 		cfg:  cfg,
-		data: data,
-		dist: vec.DistanceFunc(cfg.Metric),
+		mat:  mat,
+		kern: vec.NewKernel(cfg.Metric, mat),
 		g:    graph.New(len(data)),
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
@@ -86,7 +92,7 @@ func Build(data []vec.Vector, cfg Config) (*Index, error) {
 	for _, alpha := range []float32{1.0, cfg.Alpha} {
 		for _, pi := range perm {
 			p := uint32(pi)
-			visited := idx.beamSearchVisited(data[p], cfg.L)
+			visited := idx.beamSearchVisited(mat.Row(pi), cfg.L)
 			idx.robustPrune(p, visited, alpha)
 			for _, n := range idx.g.Neighbors(p) {
 				idx.g.AddEdge(n, p)
@@ -94,7 +100,7 @@ func Build(data []vec.Vector, cfg Config) (*Index, error) {
 					nbrs := idx.g.Neighbors(n)
 					cands := make([]ann.Neighbor, len(nbrs))
 					for i, w := range nbrs {
-						cands[i] = ann.Neighbor{ID: w, Dist: idx.dist(data[n], data[w])}
+						cands[i] = ann.Neighbor{ID: w, Dist: idx.kern.DistRows(int(n), int(w))}
 					}
 					idx.robustPrune(n, cands, alpha)
 				}
@@ -108,7 +114,7 @@ func Build(data []vec.Vector, cfg Config) (*Index, error) {
 // distance to a random probe set. Exact medoid is O(n^2); sampling keeps
 // construction fast and is what DiskANN's implementation does at scale.
 func (x *Index) computeMedoid(rng *rand.Rand) uint32 {
-	n := len(x.data)
+	n := x.mat.Rows()
 	probes := 64
 	if probes > n {
 		probes = n
@@ -119,7 +125,7 @@ func (x *Index) computeMedoid(rng *rand.Rand) uint32 {
 	for i := 0; i < n; i += step {
 		var sum float64
 		for _, p := range probeSet {
-			sum += float64(x.dist(x.data[i], x.data[p]))
+			sum += float64(x.kern.DistRows(i, p))
 		}
 		if sum < bestSum {
 			bestSum = sum
@@ -131,7 +137,7 @@ func (x *Index) computeMedoid(rng *rand.Rand) uint32 {
 
 // randomInit seeds each vertex with R random out-neighbors.
 func (x *Index) randomInit(rng *rand.Rand) {
-	n := len(x.data)
+	n := x.mat.Rows()
 	for v := 0; v < n; v++ {
 		for t := 0; t < x.cfg.R && t < n-1; t++ {
 			w := uint32(rng.Intn(n))
@@ -145,10 +151,12 @@ func (x *Index) randomInit(rng *rand.Rand) {
 // beamSearchVisited runs the greedy beam search used during construction
 // and returns all visited candidates with distances.
 func (x *Index) beamSearchVisited(q vec.Vector, l int) []ann.Neighbor {
+	pq := x.kern.Prepare(q)
 	visited := map[uint32]bool{x.medoid: true}
 	f := ann.NewFrontier(l)
-	f.Push(ann.Neighbor{ID: x.medoid, Dist: x.dist(q, x.data[x.medoid])})
-	all := []ann.Neighbor{{ID: x.medoid, Dist: x.dist(q, x.data[x.medoid])}}
+	medoidDist := x.kern.DistTo(pq, int(x.medoid))
+	f.Push(ann.Neighbor{ID: x.medoid, Dist: medoidDist})
+	all := []ann.Neighbor{{ID: x.medoid, Dist: medoidDist}}
 	for {
 		c, ok := f.PopNearest()
 		if !ok {
@@ -162,7 +170,7 @@ func (x *Index) beamSearchVisited(q vec.Vector, l int) []ann.Neighbor {
 				continue
 			}
 			visited[n] = true
-			nb := ann.Neighbor{ID: n, Dist: x.dist(q, x.data[n])}
+			nb := ann.Neighbor{ID: n, Dist: x.kern.DistTo(pq, int(n))}
 			all = append(all, nb)
 			f.Push(nb)
 		}
@@ -178,7 +186,7 @@ func (x *Index) robustPrune(p uint32, cands []ann.Neighbor, alpha float32) {
 	// Merge current neighbors into the pool.
 	pool := append([]ann.Neighbor(nil), cands...)
 	for _, n := range x.g.Neighbors(p) {
-		pool = append(pool, ann.Neighbor{ID: n, Dist: x.dist(x.data[p], x.data[n])})
+		pool = append(pool, ann.Neighbor{ID: n, Dist: x.kern.DistRows(int(p), int(n))})
 	}
 	// De-duplicate, drop self.
 	seen := map[uint32]bool{p: true}
@@ -197,7 +205,7 @@ func (x *Index) robustPrune(p uint32, cands []ann.Neighbor, alpha float32) {
 		out = append(out, best.ID)
 		next := alive[:0]
 		for _, c := range alive[1:] {
-			if alpha*x.dist(x.data[best.ID], x.data[c.ID]) <= c.Dist {
+			if alpha*x.kern.DistRows(int(best.ID), int(c.ID)) <= c.Dist {
 				continue // pruned: best covers c's direction
 			}
 			next = append(next, c)
@@ -225,9 +233,10 @@ func (x *Index) searchInternal(query vec.Vector, k int, tr *trace.Query) ([]ann.
 	if l < k {
 		l = k
 	}
+	q := x.kern.Prepare(query)
 	visited := map[uint32]bool{x.medoid: true}
 	f := ann.NewFrontier(l)
-	f.Push(ann.Neighbor{ID: x.medoid, Dist: x.dist(query, x.data[x.medoid])})
+	f.Push(ann.Neighbor{ID: x.medoid, Dist: x.kern.DistTo(q, int(x.medoid))})
 	for {
 		c, ok := f.PopNearest()
 		if !ok {
@@ -243,7 +252,7 @@ func (x *Index) searchInternal(query vec.Vector, k int, tr *trace.Query) ([]ann.
 			}
 			visited[n] = true
 			computed = append(computed, n)
-			f.Push(ann.Neighbor{ID: n, Dist: x.dist(query, x.data[n])})
+			f.Push(ann.Neighbor{ID: n, Dist: x.kern.DistTo(q, int(n))})
 		}
 		if tr != nil && len(computed) > 0 {
 			tr.Iters = append(tr.Iters, trace.Iter{Entry: c.ID, Neighbors: computed})
@@ -263,7 +272,7 @@ func (x *Index) Graph() ann.GraphView { return x.g }
 func (x *Index) BaseGraph() *graph.Graph { return x.g }
 
 // Len returns the number of indexed vectors.
-func (x *Index) Len() int { return len(x.data) }
+func (x *Index) Len() int { return x.mat.Rows() }
 
 // Medoid returns the search entry point.
 func (x *Index) Medoid() uint32 { return x.medoid }

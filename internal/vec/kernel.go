@@ -1,0 +1,265 @@
+package vec
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file is the batched distance-kernel layer: 4-way unrolled float32
+// inner loops over the Matrix flat store, with stored-vector norms read
+// from the precomputed tables and the query norm computed once per
+// search (PrepareQuery) instead of once per comparison.
+//
+// Accumulation-order caveat: the unrolled kernels accumulate in four
+// independent float32 partial sums folded pairwise at the end, while
+// the scalar reference path (Distance, AngularDistance) accumulates
+// sequentially — in float64 for Angular. Kernel results therefore agree
+// with the scalar path only to floating-point tolerance (the property
+// tests assert 1e-5 relative), but every kernel-path consumer uses the
+// same accumulation order, so distances are internally consistent and
+// exact-search results are reproducible bit for bit across BruteForce,
+// Exact, and the sharded engine.
+
+// dot4 is the 4-way unrolled inner product.
+func dot4(a, b []float32) float32 {
+	b = b[:len(a)] // bounds-check elimination hint
+	var s0, s1, s2, s3 float32
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		s0 += a[i] * b[i]
+		s1 += a[i+1] * b[i+1]
+		s2 += a[i+2] * b[i+2]
+		s3 += a[i+3] * b[i+3]
+	}
+	for ; i < len(a); i++ {
+		s0 += a[i] * b[i]
+	}
+	return (s0 + s1) + (s2 + s3)
+}
+
+// l2sq4 is the 4-way unrolled squared Euclidean distance.
+func l2sq4(a, b []float32) float32 {
+	b = b[:len(a)] // bounds-check elimination hint
+	var s0, s1, s2, s3 float32
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		d0 := a[i] - b[i]
+		d1 := a[i+1] - b[i+1]
+		d2 := a[i+2] - b[i+2]
+		d3 := a[i+3] - b[i+3]
+		s0 += d0 * d0
+		s1 += d1 * d1
+		s2 += d2 * d2
+		s3 += d3 * d3
+	}
+	for ; i < len(a); i++ {
+		d := a[i] - b[i]
+		s0 += d * d
+	}
+	return (s0 + s1) + (s2 + s3)
+}
+
+// squaredNorm is the 4-way unrolled squared Euclidean norm. Matrix
+// construction and the matrix-free PreparedQuery path both use it, so
+// precomputed and on-the-fly norms are bit-identical.
+func squaredNorm(a []float32) float32 {
+	var s0, s1, s2, s3 float32
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		s0 += a[i] * a[i]
+		s1 += a[i+1] * a[i+1]
+		s2 += a[i+2] * a[i+2]
+		s3 += a[i+3] * a[i+3]
+	}
+	for ; i < len(a); i++ {
+		s0 += a[i] * a[i]
+	}
+	return (s0 + s1) + (s2 + s3)
+}
+
+// angularFromDot converts a dot product and the two Euclidean norms into
+// the Angular distance 1 - cos, with the same zero-vector and clamping
+// semantics as AngularDistance.
+func angularFromDot(dot, na, nb float32) float32 {
+	if na == 0 || nb == 0 {
+		return 1
+	}
+	cos := dot / (na * nb)
+	if cos > 1 {
+		cos = 1
+	} else if cos < -1 {
+		cos = -1
+	}
+	return 1 - cos
+}
+
+// PreparedQuery is a search query preprocessed for repeated distance
+// evaluation: the vector plus its Euclidean norm, computed once per
+// search rather than once per comparison (the scalar AngularDistance
+// recomputes both norms on every call).
+type PreparedQuery struct {
+	metric Metric
+	vec    Vector
+	norm   float32
+}
+
+// PrepareQuery preprocesses query for metric m. The query slice is
+// retained (not copied) for the lifetime of the PreparedQuery.
+func PrepareQuery(m Metric, query Vector) PreparedQuery {
+	q := PreparedQuery{metric: m, vec: query}
+	if m == Angular {
+		q.norm = float32(math.Sqrt(float64(squaredNorm(query))))
+	}
+	return q
+}
+
+// Vec returns the underlying query vector.
+func (q *PreparedQuery) Vec() Vector { return q.vec }
+
+// DistanceTo evaluates the prepared query against an arbitrary vector
+// (no Matrix required): the matrix-free kernel path BruteForce uses.
+// The stored-vector norm is computed on the fly with the same unrolled
+// accumulation Matrix construction uses, so results are bit-identical
+// to Kernel.DistTo over a Matrix holding v.
+func (q *PreparedQuery) DistanceTo(v Vector) float32 {
+	if len(v) != len(q.vec) {
+		panic(fmt.Sprintf("vec: dim mismatch %d vs %d", len(q.vec), len(v)))
+	}
+	switch q.metric {
+	case L2:
+		return l2sq4(q.vec, v)
+	case Angular:
+		vn := float32(math.Sqrt(float64(squaredNorm(v))))
+		return angularFromDot(dot4(q.vec, v), q.norm, vn)
+	case InnerProduct:
+		return -dot4(q.vec, v)
+	default:
+		panic(fmt.Sprintf("vec: unknown metric %d", q.metric))
+	}
+}
+
+// Kernel evaluates distances between prepared queries and Matrix rows
+// under one metric. It is stateless beyond the metric and the matrix
+// reference, so a single Kernel is safe for concurrent searches.
+type Kernel struct {
+	metric Metric
+	mat    *Matrix
+}
+
+// NewKernel binds metric m to the rows of mat.
+func NewKernel(m Metric, mat *Matrix) *Kernel {
+	return &Kernel{metric: m, mat: mat}
+}
+
+// Metric returns the kernel's distance metric.
+func (k *Kernel) Metric() Metric { return k.metric }
+
+// Matrix returns the underlying corpus store.
+func (k *Kernel) Matrix() *Matrix { return k.mat }
+
+// Prepare preprocesses query once for this kernel's metric.
+func (k *Kernel) Prepare(query Vector) PreparedQuery {
+	return PrepareQuery(k.metric, query)
+}
+
+// DistTo returns the distance from the prepared query to row. For
+// Angular the stored-vector norm comes from the precomputed table.
+func (k *Kernel) DistTo(q PreparedQuery, row int) float32 {
+	r := k.mat.Row(row)
+	if len(r) != len(q.vec) {
+		panic(fmt.Sprintf("vec: dim mismatch %d vs %d", len(q.vec), len(r)))
+	}
+	switch k.metric {
+	case L2:
+		return l2sq4(q.vec, r)
+	case Angular:
+		return angularFromDot(dot4(q.vec, r), q.norm, k.mat.norms[row])
+	case InnerProduct:
+		return -dot4(q.vec, r)
+	default:
+		panic(fmt.Sprintf("vec: unknown metric %d", k.metric))
+	}
+}
+
+// DistsTo evaluates the prepared query against each listed row, writing
+// distances into out (len(out) must equal len(rows)). It is the batched
+// entry point for candidate shortlists; the greedy traversals currently
+// evaluate per pair with DistTo (batching their neighbor loops would
+// cost an allocation per expansion), so cache-blocked consumers are the
+// ones that reach for this form. The metric switch is hoisted out of
+// the row loop.
+func (k *Kernel) DistsTo(q PreparedQuery, rows []uint32, out []float32) {
+	if len(out) != len(rows) {
+		panic(fmt.Sprintf("vec: DistsTo out length %d != rows %d", len(out), len(rows)))
+	}
+	k.checkDim(q)
+	dim, buf := k.mat.dim, k.mat.buf
+	switch k.metric {
+	case L2:
+		for i, r := range rows {
+			out[i] = l2sq4(q.vec, buf[int(r)*dim:int(r)*dim+dim])
+		}
+	case Angular:
+		for i, r := range rows {
+			out[i] = angularFromDot(dot4(q.vec, buf[int(r)*dim:int(r)*dim+dim]), q.norm, k.mat.norms[r])
+		}
+	case InnerProduct:
+		for i, r := range rows {
+			out[i] = -dot4(q.vec, buf[int(r)*dim:int(r)*dim+dim])
+		}
+	default:
+		panic(fmt.Sprintf("vec: unknown metric %d", k.metric))
+	}
+}
+
+// DistsAll evaluates the prepared query against every row, writing
+// distances into out (len(out) must equal Rows()) — the full-scan form
+// exact search uses. The metric switch is hoisted out of the row loop.
+func (k *Kernel) DistsAll(q PreparedQuery, out []float32) {
+	if len(out) != k.mat.rows {
+		panic(fmt.Sprintf("vec: DistsAll out length %d != rows %d", len(out), k.mat.rows))
+	}
+	k.checkDim(q)
+	dim, buf := k.mat.dim, k.mat.buf
+	switch k.metric {
+	case L2:
+		for i := range out {
+			out[i] = l2sq4(q.vec, buf[i*dim:i*dim+dim])
+		}
+	case Angular:
+		for i := range out {
+			out[i] = angularFromDot(dot4(q.vec, buf[i*dim:i*dim+dim]), q.norm, k.mat.norms[i])
+		}
+	case InnerProduct:
+		for i := range out {
+			out[i] = -dot4(q.vec, buf[i*dim:i*dim+dim])
+		}
+	default:
+		panic(fmt.Sprintf("vec: unknown metric %d", k.metric))
+	}
+}
+
+// checkDim validates the prepared query's dimensionality once per batch
+// call (non-empty matrices only; row evaluation is vacuous otherwise).
+func (k *Kernel) checkDim(q PreparedQuery) {
+	if k.mat.rows > 0 && len(q.vec) != k.mat.dim {
+		panic(fmt.Sprintf("vec: dim mismatch %d vs %d", len(q.vec), k.mat.dim))
+	}
+}
+
+// DistRows returns the distance between two stored rows, using the
+// precomputed norms of both for Angular — the build-time kernel for
+// neighbor-selection heuristics, pruning, and MST construction.
+func (k *Kernel) DistRows(i, j int) float32 {
+	a, b := k.mat.Row(i), k.mat.Row(j)
+	switch k.metric {
+	case L2:
+		return l2sq4(a, b)
+	case Angular:
+		return angularFromDot(dot4(a, b), k.mat.norms[i], k.mat.norms[j])
+	case InnerProduct:
+		return -dot4(a, b)
+	default:
+		panic(fmt.Sprintf("vec: unknown metric %d", k.metric))
+	}
+}

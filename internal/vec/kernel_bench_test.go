@@ -1,0 +1,86 @@
+package vec
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// The kernel microbenchmarks compare the scalar per-pair path
+// (vec.Distance over []float32 slices, norms recomputed every call)
+// against the Matrix/Kernel path (contiguous rows, precomputed norms,
+// 4-way unrolled loops, query preprocessed once). BENCH_kernels.json at
+// the repo root commits a run of these as the perf trajectory baseline.
+
+var benchSink float32
+
+func benchData(rows, dim int) ([]Vector, Vector) {
+	rng := rand.New(rand.NewSource(42))
+	data := make([]Vector, rows)
+	for i := range data {
+		data[i] = randVec(rng, dim)
+	}
+	return data, randVec(rng, dim)
+}
+
+func BenchmarkDistance(b *testing.B) {
+	const rows = 1024
+	for _, m := range []Metric{L2, Angular, InnerProduct} {
+		for _, dim := range []int{16, 128, 960} {
+			data, query := benchData(rows, dim)
+			b.Run(fmt.Sprintf("scalar/%v/d%d", m, dim), func(b *testing.B) {
+				dist := DistanceFunc(m)
+				b.SetBytes(int64(rows) * int64(dim) * 4)
+				for i := 0; i < b.N; i++ {
+					var s float32
+					for _, v := range data {
+						s += dist(query, v)
+					}
+					benchSink = s
+				}
+			})
+			b.Run(fmt.Sprintf("kernel/%v/d%d", m, dim), func(b *testing.B) {
+				k := NewKernel(m, NewMatrix(data))
+				out := make([]float32, rows)
+				b.SetBytes(int64(rows) * int64(dim) * 4)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					q := k.Prepare(query)
+					k.DistsAll(q, out)
+					benchSink = out[rows-1]
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkDistRows measures the build-time row-row kernel (both norms
+// precomputed) against the scalar pairwise path.
+func BenchmarkDistRows(b *testing.B) {
+	const rows = 1024
+	for _, m := range []Metric{L2, Angular} {
+		dim := 128
+		data, _ := benchData(rows, dim)
+		b.Run(fmt.Sprintf("scalar/%v/d%d", m, dim), func(b *testing.B) {
+			dist := DistanceFunc(m)
+			for i := 0; i < b.N; i++ {
+				var s float32
+				for j := 1; j < rows; j++ {
+					s += dist(data[0], data[j])
+				}
+				benchSink = s
+			}
+		})
+		b.Run(fmt.Sprintf("kernel/%v/d%d", m, dim), func(b *testing.B) {
+			k := NewKernel(m, NewMatrix(data))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var s float32
+				for j := 1; j < rows; j++ {
+					s += k.DistRows(0, j)
+				}
+				benchSink = s
+			}
+		})
+	}
+}

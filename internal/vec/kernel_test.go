@@ -1,0 +1,155 @@
+package vec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randVec(rng *rand.Rand, dim int) Vector {
+	v := make(Vector, dim)
+	for i := range v {
+		v[i] = rng.Float32()*2 - 1
+	}
+	return v
+}
+
+// close1e5 reports whether kernel and scalar distances agree within
+// 1e-5 relative tolerance (absolute near zero).
+func close1e5(a, b float32) bool {
+	diff := math.Abs(float64(a) - float64(b))
+	scale := math.Max(1, math.Max(math.Abs(float64(a)), math.Abs(float64(b))))
+	return diff <= 1e-5*scale
+}
+
+// Property: every kernel entry point — the matrix-free PreparedQuery
+// path, DistTo, DistsTo, DistsAll, and DistRows — agrees with the
+// scalar vec.Distance reference within 1e-5 relative tolerance, across
+// all three metrics, random dims (including non-multiples of the 4-way
+// unroll width), and zero vectors.
+func TestKernelMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, m := range []Metric{L2, Angular, InnerProduct} {
+		for _, dim := range []int{1, 2, 3, 4, 5, 7, 8, 13, 16, 31, 64, 100, 128} {
+			rows := 20
+			data := make([]Vector, rows)
+			for i := range data {
+				data[i] = randVec(rng, dim)
+			}
+			// Zero vectors exercise the Angular zero-norm branch.
+			data[3] = make(Vector, dim)
+			mat := NewMatrix(data)
+			k := NewKernel(m, mat)
+			queries := []Vector{randVec(rng, dim), make(Vector, dim)}
+			for _, query := range queries {
+				q := k.Prepare(query)
+				all := make([]float32, rows)
+				k.DistsAll(q, all)
+				rowIDs := make([]uint32, rows)
+				for i := range rowIDs {
+					rowIDs[i] = uint32(i)
+				}
+				batch := make([]float32, rows)
+				k.DistsTo(q, rowIDs, batch)
+				for i, v := range data {
+					want := Distance(m, query, v)
+					for name, got := range map[string]float32{
+						"PreparedQuery.DistanceTo": q.DistanceTo(v),
+						"Kernel.DistTo":            k.DistTo(q, i),
+						"Kernel.DistsTo":           batch[i],
+						"Kernel.DistsAll":          all[i],
+					} {
+						if !close1e5(got, want) {
+							t.Fatalf("%v dim=%d row=%d %s = %v, scalar = %v",
+								m, dim, i, name, got, want)
+						}
+					}
+				}
+				// DistRows against scalar row-row distances.
+				for i := 0; i < rows; i++ {
+					want := Distance(m, data[0], data[i])
+					if got := k.DistRows(0, i); !close1e5(got, want) {
+						t.Fatalf("%v dim=%d DistRows(0,%d) = %v, scalar = %v", m, dim, i, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// The precomputed-norm Angular path must be bit-identical to the
+// on-the-fly path: Matrix construction and PreparedQuery.DistanceTo use
+// the same unrolled norm accumulation, so precomputation introduces
+// zero error. Asserted exactly (==, not tolerance) on normalized data,
+// where the norms are all ~1 and any drift would surface directly in
+// the cosine.
+func TestAngularPrecomputedNormExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, dim := range []int{3, 8, 100, 128} {
+		data := make([]Vector, 32)
+		for i := range data {
+			data[i] = randVec(rng, dim)
+			data[i].Normalize()
+		}
+		k := NewKernel(Angular, NewMatrix(data))
+		for trial := 0; trial < 8; trial++ {
+			query := randVec(rng, dim)
+			query.Normalize()
+			q := k.Prepare(query)
+			for i, v := range data {
+				table := k.DistTo(q, i)
+				fly := q.DistanceTo(v)
+				if table != fly {
+					t.Fatalf("dim=%d row=%d: precomputed-norm %v != on-the-fly %v", dim, i, table, fly)
+				}
+			}
+		}
+	}
+}
+
+// Matrix invariants: contiguous rows round-trip, norms match the rows.
+func TestMatrixStoreAndNorms(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	data := make([]Vector, 10)
+	for i := range data {
+		data[i] = randVec(rng, 17)
+	}
+	m := NewMatrix(data)
+	if m.Rows() != 10 || m.Dim() != 17 {
+		t.Fatalf("matrix shape %dx%d, want 10x17", m.Rows(), m.Dim())
+	}
+	if m.Bytes() != 10*17*4 {
+		t.Fatalf("Bytes() = %d, want %d", m.Bytes(), 10*17*4)
+	}
+	for i, v := range data {
+		row := m.Row(i)
+		for d := range v {
+			if row[d] != v[d] {
+				t.Fatalf("row %d component %d: %v != %v", i, d, row[d], v[d])
+			}
+		}
+		if got, want := float64(m.Norm(i)), v.Norm(); math.Abs(got-want) > 1e-5*math.Max(1, want) {
+			t.Fatalf("row %d norm %v, want %v", i, got, want)
+		}
+		if got := m.SquaredNorm(i); !close1e5(got, m.Norm(i)*m.Norm(i)) {
+			t.Fatalf("row %d squared norm %v inconsistent with norm %v", i, got, m.Norm(i))
+		}
+	}
+	empty := NewMatrix(nil)
+	if empty.Rows() != 0 || empty.Dim() != 0 || empty.Bytes() != 0 {
+		t.Fatalf("empty matrix not empty: %d rows, dim %d", empty.Rows(), empty.Dim())
+	}
+}
+
+// Dimension mismatches indicate a corrupted index and must panic, same
+// as the scalar path.
+func TestKernelDimMismatchPanics(t *testing.T) {
+	k := NewKernel(L2, NewMatrix([]Vector{{1, 2, 3}}))
+	q := k.Prepare(Vector{1, 2})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("DistTo with mismatched dims did not panic")
+		}
+	}()
+	k.DistTo(q, 0)
+}

@@ -1,0 +1,79 @@
+package vec
+
+import (
+	"fmt"
+	"math"
+)
+
+// Matrix is a contiguous row-major corpus store: all vectors live in one
+// flat []float32 backing array, with the Euclidean norm and squared norm
+// of every row precomputed at construction. It is the at-rest layout the
+// paper's in-flash MAC groups assume (vectors streamed row by row from a
+// page), and the store every Kernel distance evaluation reads from:
+// row views are cache-friendly slices of the flat buffer, and the
+// precomputed norms let the Angular kernel skip the per-comparison
+// norm recomputation the scalar path pays.
+//
+// A Matrix is immutable after construction and safe for concurrent
+// readers.
+type Matrix struct {
+	buf  []float32
+	dim  int
+	rows int
+	// norms[i] / sq[i] are the Euclidean norm and squared norm of row i,
+	// computed with the same unrolled accumulation the kernels use so
+	// precomputed and on-the-fly norms are bit-identical. The Angular
+	// kernel reads norms; sq is the table expanded-form L2 kernels
+	// (|q|² + |r|² − 2⟨q,r⟩, the shape SIMD/blocked scans prefer) read —
+	// kept current from construction so those consumers need no rebuild.
+	norms []float32
+	sq    []float32
+}
+
+// NewMatrix copies data into a contiguous row-major store and
+// precomputes per-row norms. All rows must share one dimensionality; a
+// mismatch panics, as it indicates a corrupted corpus. The input slices
+// are not retained.
+func NewMatrix(data []Vector) *Matrix {
+	m := &Matrix{rows: len(data)}
+	if len(data) == 0 {
+		return m
+	}
+	m.dim = len(data[0])
+	m.buf = make([]float32, m.rows*m.dim)
+	m.norms = make([]float32, m.rows)
+	m.sq = make([]float32, m.rows)
+	for i, v := range data {
+		if len(v) != m.dim {
+			panic(fmt.Sprintf("vec: matrix row %d dim %d != %d", i, len(v), m.dim))
+		}
+		row := m.buf[i*m.dim : (i+1)*m.dim]
+		copy(row, v)
+		s := squaredNorm(row)
+		m.sq[i] = s
+		m.norms[i] = float32(math.Sqrt(float64(s)))
+	}
+	return m
+}
+
+// Rows returns the number of stored vectors.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Dim returns the row dimensionality (0 for an empty matrix).
+func (m *Matrix) Dim() int { return m.dim }
+
+// Row returns a view of row i aliasing the flat buffer. Callers must
+// not mutate it.
+func (m *Matrix) Row(i int) Vector {
+	return m.buf[i*m.dim : (i+1)*m.dim]
+}
+
+// Norm returns the precomputed Euclidean norm of row i.
+func (m *Matrix) Norm(i int) float32 { return m.norms[i] }
+
+// SquaredNorm returns the precomputed squared Euclidean norm of row i.
+func (m *Matrix) SquaredNorm(i int) float32 { return m.sq[i] }
+
+// Bytes returns the flat buffer size in bytes (the store's resident
+// footprint, excluding the norm tables).
+func (m *Matrix) Bytes() int64 { return int64(len(m.buf)) * 4 }
