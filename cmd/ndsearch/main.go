@@ -15,6 +15,9 @@
 //	-seed    global seed (default 1)
 //	-j       experiments to run concurrently (default 1); output is
 //	         byte-identical to a serial run
+//	-cache   directory for on-disk index snapshots keyed by
+//	         (profile, algo, n, seed); later runs warm-start instead of
+//	         rebuilding, with byte-identical output (empty disables)
 package main
 
 import (
@@ -31,6 +34,7 @@ func main() {
 	batch := flag.Int("batch", 1024, "default query batch size")
 	seed := flag.Int64("seed", 1, "global seed")
 	jobs := flag.Int("j", 1, "experiments to run concurrently")
+	cacheDir := flag.String("cache", "", "index snapshot cache directory (empty disables)")
 	flag.Parse()
 
 	args := flag.Args()
@@ -41,6 +45,7 @@ func main() {
 	}
 	scale := figures.Scale{N: *n, Batch: *batch, K: 10, Seed: *seed}
 	suite := figures.NewSuite(scale)
+	suite.CacheDir = *cacheDir
 	if err := figures.RunMany(suite, args, *jobs, os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "ndsearch: %v\n", err)
 		os.Exit(1)

@@ -23,25 +23,42 @@
 //	-seed           generation/build seed (default 1)
 //	-coalesce-max   coalesced batch size threshold, 0 disables (default 256)
 //	-coalesce-wait  coalescing deadline (default 500us)
+//	-save-index     build the engine, persist it to this directory, exit
+//	-load-index     restore the engine from this directory instead of building
 //
 // With coalescing enabled (the default), concurrent single-query
 // /search requests are admitted through a micro-batcher that forms
 // engine batches of up to -coalesce-max queries, dispatching at the
 // latest -coalesce-wait after a request arrives.
+//
+// -save-index and -load-index are the build-once / serve-many split:
+// one invocation pays graph construction and writes a checksummed
+// snapshot (internal/snapshot, DESIGN.md §8); every later invocation
+// warm-starts from the snapshot in file-I/O time without invoking any
+// index build. On SIGINT/SIGTERM the server drains gracefully:
+// in-flight (including coalesced) searches complete before the process
+// exits.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"ndsearch/internal/batcher"
 	"ndsearch/internal/dataset"
 	"ndsearch/internal/engine"
 )
+
+// shutdownGrace bounds how long a drain may take after a signal.
+const shutdownGrace = 15 * time.Second
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
@@ -55,18 +72,116 @@ func main() {
 		"coalesced batch size threshold for single-query requests (0 disables coalescing)")
 	coalesceWait := flag.Duration("coalesce-wait", batcher.DefaultMaxWait,
 		"max time a single-query request waits for a coalesced batch to form")
+	saveIndex := flag.String("save-index", "", "build the engine, save it to this directory, and exit")
+	loadIndex := flag.String("load-index", "", "serve from a saved engine directory (skips corpus generation and build)")
 	flag.Parse()
 
-	srv, err := buildServer(*profName, *algo, *n, *shards, *workers, *seed, *coalesceMax, *coalesceWait)
+	if err := validateFlags(*n, *shards, *workers, *coalesceMax, *coalesceWait, *saveIndex, *loadIndex); err != nil {
+		fmt.Fprintf(os.Stderr, "ndserve: %v\n", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var (
+		srv *Server
+		err error
+	)
+	if *loadIndex != "" {
+		srv, err = loadServer(*loadIndex, *workers, *coalesceMax, *coalesceWait)
+	} else {
+		srv, err = buildServer(*profName, *algo, *n, *shards, *workers, *seed, *coalesceMax, *coalesceWait)
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ndserve: %v\n", err)
 		os.Exit(1)
 	}
-	log.Printf("ndserve: listening on %s", *addr)
-	// No srv.Close() on this path: in-flight handlers may still be mid
-	// SearchBatch when the accept loop fails, and the process is exiting
-	// anyway. Close exists for embedders and tests.
-	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+
+	if *saveIndex != "" {
+		start := time.Now()
+		if err := srv.engine.Save(*saveIndex); err != nil {
+			fmt.Fprintf(os.Stderr, "ndserve: %v\n", err)
+			os.Exit(1)
+		}
+		log.Printf("ndserve: saved %d-shard index to %s in %v",
+			srv.engine.Shards(), *saveIndex, time.Since(start).Round(time.Millisecond))
+		srv.Close()
+		return
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ndserve: %v\n", err)
+		os.Exit(1)
+	}
+	log.Printf("ndserve: listening on %s", ln.Addr())
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	if err := serve(&http.Server{Handler: srv.Handler()}, srv, ln, sig, shutdownGrace); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// validateFlags rejects configurations that would build a broken engine
+// or batcher, before any work happens. workers and coalesce-max may be
+// zero (their documented "default / disabled" values) but never
+// negative; n and shards must be positive; coalesce-wait must be
+// non-negative; -save-index and -load-index are mutually exclusive
+// (save persists a fresh build).
+func validateFlags(n, shards, workers, coalesceMax int, coalesceWait time.Duration, saveIndex, loadIndex string) error {
+	if loadIndex == "" { // corpus/build flags are unused on the load path
+		if n < 1 {
+			return fmt.Errorf("-n must be >= 1, got %d", n)
+		}
+		if shards < 1 {
+			return fmt.Errorf("-shards must be >= 1, got %d", shards)
+		}
+	}
+	if workers < 0 {
+		return fmt.Errorf("-workers must be >= 0 (0 = GOMAXPROCS), got %d", workers)
+	}
+	if coalesceMax < 0 {
+		return fmt.Errorf("-coalesce-max must be >= 0 (0 disables coalescing), got %d", coalesceMax)
+	}
+	if coalesceWait < 0 {
+		return fmt.Errorf("-coalesce-wait must be >= 0, got %v", coalesceWait)
+	}
+	if saveIndex != "" && loadIndex != "" {
+		return fmt.Errorf("-save-index and -load-index are mutually exclusive")
+	}
+	return nil
+}
+
+// serve runs hsrv on ln until the listener fails or a shutdown signal
+// arrives, then drains gracefully: http.Server.Shutdown (with a
+// deadline) stops accepting and waits for in-flight handlers — so
+// coalesced searches queued in the batcher complete and respond — and
+// only then srv.Close drains the batcher and stops the engine's worker
+// pool. Both exit paths go through Shutdown first: handlers may still
+// be mid-search even when the accept loop fails, and closing the
+// batcher/engine under them would panic their channel sends. If the
+// grace deadline expires with handlers still running, srv is left
+// unclosed on purpose (the process is exiting anyway).
+func serve(hsrv *http.Server, srv *Server, ln net.Listener, sig <-chan os.Signal, grace time.Duration) error {
+	errCh := make(chan error, 1)
+	go func() { errCh <- hsrv.Serve(ln) }()
+	var serveErr error
+	select {
+	case serveErr = <-errCh:
+		log.Printf("ndserve: serve failed (%v): draining in-flight searches", serveErr)
+	case s := <-sig:
+		log.Printf("ndserve: %v: draining in-flight searches", s)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	if err := hsrv.Shutdown(ctx); err != nil {
+		return fmt.Errorf("ndserve: shutdown: %w", err)
+	}
+	srv.Close()
+	if serveErr != nil {
+		return serveErr
+	}
+	log.Printf("ndserve: drained, exiting")
+	return nil
 }
 
 // buildServer generates the corpus, builds the sharded engine, and
@@ -87,17 +202,39 @@ func buildServer(profName, algo string, n, shards, workers int, seed int64,
 		return nil, err
 	}
 	start := time.Now()
-	e, err := engine.New(d.Vectors, engine.Config{Shards: shards, Workers: workers, Builder: builder})
+	e, err := engine.New(d.Vectors, engine.Config{
+		Shards: shards, Workers: workers, Builder: builder,
+		Meta: engine.Meta{Algo: algo, Dataset: profName, Seed: seed, Elem: prof.Elem},
+	})
 	if err != nil {
 		return nil, err
 	}
 	log.Printf("ndserve: built %d-shard %s engine over %d %s vectors in %v",
 		e.Shards(), algo, e.Len(), profName, time.Since(start).Round(time.Millisecond))
-	srv := NewServer(e, prof.Dim, profName, algo)
+	return newServer(e, prof.Dim, profName, algo, coalesceMax, coalesceWait), nil
+}
+
+// loadServer warm-starts the engine from a snapshot directory written
+// by -save-index (or engine.Save): no corpus generation, no index
+// build — the serving configuration comes from the manifest.
+func loadServer(dir string, workers, coalesceMax int, coalesceWait time.Duration) (*Server, error) {
+	start := time.Now()
+	e, man, err := engine.Load(dir, workers)
+	if err != nil {
+		return nil, err
+	}
+	log.Printf("ndserve: loaded %d-shard %s engine over %d %s vectors from %s in %v",
+		e.Shards(), man.Algo, e.Len(), man.Dataset, dir, time.Since(start).Round(time.Millisecond))
+	return newServer(e, man.Dim, man.Dataset, man.Algo, coalesceMax, coalesceWait), nil
+}
+
+func newServer(e *engine.Engine, dim int, dataset, algo string,
+	coalesceMax int, coalesceWait time.Duration) *Server {
+	srv := NewServer(e, dim, dataset, algo)
 	if coalesceMax > 0 {
 		srv.EnableCoalescing(batcher.Config{MaxBatch: coalesceMax, MaxWait: coalesceWait})
 		log.Printf("ndserve: coalescing single-query requests (max %d, wait %v)",
 			coalesceMax, coalesceWait)
 	}
-	return srv, nil
+	return srv
 }

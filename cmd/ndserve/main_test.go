@@ -4,8 +4,10 @@ import (
 	"bytes"
 	"encoding/json"
 	"math"
+	"net"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"testing"
 	"time"
 
@@ -261,6 +263,184 @@ func TestHealthzAndStats(t *testing.T) {
 	}
 	if stats.Batches != 1 || stats.Queries != 1 || stats.ShardSearches != 2 {
 		t.Fatalf("bad stats payload %+v", stats)
+	}
+}
+
+// Flag validation: values that would build a broken engine or batcher
+// are rejected up front with a usage error instead of surfacing later
+// as a panic or a zero-shard engine.
+func TestValidateFlags(t *testing.T) {
+	ok := func(err error) bool { return err == nil }
+	bad := func(err error) bool { return err != nil }
+	cases := []struct {
+		name         string
+		n, shards    int
+		workers      int
+		coalesceMax  int
+		coalesceWait time.Duration
+		save, load   string
+		want         func(error) bool
+	}{
+		{"defaults", 20000, 4, 0, 256, 500 * time.Microsecond, "", "", ok},
+		{"zero n", 0, 4, 0, 256, 0, "", "", bad},
+		{"negative n", -5, 4, 0, 256, 0, "", "", bad},
+		{"zero shards", 100, 0, 0, 256, 0, "", "", bad},
+		{"negative shards", 100, -1, 0, 256, 0, "", "", bad},
+		{"negative workers", 100, 2, -1, 256, 0, "", "", bad},
+		{"coalesce disabled", 100, 2, 0, 0, 0, "", "", ok},
+		{"negative coalesce-max", 100, 2, 0, -1, 0, "", "", bad},
+		{"negative coalesce-wait", 100, 2, 0, 256, -time.Microsecond, "", "", bad},
+		{"save", 100, 2, 0, 256, 0, "dir", "", ok},
+		{"load ignores n/shards", 0, 0, 0, 256, 0, "", "dir", ok},
+		{"save and load", 100, 2, 0, 256, 0, "a", "b", bad},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := validateFlags(c.n, c.shards, c.workers, c.coalesceMax, c.coalesceWait, c.save, c.load)
+			if !c.want(err) {
+				t.Errorf("validateFlags(%+v) = %v", c, err)
+			}
+		})
+	}
+}
+
+// Save/load through the CLI plumbing: a server loaded from a snapshot
+// directory answers exactly like the server that saved it, and the
+// manifest supplies dataset/algo/dim so no generation or build runs.
+func TestSaveLoadIndexFlow(t *testing.T) {
+	built, err := buildServer("sift-1b", "hnsw", 500, 3, 2, 7, 32, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(built.Close)
+	dir := t.TempDir()
+	if err := built.engine.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := loadServer(dir, 2, 32, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(loaded.Close)
+	if loaded.dim != built.dim || loaded.dataset != built.dataset || loaded.algo != built.algo {
+		t.Fatalf("loaded server identity (%d, %s, %s), want (%d, %s, %s)",
+			loaded.dim, loaded.dataset, loaded.algo, built.dim, built.dataset, built.algo)
+	}
+	if loaded.coalescer == nil {
+		t.Error("load path must honour coalescing flags")
+	}
+	prof := dataset.Sift1B()
+	d, err := dataset.Generate(prof, dataset.GenConfig{N: 1, Queries: 6, Seed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi, q := range d.Queries {
+		req := SearchRequest{Query: asFloats(q), K: 10}
+		recA, respA := postSearch(t, built.Handler(), req)
+		recB, respB := postSearch(t, loaded.Handler(), req)
+		if respA == nil || respB == nil {
+			t.Fatalf("query %d failed: built %d, loaded %d", qi, recA.Code, recB.Code)
+		}
+		if len(respA.Results[0]) != len(respB.Results[0]) {
+			t.Fatalf("query %d: result lengths differ", qi)
+		}
+		for i := range respA.Results[0] {
+			a, b := respA.Results[0][i], respB.Results[0][i]
+			if a.ID != b.ID || a.Dist != b.Dist {
+				t.Fatalf("query %d result %d: built %+v, loaded %+v", qi, i, a, b)
+			}
+		}
+	}
+}
+
+// Graceful shutdown: a signal drains the in-flight coalesced search
+// (it completes with a 200) before serve returns, and the listener is
+// closed afterwards.
+func TestServeGracefulShutdown(t *testing.T) {
+	srv, d := testServer(t, 2)
+	// A long coalescing deadline parks the request in the batcher, so
+	// the drain provably covers admission-layer queues, not just handler
+	// bodies that already reached the engine.
+	srv.EnableCoalescing(batcher.Config{MaxBatch: 1024, MaxWait: 250 * time.Millisecond})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig := make(chan os.Signal, 1)
+	serveErr := make(chan error, 1)
+	hsrv := &http.Server{Handler: srv.Handler()}
+	go func() { serveErr <- serve(hsrv, srv, ln, sig, 5*time.Second) }()
+
+	base := "http://" + ln.Addr().String()
+	body, _ := json.Marshal(SearchRequest{Query: asFloats(d.Queries[0]), K: 5})
+	type result struct {
+		code int
+		resp SearchResponse
+		err  error
+	}
+	reqDone := make(chan result, 1)
+	go func() {
+		resp, err := http.Post(base+"/search", "application/json", bytes.NewReader(body))
+		if err != nil {
+			reqDone <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		var sr SearchResponse
+		err = json.NewDecoder(resp.Body).Decode(&sr)
+		reqDone <- result{code: resp.StatusCode, resp: sr, err: err}
+	}()
+
+	// Wait until the request is queued inside the coalescer, then pull
+	// the trigger: the drain must complete it.
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.coalescer.Stats().Submits == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("request never reached the coalescer")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	sig <- os.Interrupt
+
+	select {
+	case err := <-serveErr:
+		if err != nil {
+			t.Fatalf("serve returned %v after signal, want nil", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("serve did not return after signal")
+	}
+	r := <-reqDone
+	if r.err != nil || r.code != http.StatusOK {
+		t.Fatalf("in-flight request: code %d err %v, want 200 nil", r.code, r.err)
+	}
+	if len(r.resp.Results) != 1 || len(r.resp.Results[0]) != 5 {
+		t.Fatalf("in-flight request returned malformed results %+v", r.resp.Results)
+	}
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Error("listener still accepting after shutdown")
+	}
+}
+
+// A failing listener (closed underneath the server) also shuts the
+// server down cleanly rather than leaking the engine pool.
+func TestServeListenerError(t *testing.T) {
+	srv, _ := testServer(t, 2)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig := make(chan os.Signal, 1)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- serve(&http.Server{Handler: srv.Handler()}, srv, ln, sig, time.Second) }()
+	ln.Close()
+	select {
+	case err := <-serveErr:
+		if err == nil {
+			t.Fatal("serve returned nil after listener failure")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("serve did not return after listener failure")
 	}
 }
 

@@ -21,6 +21,19 @@ func NewExact(m vec.Metric, data []vec.Vector) *Exact {
 	return &Exact{kern: vec.NewKernel(m, vec.NewMatrix(data))}
 }
 
+// ExactFromMatrix wraps an existing flat store under metric m without
+// copying — the snapshot warm-start path. The matrix is retained and
+// must not be mutated.
+func ExactFromMatrix(m vec.Metric, mat *vec.Matrix) *Exact {
+	return &Exact{kern: vec.NewKernel(m, mat)}
+}
+
+// Metric returns the search metric.
+func (e *Exact) Metric() vec.Metric { return e.kern.Metric() }
+
+// Matrix returns the corpus store. Callers must not mutate it.
+func (e *Exact) Matrix() *vec.Matrix { return e.kern.Matrix() }
+
 // Search returns the exact top-k neighbors of query. Distances are
 // bit-identical to BruteForce over the same corpus: both run the same
 // kernel arithmetic (BruteForce computes stored norms on the fly with

@@ -42,6 +42,21 @@ type Config struct {
 	Workers int
 	// Builder constructs each shard's index. Required.
 	Builder Builder
+	// Meta is optional provenance recorded by Save in the snapshot
+	// manifest; it does not affect construction or search.
+	Meta Meta
+}
+
+// Meta is caller-supplied provenance for snapshot manifests: which
+// algorithm and seed built the shards, which dataset the corpus came
+// from, and the at-rest element kind snapshots should use (vec.F32, the
+// zero value, is always lossless; U8/I8 require exactly-representable
+// components, which generated corpora satisfy).
+type Meta struct {
+	Algo    string
+	Dataset string
+	Seed    int64
+	Elem    vec.ElemKind
 }
 
 func (c *Config) normalize(n int) error {
@@ -78,6 +93,8 @@ type Engine struct {
 	shards  []shard
 	workers int
 	len     int
+	dim     int
+	meta    Meta
 	// tasks feeds the persistent worker pool; SearchBatch callers
 	// enqueue one task per (query, shard) pair.
 	tasks chan task
@@ -132,15 +149,7 @@ func New(data []vec.Vector, cfg Config) (*Engine, error) {
 		return nil, err
 	}
 	offsets := Partition(len(data), cfg.Shards)
-	e := &Engine{
-		shards:  make([]shard, cfg.Shards),
-		workers: cfg.Workers,
-		len:     len(data),
-		// A modest buffer decouples task producers from worker pickup
-		// without letting one huge batch monopolise the queue.
-		tasks:    make(chan task, 4*cfg.Workers),
-		perShard: make([]atomic.Int64, cfg.Shards),
-	}
+	shards := make([]shard, cfg.Shards)
 	errs := make([]error, cfg.Shards)
 	sem := make(chan struct{}, cfg.Workers)
 	var wg sync.WaitGroup
@@ -155,7 +164,7 @@ func New(data []vec.Vector, cfg Config) (*Engine, error) {
 				errs[i] = fmt.Errorf("engine: shard %d: %w", i, err)
 				return
 			}
-			e.shards[i] = shard{index: idx, base: uint32(offsets[i])}
+			shards[i] = shard{index: idx, base: uint32(offsets[i])}
 		}(i)
 	}
 	wg.Wait()
@@ -164,11 +173,29 @@ func New(data []vec.Vector, cfg Config) (*Engine, error) {
 			return nil, err
 		}
 	}
-	for w := 0; w < cfg.Workers; w++ {
+	return newEngine(shards, cfg.Workers, len(data), len(data[0]), cfg.Meta), nil
+}
+
+// newEngine assembles an engine around already-built shards and starts
+// the persistent worker pool — shared by New (cold build) and Load
+// (snapshot warm-start).
+func newEngine(shards []shard, workers, n, dim int, meta Meta) *Engine {
+	e := &Engine{
+		shards:  shards,
+		workers: workers,
+		len:     n,
+		dim:     dim,
+		meta:    meta,
+		// A modest buffer decouples task producers from worker pickup
+		// without letting one huge batch monopolise the queue.
+		tasks:    make(chan task, 4*workers),
+		perShard: make([]atomic.Int64, len(shards)),
+	}
+	for w := 0; w < workers; w++ {
 		e.wg.Add(1)
 		go e.worker()
 	}
-	return e, nil
+	return e
 }
 
 // worker drains the shared task channel until Close closes it.
@@ -203,6 +230,9 @@ func (e *Engine) Shards() int { return len(e.shards) }
 
 // Len returns the total indexed vector count.
 func (e *Engine) Len() int { return e.len }
+
+// Dim returns the corpus dimensionality.
+func (e *Engine) Dim() int { return e.dim }
 
 // Workers returns the worker-pool bound.
 func (e *Engine) Workers() int { return e.workers }

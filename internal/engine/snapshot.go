@@ -1,0 +1,231 @@
+package engine
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+
+	"ndsearch/internal/ann"
+	"ndsearch/internal/snapshot"
+	"ndsearch/internal/vec"
+)
+
+// This file persists and restores the full shard set: one snapshot file
+// per shard plus a manifest recording the algorithm, build seed,
+// partition bounds, and per-file checksums. Load rebuilds the engine
+// without invoking any index Build, so a restart costs file I/O instead
+// of graph construction — the build-once / serve-many model the paper's
+// on-SSD indexes assume.
+
+// ManifestName is the manifest file written alongside the shard files.
+const ManifestName = "manifest.json"
+
+// Manifest describes a saved engine directory.
+type Manifest struct {
+	// FormatVersion is the snapshot container version the shard files
+	// were written with.
+	FormatVersion int `json:"format_version"`
+	// Algo is the shard index family (a snapshot registry name).
+	Algo string `json:"algo"`
+	// Dataset and Seed are provenance from Config.Meta.
+	Dataset string `json:"dataset,omitempty"`
+	Seed    int64  `json:"seed"`
+	// ElemKind is the at-rest element kind the shard files were written
+	// with (vec.ElemKind encoding), restored into Meta on Load so a
+	// re-save keeps the compact representation.
+	ElemKind uint8 `json:"elem_kind"`
+	// Dim and Vectors describe the corpus; Bounds are the contiguous
+	// partition offsets (len Shards+1, Bounds[i]..Bounds[i+1] is shard i).
+	Dim     int   `json:"dim"`
+	Vectors int   `json:"vectors"`
+	Shards  int   `json:"shards"`
+	Bounds  []int `json:"bounds"`
+	// Files lists the per-shard snapshot files with their CRC32-IEEE
+	// whole-file checksums.
+	Files []ShardFile `json:"files"`
+}
+
+// ShardFile is one per-shard snapshot file entry.
+type ShardFile struct {
+	Name  string `json:"name"`
+	Rows  int    `json:"rows"`
+	CRC32 uint32 `json:"crc32"`
+}
+
+// Save persists every shard's index plus the manifest to dir (created
+// if missing). Shard files are written atomically; the manifest is
+// written last, so a directory with a readable manifest always refers
+// to complete shard files.
+func (e *Engine) Save(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("engine: save: %w", err)
+	}
+	var detected string
+	man := &Manifest{
+		FormatVersion: snapshot.FormatVersion,
+		Dataset:       e.meta.Dataset,
+		Seed:          e.meta.Seed,
+		ElemKind:      uint8(e.meta.Elem),
+		Dim:           e.dim,
+		Vectors:       e.len,
+		Shards:        len(e.shards),
+		Bounds:        []int{0},
+	}
+	for i, sh := range e.shards {
+		d, err := snapshot.Detect(sh.index)
+		if err != nil {
+			return fmt.Errorf("engine: save shard %d: %w", i, err)
+		}
+		if i == 0 {
+			detected = d
+			// A wrong caller-supplied algo would make every future Load
+			// reject this intact directory as corrupt — surface the bug
+			// here, before any file is written.
+			if e.meta.Algo != "" && e.meta.Algo != detected {
+				return fmt.Errorf("engine: save: Meta.Algo is %q but shards are %q", e.meta.Algo, detected)
+			}
+		} else if d != detected {
+			return fmt.Errorf("engine: save: shard %d is %s, shard 0 is %s", i, d, detected)
+		}
+		name := fmt.Sprintf("shard-%04d.ndx", i)
+		crc, err := snapshot.SaveFile(filepath.Join(dir, name), sh.index, e.meta.Elem)
+		if err != nil {
+			return fmt.Errorf("engine: save shard %d: %w", i, err)
+		}
+		man.Files = append(man.Files, ShardFile{
+			Name: name, Rows: sh.index.Len(), CRC32: crc,
+		})
+		man.Bounds = append(man.Bounds, man.Bounds[i]+sh.index.Len())
+	}
+	man.Algo = detected
+	blob, err := json.MarshalIndent(man, "", "  ")
+	if err != nil {
+		return fmt.Errorf("engine: save manifest: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, ManifestName), append(blob, '\n'), 0o644); err != nil {
+		return fmt.Errorf("engine: save manifest: %w", err)
+	}
+	return nil
+}
+
+// Load restores an engine from a directory written by Save: shard files
+// are checksum-verified, decoded concurrently (bounded by workers,
+// which also sizes the search pool; < 1 means GOMAXPROCS), and served
+// without invoking any index Build. The returned manifest carries the
+// provenance Save recorded.
+func Load(dir string, workers int) (*Engine, *Manifest, error) {
+	blob, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if err != nil {
+		return nil, nil, fmt.Errorf("engine: load: %w", err)
+	}
+	man := &Manifest{}
+	if err := json.Unmarshal(blob, man); err != nil {
+		return nil, nil, fmt.Errorf("engine: load manifest: %w", err)
+	}
+	if err := man.validate(); err != nil {
+		return nil, nil, err
+	}
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	shards := make([]shard, man.Shards)
+	errs := make([]error, man.Shards)
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i := range man.Files {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			idx, err := loadShard(dir, man, i)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			shards[i] = shard{index: idx, base: uint32(man.Bounds[i])}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	meta := Meta{Algo: man.Algo, Dataset: man.Dataset, Seed: man.Seed, Elem: vec.ElemKind(man.ElemKind)}
+	return newEngine(shards, workers, man.Vectors, man.Dim, meta), man, nil
+}
+
+// validate checks the manifest's internal consistency before any shard
+// file is read.
+func (m *Manifest) validate() error {
+	if m.FormatVersion > snapshot.FormatVersion {
+		return fmt.Errorf("engine: load manifest: %w: version %d, this build reads <= %d",
+			snapshot.ErrVersion, m.FormatVersion, snapshot.FormatVersion)
+	}
+	if m.Shards < 1 || len(m.Files) != m.Shards || len(m.Bounds) != m.Shards+1 {
+		return fmt.Errorf("engine: load manifest: %d shards with %d files and %d bounds",
+			m.Shards, len(m.Files), len(m.Bounds))
+	}
+	if m.Dim < 1 {
+		return fmt.Errorf("engine: load manifest: dim %d", m.Dim)
+	}
+	if m.ElemKind > uint8(vec.I8) {
+		return fmt.Errorf("engine: load manifest: unknown element kind %d", m.ElemKind)
+	}
+	if m.Bounds[0] != 0 || m.Bounds[m.Shards] != m.Vectors {
+		return fmt.Errorf("engine: load manifest: bounds %v do not cover %d vectors", m.Bounds, m.Vectors)
+	}
+	for i, f := range m.Files {
+		if want := m.Bounds[i+1] - m.Bounds[i]; f.Rows != want || want < 1 {
+			return fmt.Errorf("engine: load manifest: shard %d has %d rows, bounds say %d", i, f.Rows, want)
+		}
+	}
+	return nil
+}
+
+// loadShard reads, checksum-verifies, and decodes one shard file,
+// asserting the result serves the ann.Index interface shards require.
+func loadShard(dir string, man *Manifest, i int) (ann.Index, error) {
+	f := man.Files[i]
+	path := filepath.Join(dir, f.Name)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("engine: load shard %d: %w", i, err)
+	}
+	if got := crc32.ChecksumIEEE(data); got != f.CRC32 {
+		return nil, fmt.Errorf("engine: load shard %d (%s): %w: file CRC %08x, manifest says %08x",
+			i, f.Name, snapshot.ErrChecksum, got, f.CRC32)
+	}
+	idx, err := snapshot.Load(bytes.NewReader(data))
+	if err != nil {
+		return nil, fmt.Errorf("engine: load shard %d (%s): %w", i, f.Name, err)
+	}
+	ai, ok := idx.(ann.Index)
+	if !ok {
+		return nil, fmt.Errorf("engine: load shard %d (%s): %T does not implement ann.Index", i, f.Name, idx)
+	}
+	if ai.Len() != f.Rows {
+		return nil, fmt.Errorf("engine: load shard %d (%s): %d rows, manifest says %d", i, f.Name, ai.Len(), f.Rows)
+	}
+	// The manifest itself is not checksummed, so cross-check its claims
+	// against the CRC-guarded shard files: a manifest whose algo or dim
+	// disagrees must fail the load, not panic on the first search
+	// (ndserve validates query dims against the manifest).
+	if detected, err := snapshot.Detect(ai); err != nil || detected != man.Algo {
+		return nil, fmt.Errorf("engine: load shard %d (%s): %w: file holds %s, manifest says %s",
+			i, f.Name, snapshot.ErrCorrupt, detected, man.Algo)
+	}
+	if mx, ok := ai.(interface{ Matrix() *vec.Matrix }); ok {
+		if dim := mx.Matrix().Dim(); dim != man.Dim {
+			return nil, fmt.Errorf("engine: load shard %d (%s): %w: file dim %d, manifest says %d",
+				i, f.Name, snapshot.ErrCorrupt, dim, man.Dim)
+		}
+	}
+	return ai, nil
+}

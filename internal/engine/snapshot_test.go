@@ -1,0 +1,230 @@
+package engine
+
+import (
+	"encoding/json"
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ndsearch/internal/dataset"
+	"ndsearch/internal/snapshot"
+)
+
+// buildTestEngine builds a small sharded engine over a generated corpus
+// and returns it with the dataset (for queries and ground truth).
+func buildTestEngine(t *testing.T, algo string, shards int) (*Engine, *dataset.Dataset) {
+	t.Helper()
+	prof := dataset.Sift1B()
+	d, err := dataset.Generate(prof, dataset.GenConfig{N: 600, Queries: 8, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	builder, err := BuilderByName(algo, prof.Metric, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(d.Vectors, Config{
+		Shards: shards, Workers: 4, Builder: builder,
+		Meta: Meta{Algo: algo, Dataset: prof.Name, Seed: 9, Elem: prof.Elem},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(e.Close)
+	return e, d
+}
+
+// The engine-level acceptance property: a reloaded engine's SearchBatch
+// is byte-identical to the engine it was saved from, for every
+// registered shard algorithm.
+func TestEngineSaveLoadRoundTrip(t *testing.T) {
+	for _, algo := range []string{"exact", "hnsw", "diskann"} {
+		t.Run(algo, func(t *testing.T) {
+			e, d := buildTestEngine(t, algo, 3)
+			dir := t.TempDir()
+			if err := e.Save(dir); err != nil {
+				t.Fatalf("save: %v", err)
+			}
+			loaded, man, err := Load(dir, 4)
+			if err != nil {
+				t.Fatalf("load: %v", err)
+			}
+			t.Cleanup(loaded.Close)
+			if man.Algo != algo || man.Dataset != d.Profile.Name || man.Seed != 9 {
+				t.Fatalf("manifest provenance %+v", man)
+			}
+			if man.Dim != d.Profile.Dim || man.Vectors != 600 || man.Shards != 3 {
+				t.Fatalf("manifest shape %+v", man)
+			}
+			if man.ElemKind != uint8(d.Profile.Elem) {
+				t.Fatalf("manifest elem kind %d, want %d", man.ElemKind, d.Profile.Elem)
+			}
+			// Re-saving a loaded engine keeps the at-rest element kind.
+			dir2 := t.TempDir()
+			if err := loaded.Save(dir2); err != nil {
+				t.Fatalf("re-save: %v", err)
+			}
+			resaved, man2, err := Load(dir2, 2)
+			if err != nil {
+				t.Fatalf("re-load: %v", err)
+			}
+			t.Cleanup(resaved.Close)
+			if man2.ElemKind != man.ElemKind {
+				t.Fatalf("re-save switched elem kind %d -> %d", man.ElemKind, man2.ElemKind)
+			}
+			if loaded.Len() != e.Len() || loaded.Shards() != e.Shards() || loaded.Dim() != e.Dim() {
+				t.Fatalf("loaded engine shape: len=%d shards=%d dim=%d", loaded.Len(), loaded.Shards(), loaded.Dim())
+			}
+			want, _ := e.SearchBatch(d.Queries, 10)
+			got, _ := loaded.SearchBatch(d.Queries, 10)
+			if len(got) != len(want) {
+				t.Fatalf("%d result lists, want %d", len(got), len(want))
+			}
+			for qi := range want {
+				if len(got[qi]) != len(want[qi]) {
+					t.Fatalf("query %d: %d results, want %d", qi, len(got[qi]), len(want[qi]))
+				}
+				for i := range want[qi] {
+					g, w := got[qi][i], want[qi][i]
+					if g.ID != w.ID || math.Float32bits(g.Dist) != math.Float32bits(w.Dist) {
+						t.Fatalf("query %d result %d: got %+v, want %+v", qi, i, g, w)
+					}
+				}
+			}
+		})
+	}
+}
+
+// Saved manifests carry per-file checksums; damage to a shard file is
+// caught before decoding, and manifest/shard-file mismatches fail
+// loudly.
+func TestEngineLoadRejectsDamage(t *testing.T) {
+	e, _ := buildTestEngine(t, "exact", 2)
+	dir := t.TempDir()
+	if err := e.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip one byte of a shard file: the manifest CRC must catch it.
+	shardPath := filepath.Join(dir, "shard-0001.ndx")
+	data, err := os.ReadFile(shardPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x01
+	if err := os.WriteFile(shardPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Load(dir, 2); !errors.Is(err, snapshot.ErrChecksum) {
+		t.Fatalf("damaged shard file: err = %v, want ErrChecksum", err)
+	}
+
+	// Restore the file but break the manifest bounds.
+	data[len(data)/2] ^= 0x01
+	if err := os.WriteFile(shardPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	manPath := filepath.Join(dir, ManifestName)
+	blob, err := os.ReadFile(manPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var man Manifest
+	if err := json.Unmarshal(blob, &man); err != nil {
+		t.Fatal(err)
+	}
+	man.Bounds[1]++
+	mutated, _ := json.Marshal(&man)
+	if err := os.WriteFile(manPath, mutated, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Load(dir, 2); err == nil {
+		t.Fatal("inconsistent manifest bounds must fail")
+	}
+
+	// A manifest dim that disagrees with the checksummed shard files is
+	// caught at load (ndserve validates query dims against the
+	// manifest, so serving it would panic on the first search).
+	man.Bounds[1]--
+	man.Dim++
+	mutated, _ = json.Marshal(&man)
+	if err := os.WriteFile(manPath, mutated, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Load(dir, 2); !errors.Is(err, snapshot.ErrCorrupt) {
+		t.Fatalf("manifest dim mismatch: err = %v, want ErrCorrupt", err)
+	}
+	man.Dim--
+
+	// Same for a manifest algo that disagrees with the shard files.
+	man.Algo = "hnsw"
+	mutated, _ = json.Marshal(&man)
+	if err := os.WriteFile(manPath, mutated, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Load(dir, 2); !errors.Is(err, snapshot.ErrCorrupt) {
+		t.Fatalf("manifest algo mismatch: err = %v, want ErrCorrupt", err)
+	}
+	man.Algo = "exact"
+
+	// A future manifest format version is refused up front.
+	man.FormatVersion = snapshot.FormatVersion + 1
+	mutated, _ = json.Marshal(&man)
+	if err := os.WriteFile(manPath, mutated, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Load(dir, 2); !errors.Is(err, snapshot.ErrVersion) {
+		t.Fatalf("future manifest version: err = %v, want ErrVersion", err)
+	}
+
+	// Missing directory.
+	if _, _, err := Load(filepath.Join(dir, "nope"), 2); err == nil {
+		t.Fatal("missing directory must fail")
+	}
+}
+
+// Save without caller-supplied Meta still produces a loadable manifest
+// (algo detected from the shard type).
+func TestEngineSaveDetectsAlgo(t *testing.T) {
+	prof := dataset.Glove100()
+	d, err := dataset.Generate(prof, dataset.GenConfig{N: 200, Queries: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	builder, _ := BuilderByName("hnsw", prof.Metric, 1)
+	e, err := New(d.Vectors, Config{Shards: 2, Workers: 2, Builder: builder})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(e.Close)
+	dir := t.TempDir()
+	if err := e.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	loaded, man, err := Load(dir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(loaded.Close)
+	if man.Algo != "hnsw" {
+		t.Fatalf("detected algo %q, want hnsw", man.Algo)
+	}
+	// A Meta.Algo that contradicts the shard type is a caller bug and
+	// must fail at save time, not as ErrCorrupt on every future load.
+	wrong, err := New(d.Vectors, Config{
+		Shards: 2, Workers: 2, Builder: builder, Meta: Meta{Algo: "exact"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(wrong.Close)
+	if err := wrong.Save(t.TempDir()); err == nil {
+		t.Fatal("Meta.Algo mismatching the shard type must fail Save")
+	}
+	q := d.Queries[0]
+	if got, want := loaded.Search(q, 5), e.Search(q, 5); len(got) != len(want) {
+		t.Fatalf("loaded search returned %d results, want %d", len(got), len(want))
+	}
+}

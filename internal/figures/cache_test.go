@@ -1,0 +1,133 @@
+package figures
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"ndsearch/internal/dataset"
+	"ndsearch/internal/hnsw"
+	"ndsearch/internal/snapshot"
+	"ndsearch/internal/vec"
+)
+
+// cacheScale keeps the cache tests fast (TOGG's exact KNN base graph is
+// quadratic in N).
+func cacheScale() Scale { return Scale{N: 400, Batch: 16, K: 5, Seed: 1} }
+
+// The suite disk cache must be invisible in the output: a workload
+// loaded from cache carries the same traced batch and recall as the
+// workload that populated it.
+func TestSuiteCacheWarmStartIsByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	for _, algo := range []string{"hnsw", "diskann", "hcnng", "togg"} {
+		t.Run(algo, func(t *testing.T) {
+			cold := NewSuite(cacheScale())
+			cold.CacheDir = dir
+			w1, err := cold.Workload("sift-1b", algo)
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join(dir, "sift-1b-"+algo+"-n400-seed1.ndx")
+			if _, err := os.Stat(path); err != nil {
+				t.Fatalf("cache file not written: %v", err)
+			}
+
+			warm := NewSuite(cacheScale())
+			warm.CacheDir = dir
+			w2, err := warm.Workload("sift-1b", algo)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(w1.Batch, w2.Batch) {
+				t.Fatal("cached workload's traced batch differs from the build that populated it")
+			}
+			if math.Float64bits(w1.Recall10) != math.Float64bits(w2.Recall10) {
+				t.Fatalf("recall drifted: %v vs %v", w1.Recall10, w2.Recall10)
+			}
+			if w1.MaxDegree != w2.MaxDegree {
+				t.Fatalf("max degree drifted: %d vs %d", w1.MaxDegree, w2.MaxDegree)
+			}
+		})
+	}
+}
+
+// A cache entry built with different hyperparameters (a stale file
+// from an older code revision, or a key collision) is rebuilt, not
+// served — cached runs must stay byte-identical to cache-less ones.
+func TestSuiteCacheRejectsStaleParams(t *testing.T) {
+	dir := t.TempDir()
+	s := NewSuite(cacheScale())
+	s.CacheDir = dir
+	prof, err := dataset.ProfileByName("glove-100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := dataset.Generate(prof, dataset.GenConfig{N: s.Scale.N, Queries: 1, Seed: s.Scale.Seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Plant an index built with a different M under the current key.
+	stale, err := hnsw.Build(d.Vectors, hnsw.Config{
+		M: 6, EfConstruction: 40, EfSearch: 32, Metric: prof.Metric, Seed: s.Scale.Seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "glove-100-hnsw-n400-seed1.ndx")
+	if _, err := snapshot.SaveFile(path, stale, vec.F32); err != nil {
+		t.Fatal(err)
+	}
+
+	w, err := s.Workload("glove-100", "hnsw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := w.Index.(*hnsw.Index)
+	if !ok {
+		t.Fatalf("workload index is %T", w.Index)
+	}
+	if got.Params().M != 12 {
+		t.Fatalf("stale cache entry served: M = %d, want the current build's 12", got.Params().M)
+	}
+}
+
+// A corrupt or stale cache entry is rebuilt and overwritten, never
+// served.
+func TestSuiteCacheRecoversFromCorruption(t *testing.T) {
+	dir := t.TempDir()
+	s := NewSuite(cacheScale())
+	s.CacheDir = dir
+	w1, err := s.Workload("glove-100", "hnsw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "glove-100-hnsw-n400-seed1.ndx")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	fresh := NewSuite(cacheScale())
+	fresh.CacheDir = dir
+	w2, err := fresh.Workload("glove-100", "hnsw")
+	if err != nil {
+		t.Fatalf("corrupt cache entry must trigger a rebuild, got %v", err)
+	}
+	if !reflect.DeepEqual(w1.Batch, w2.Batch) {
+		t.Fatal("rebuild after corruption produced a different workload")
+	}
+	repaired, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(repaired, data) {
+		t.Fatal("corrupt cache file was not overwritten")
+	}
+}

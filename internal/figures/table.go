@@ -75,8 +75,5 @@ func (t *Table) Fprint(w io.Writer) {
 }
 
 func buildTOGG(d *dataset.Dataset, seed int64) (ann.Index, error) {
-	return togg.Build(d.Vectors, togg.Config{
-		K: 12, GuideDims: 8, GuideHops: 32, LSearch: 64,
-		Metric: d.Profile.Metric, Seed: seed,
-	})
+	return togg.Build(d.Vectors, suiteTOGGConfig(d.Profile.Metric, seed))
 }

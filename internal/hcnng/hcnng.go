@@ -99,6 +99,27 @@ func Build(data []vec.Vector, cfg Config) (*Index, error) {
 	return idx, nil
 }
 
+// FromParts reassembles a built index from its serialized parts — the
+// snapshot warm-start path. No construction runs; searches on the
+// result are byte-identical to the index the parts came from. All
+// arguments are retained.
+func FromParts(cfg Config, mat *vec.Matrix, g *graph.Graph, entry uint32) (*Index, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := mat.Rows()
+	if n == 0 {
+		return nil, fmt.Errorf("hcnng: empty matrix")
+	}
+	if g.Len() != n {
+		return nil, fmt.Errorf("hcnng: graph has %d vertices, corpus has %d", g.Len(), n)
+	}
+	if int(entry) >= n {
+		return nil, fmt.Errorf("hcnng: entry %d out of range %d", entry, n)
+	}
+	return &Index{cfg: cfg, mat: mat, kern: vec.NewKernel(cfg.Metric, mat), g: g, entry: entry}, nil
+}
+
 // cluster recursively bi-partitions points by two random pivots and
 // builds an MST in each leaf.
 func (x *Index) cluster(points []uint32, rng *rand.Rand) {
@@ -253,6 +274,13 @@ func (x *Index) Len() int { return x.mat.Rows() }
 
 // Entry returns the search entry point.
 func (x *Index) Entry() uint32 { return x.entry }
+
+// Params returns the construction/search configuration of the built
+// index.
+func (x *Index) Params() Config { return x.cfg }
+
+// Matrix returns the corpus store. Callers must not mutate it.
+func (x *Index) Matrix() *vec.Matrix { return x.mat }
 
 // SetBeamWidth implements ann.Tunable.
 func (x *Index) SetBeamWidth(w int) {

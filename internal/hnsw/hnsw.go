@@ -90,6 +90,43 @@ func Build(data []vec.Vector, cfg Config) (*Index, error) {
 	return idx, nil
 }
 
+// FromParts reassembles a built index from its serialized parts — the
+// snapshot warm-start path. No construction runs; searches on the
+// result are byte-identical to the index the parts came from. All
+// arguments are retained.
+func FromParts(cfg Config, mat *vec.Matrix, layers []*graph.Graph, levels []int, entry uint32, maxLevel int) (*Index, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := mat.Rows()
+	if n == 0 {
+		return nil, fmt.Errorf("hnsw: empty matrix")
+	}
+	if len(levels) != n {
+		return nil, fmt.Errorf("hnsw: %d levels for %d vectors", len(levels), n)
+	}
+	if maxLevel < 0 || len(layers) != maxLevel+1 {
+		return nil, fmt.Errorf("hnsw: %d layers with max level %d", len(layers), maxLevel)
+	}
+	for l, g := range layers {
+		if g.Len() != n {
+			return nil, fmt.Errorf("hnsw: layer %d has %d vertices, corpus has %d", l, g.Len(), n)
+		}
+	}
+	if int(entry) >= n {
+		return nil, fmt.Errorf("hnsw: entry %d out of range %d", entry, n)
+	}
+	return &Index{
+		cfg:      cfg,
+		mat:      mat,
+		kern:     vec.NewKernel(cfg.Metric, mat),
+		layers:   layers,
+		levels:   levels,
+		entry:    entry,
+		maxLevel: maxLevel,
+	}, nil
+}
+
 func (x *Index) ensureLayers(level int) {
 	for len(x.layers) <= level {
 		x.layers = append(x.layers, graph.New(x.mat.Rows()))
@@ -292,6 +329,20 @@ func (x *Index) Graph() ann.GraphView { return x.layers[0] }
 
 // BaseGraph returns the mutable base layer for placement experiments.
 func (x *Index) BaseGraph() *graph.Graph { return x.layers[0] }
+
+// Params returns the construction/search configuration of the built
+// index.
+func (x *Index) Params() Config { return x.cfg }
+
+// Matrix returns the corpus store. Callers must not mutate it.
+func (x *Index) Matrix() *vec.Matrix { return x.mat }
+
+// Layers returns all graph layers, base layer first. The slice and the
+// graphs are owned by the index and must not be mutated.
+func (x *Index) Layers() []*graph.Graph { return x.layers }
+
+// Levels returns the per-vertex top layers. Owned by the index.
+func (x *Index) Levels() []int { return x.levels }
 
 // Len returns the number of indexed vectors.
 func (x *Index) Len() int { return x.mat.Rows() }

@@ -70,10 +70,11 @@ func (c Config) Validate(dim int) error {
 	return nil
 }
 
-// entry is one posting: the vector id and its PQ code.
-type entry struct {
-	id   uint32
-	code []uint8
+// Posting is one inverted-list entry: the vector ID and its PQ code
+// (Segments bytes). Exported so snapshots can serialise lists exactly.
+type Posting struct {
+	ID   uint32
+	Code []uint8
 }
 
 // Index is a built IVF-PQ index. The raw corpus lives in a contiguous
@@ -86,7 +87,7 @@ type Index struct {
 	segDim    int
 	coarse    []vec.Vector   // NList centroids
 	codebooks [][]vec.Vector // [segment][code] sub-centroids
-	lists     [][]entry
+	lists     [][]Posting
 }
 
 // Build trains the coarse quantizer and per-segment codebooks, then
@@ -131,16 +132,76 @@ func Build(data []vec.Vector, cfg Config) (*Index, error) {
 		}
 		x.codebooks[s] = kMeans(subs, k, cfg.KMeansIters, rng)
 	}
-	x.lists = make([][]entry, cfg.NList)
+	x.lists = make([][]Posting, cfg.NList)
 	for i := range data {
 		code := make([]uint8, cfg.Segments)
 		for s := 0; s < cfg.Segments; s++ {
 			sub := residuals[i][s*x.segDim : (s+1)*x.segDim]
 			code[s] = uint8(nearestCentroid(x.codebooks[s], sub))
 		}
-		x.lists[assign[i]] = append(x.lists[assign[i]], entry{id: uint32(i), code: code})
+		x.lists[assign[i]] = append(x.lists[assign[i]], Posting{ID: uint32(i), Code: code})
 	}
 	return x, nil
+}
+
+// FromParts reassembles a built index from its serialized parts — the
+// snapshot warm-start path. No k-means training runs; searches on the
+// result are byte-identical to the index the parts came from (centroid,
+// codebook, and posting order are all preserved). All arguments are
+// retained.
+func FromParts(cfg Config, mat *vec.Matrix, coarse []vec.Vector, codebooks [][]vec.Vector, lists [][]Posting) (*Index, error) {
+	n, dim := mat.Rows(), mat.Dim()
+	if n == 0 {
+		return nil, fmt.Errorf("ivfpq: empty matrix")
+	}
+	if err := cfg.Validate(dim); err != nil {
+		return nil, err
+	}
+	if len(coarse) != cfg.NList || len(lists) != cfg.NList {
+		return nil, fmt.Errorf("ivfpq: %d coarse centroids and %d lists for nlist %d",
+			len(coarse), len(lists), cfg.NList)
+	}
+	for i, c := range coarse {
+		if len(c) != dim {
+			return nil, fmt.Errorf("ivfpq: coarse centroid %d has dim %d, corpus dim is %d", i, len(c), dim)
+		}
+	}
+	if len(codebooks) != cfg.Segments {
+		return nil, fmt.Errorf("ivfpq: %d codebooks for %d segments", len(codebooks), cfg.Segments)
+	}
+	segDim := dim / cfg.Segments
+	maxCodes := 1 << cfg.CodeBits
+	for s, book := range codebooks {
+		if len(book) == 0 || len(book) > maxCodes {
+			return nil, fmt.Errorf("ivfpq: codebook %d has %d centroids, want 1..%d", s, len(book), maxCodes)
+		}
+		for c, cent := range book {
+			if len(cent) != segDim {
+				return nil, fmt.Errorf("ivfpq: codebook %d centroid %d has dim %d, want %d", s, c, len(cent), segDim)
+			}
+		}
+	}
+	for li, list := range lists {
+		for pi, post := range list {
+			if int(post.ID) >= n {
+				return nil, fmt.Errorf("ivfpq: list %d posting %d id %d out of range %d", li, pi, post.ID, n)
+			}
+			if len(post.Code) != cfg.Segments {
+				return nil, fmt.Errorf("ivfpq: list %d posting %d has %d code bytes, want %d", li, pi, len(post.Code), cfg.Segments)
+			}
+			for s, code := range post.Code {
+				if int(code) >= len(codebooks[s]) {
+					return nil, fmt.Errorf("ivfpq: list %d posting %d segment %d code %d exceeds codebook size %d",
+						li, pi, s, code, len(codebooks[s]))
+				}
+			}
+		}
+	}
+	return &Index{
+		cfg: cfg, mat: mat, kern: vec.NewKernel(cfg.Metric, mat),
+		dim: dim, segDim: segDim,
+		coarse: coarse, codebooks: codebooks, lists: lists,
+	}, nil
 }
 
 // kMeans runs Lloyd's algorithm with k-means++-style seeding (first
@@ -259,10 +320,10 @@ func (x *Index) SearchStats(query vec.Vector, k int) ([]ann.Neighbor, ScanStats)
 		tables := x.adcTables(residual)
 		for _, e := range x.lists[li] {
 			var d float32
-			for s, code := range e.code {
+			for s, code := range e.Code {
 				d += tables[s][code]
 			}
-			cands = append(cands, ann.Neighbor{ID: e.id, Dist: d})
+			cands = append(cands, ann.Neighbor{ID: e.ID, Dist: d})
 			st.CodesScanned++
 		}
 		st.BytesStreamed += int64(len(x.lists[li])) * int64(x.CodeBytes())
@@ -300,6 +361,22 @@ func (x *Index) NLists() int { return len(x.lists) }
 
 // ListLen returns the posting count of list i.
 func (x *Index) ListLen(i int) int { return len(x.lists[i]) }
+
+// Params returns the effective configuration of the built index (NList
+// and NProbe after any clamping to the corpus size).
+func (x *Index) Params() Config { return x.cfg }
+
+// Matrix returns the corpus store. Callers must not mutate it.
+func (x *Index) Matrix() *vec.Matrix { return x.mat }
+
+// Coarse returns the coarse centroids. Owned by the index.
+func (x *Index) Coarse() []vec.Vector { return x.coarse }
+
+// Codebooks returns the per-segment PQ codebooks. Owned by the index.
+func (x *Index) Codebooks() [][]vec.Vector { return x.codebooks }
+
+// Lists returns the inverted posting lists. Owned by the index.
+func (x *Index) Lists() [][]Posting { return x.lists }
 
 // SetNProbe adjusts the probe width.
 func (x *Index) SetNProbe(n int) {

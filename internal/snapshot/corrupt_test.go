@@ -1,0 +1,165 @@
+package snapshot
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+
+	"ndsearch/internal/vec"
+)
+
+// snapshotOf serialises one small index per family.
+func snapshotOf(t *testing.T, algo string) []byte {
+	t.Helper()
+	built := buildFamily(t, algo, metricsOf(algo)[0], testData(80, 8, 17))
+	var buf bytes.Buffer
+	if err := Save(&buf, built, vec.F32); err != nil {
+		t.Fatalf("save %s: %v", algo, err)
+	}
+	return buf.Bytes()
+}
+
+// loadBytes runs Load and converts any panic into a test failure — the
+// contract is that corruption surfaces as a typed error, never a panic.
+func loadBytes(t *testing.T, label string, data []byte) (idx Index, err error) {
+	t.Helper()
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("%s: Load panicked: %v", label, r)
+		}
+	}()
+	return Load(bytes.NewReader(data))
+}
+
+// The corruption table: truncated file, flipped byte, wrong magic, and
+// future format version each produce their own typed error, for every
+// index family.
+func TestCorruptionTypedErrors(t *testing.T) {
+	for _, algo := range Algos() {
+		t.Run(algo, func(t *testing.T) {
+			good := snapshotOf(t, algo)
+			if _, err := loadBytes(t, "pristine", good); err != nil {
+				t.Fatalf("pristine snapshot failed to load: %v", err)
+			}
+
+			// Wrong magic.
+			bad := append([]byte(nil), good...)
+			bad[0] = 'X'
+			if _, err := loadBytes(t, "magic", bad); !errors.Is(err, ErrBadMagic) {
+				t.Errorf("wrong magic: err = %v, want ErrBadMagic", err)
+			}
+
+			// Future format version (checked before the header CRC, so a
+			// genuinely newer file reports its version rather than a
+			// checksum failure).
+			bad = append([]byte(nil), good...)
+			binary.LittleEndian.PutUint16(bad[4:6], FormatVersion+1)
+			if _, err := loadBytes(t, "version", bad); !errors.Is(err, ErrVersion) {
+				t.Errorf("future version: err = %v, want ErrVersion", err)
+			}
+
+			// Truncations at every structural boundary class: inside the
+			// magic, inside the header, at the first section frame, mid
+			// payload, and just before the terminator.
+			for _, cut := range []int{0, 3, 10, headerSize, headerSize + 3, len(good) / 2, len(good) - 1} {
+				if _, err := loadBytes(t, "truncate", good[:cut]); !errors.Is(err, ErrTruncated) {
+					t.Errorf("truncated at %d: err = %v, want ErrTruncated", cut, err)
+				}
+			}
+
+			// Flipped byte in a section payload (the first byte of the
+			// "algo" payload, at a deterministic offset).
+			algoPayload := headerSize + 1 + len("algo") + 8 + 4
+			bad = append([]byte(nil), good...)
+			bad[algoPayload] ^= 0xFF
+			if _, err := loadBytes(t, "flip", bad); !errors.Is(err, ErrChecksum) {
+				t.Errorf("flipped algo payload byte: err = %v, want ErrChecksum", err)
+			}
+			// And deep in the file (structure payloads).
+			bad = append([]byte(nil), good...)
+			bad[len(bad)*3/4] ^= 0x40
+			if _, err := loadBytes(t, "flip deep", bad); !errors.Is(err, ErrChecksum) {
+				t.Errorf("flipped deep byte: err = %v, want ErrChecksum", err)
+			}
+			// Flipped header byte (after magic/version): the header CRC
+			// catches it.
+			bad = append([]byte(nil), good...)
+			bad[8] ^= 0xFF // low byte of dim
+			if _, err := loadBytes(t, "flip header", bad); !errors.Is(err, ErrChecksum) {
+				t.Errorf("flipped header byte: err = %v, want ErrChecksum", err)
+			}
+		})
+	}
+}
+
+// A sweep over every region of the file: any single flipped byte must
+// yield a typed error (or, for frame-field flips that happen to keep
+// the file parseable, at minimum never a panic and never a silently
+// different index).
+func TestCorruptionFlipSweepNeverPanics(t *testing.T) {
+	good := snapshotOf(t, "hnsw")
+	want, err := Load(bytes.NewReader(good))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := testQueries(1, 8, 41)[0]
+	wantRes := want.Search(q, 5)
+	step := len(good)/257 + 1
+	for off := 0; off < len(good); off += step {
+		bad := append([]byte(nil), good...)
+		bad[off] ^= 0x55
+		idx, err := loadBytes(t, "sweep", bad)
+		if err == nil {
+			// The only flips that can legally load are ones the CRCs do
+			// not cover (stored CRC bytes themselves can't match, frame
+			// lengths break parsing) — so a successful load here means
+			// the flip was semantically neutral; results must not drift.
+			requireSameResults(t, "sweep survivor", idx.Search(q, 5), wantRes)
+			t.Errorf("offset %d: flipped byte loaded successfully", off)
+		}
+		var typed bool
+		for _, sentinel := range []error{ErrBadMagic, ErrVersion, ErrChecksum, ErrTruncated, ErrCorrupt} {
+			if errors.Is(err, sentinel) {
+				typed = true
+				break
+			}
+		}
+		if err != nil && !typed {
+			t.Errorf("offset %d: untyped error %v", off, err)
+		}
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	for label, data := range map[string][]byte{
+		"empty":     {},
+		"one byte":  {'N'},
+		"not magic": []byte("this is not a snapshot file at all"),
+	} {
+		_, err := loadBytes(t, label, data)
+		if err == nil {
+			t.Errorf("%s: loaded successfully", label)
+		}
+		if !errors.Is(err, ErrBadMagic) && !errors.Is(err, ErrTruncated) {
+			t.Errorf("%s: err = %v, want ErrBadMagic or ErrTruncated", label, err)
+		}
+	}
+}
+
+// Unknown algo behind valid checksums is structural corruption.
+func TestLoadRejectsUnknownAlgo(t *testing.T) {
+	built := buildFamily(t, "exact", vec.L2, testData(40, 8, 2))
+	b := &builder{}
+	b.add("algo", []byte("flux-capacitor"))
+	mat := built.(interface{ Matrix() *vec.Matrix }).Matrix()
+	payload, err := encodeMatrix(mat, vec.F32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.add("matrix", payload)
+	data := b.assemble(Header{Version: FormatVersion, Metric: vec.L2, Elem: vec.F32, Dim: mat.Dim(), Rows: mat.Rows()})
+	if _, err := loadBytes(t, "unknown algo", data); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("unknown algo: err = %v, want ErrCorrupt", err)
+	}
+}

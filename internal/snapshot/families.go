@@ -1,0 +1,573 @@
+package snapshot
+
+import (
+	"fmt"
+	"math"
+
+	"ndsearch/internal/ann"
+	"ndsearch/internal/graph"
+	"ndsearch/internal/hcnng"
+	"ndsearch/internal/hnsw"
+	"ndsearch/internal/ivfpq"
+	"ndsearch/internal/togg"
+	"ndsearch/internal/vamana"
+	"ndsearch/internal/vec"
+)
+
+// This file holds the per-family Saver/Loader pairs plus the shared
+// matrix / vector-list / graph codecs they compose. Loaders hand the
+// decoded parts to each package's FromParts reconstructor, which
+// revalidates the family invariants; any violation is reported as
+// ErrCorrupt (the checksums held, so the structure itself is wrong).
+
+// corrupt wraps a reconstruction error as ErrCorrupt.
+func corrupt(err error) error {
+	if err == nil {
+		return nil
+	}
+	return fmt.Errorf("%w: %v", ErrCorrupt, err)
+}
+
+// ---- corpus matrix ------------------------------------------------------
+
+// encodeMatrix serialises the corpus store row by row with vec.Encode.
+// For U8/I8 every component must be exactly representable (generated
+// corpora are, since dataset.Generate quantizes to the profile's kind);
+// otherwise the save is rejected so a reload can never silently return
+// different distances.
+func encodeMatrix(mat *vec.Matrix, elem vec.ElemKind) ([]byte, error) {
+	rows, dim := mat.Rows(), mat.Dim()
+	if rows == 0 {
+		return nil, fmt.Errorf("empty corpus matrix")
+	}
+	var e enc
+	e.u8(uint8(elem))
+	e.u32(uint32(rows))
+	e.u32(uint32(dim))
+	stride := vec.StoredBytes(elem, dim)
+	scratch := make([]byte, stride)
+	for i := 0; i < rows; i++ {
+		row := mat.Row(i)
+		if _, err := vec.Encode(elem, row, scratch); err != nil {
+			return nil, err
+		}
+		if elem != vec.F32 {
+			back, err := vec.Decode(elem, dim, scratch)
+			if err != nil {
+				return nil, err
+			}
+			for j := range row {
+				if math.Float32bits(row[j]) != math.Float32bits(back[j]) {
+					return nil, fmt.Errorf("row %d component %d (%v) is not representable as %v; save with vec.F32",
+						i, j, row[j], elem)
+				}
+			}
+		}
+		e.b = append(e.b, scratch...)
+	}
+	return e.b, nil
+}
+
+// decodeMatrix rebuilds the corpus store. Norms are recomputed by
+// vec.NewMatrix with the same unrolled accumulation the original build
+// used, so the restored store is bit-identical.
+func decodeMatrix(h Header, payload []byte) (*vec.Matrix, error) {
+	d := &dec{b: payload}
+	elem := vec.ElemKind(d.u8())
+	rows := d.intn(len(payload), "matrix rows")
+	dim := d.intn(len(payload), "matrix dim")
+	if d.err != nil {
+		return nil, d.err
+	}
+	if elem != h.Elem || rows != h.Rows || dim != h.Dim {
+		return nil, fmt.Errorf("%w: matrix section (%v, %dx%d) disagrees with header (%v, %dx%d)",
+			ErrCorrupt, elem, rows, dim, h.Elem, h.Rows, h.Dim)
+	}
+	if rows == 0 || dim == 0 {
+		return nil, fmt.Errorf("%w: empty corpus matrix", ErrCorrupt)
+	}
+	stride := vec.StoredBytes(elem, dim)
+	data := make([]vec.Vector, rows)
+	for i := range data {
+		raw := d.bytes(stride)
+		if d.err != nil {
+			return nil, d.err
+		}
+		v, err := vec.Decode(elem, dim, raw)
+		if err != nil {
+			return nil, corrupt(err)
+		}
+		data[i] = v
+	}
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	return vec.NewMatrix(data), nil
+}
+
+// ---- auxiliary vector lists (centroids, codebooks) ----------------------
+
+// writeVectors encodes a list of same-dimension float32 vectors (always
+// F32: centroids are k-means outputs, not quantized corpus rows).
+func writeVectors(e *enc, vs []vec.Vector) {
+	e.u32(uint32(len(vs)))
+	dim := 0
+	if len(vs) > 0 {
+		dim = len(vs[0])
+	}
+	e.u32(uint32(dim))
+	for _, v := range vs {
+		for _, x := range v {
+			e.f32(x)
+		}
+	}
+}
+
+func readVectors(d *dec) []vec.Vector {
+	count := d.intn(len(d.b), "vector count")
+	dim := d.intn(len(d.b), "vector dim")
+	if d.err != nil {
+		return nil
+	}
+	out := make([]vec.Vector, count)
+	for i := range out {
+		v := make(vec.Vector, dim)
+		for j := range v {
+			v[j] = d.f32()
+		}
+		if d.err != nil {
+			return nil
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// ---- adjacency graphs ---------------------------------------------------
+
+// writeGraph encodes adjacency as vertex count then per-vertex degree +
+// neighbor list, preserving neighbor order exactly (traversal order is
+// part of the search's byte-identical contract).
+func writeGraph(e *enc, g *graph.Graph) {
+	n := g.Len()
+	e.u32(uint32(n))
+	for v := 0; v < n; v++ {
+		nbrs := g.Neighbors(uint32(v))
+		e.u32(uint32(len(nbrs)))
+		for _, w := range nbrs {
+			e.u32(w)
+		}
+	}
+}
+
+// readGraph decodes one graph, validating the vertex count against the
+// corpus and every neighbor ID against the vertex range.
+func readGraph(d *dec, wantN int) (*graph.Graph, error) {
+	n := d.intn(len(d.b), "graph vertices")
+	if d.err != nil {
+		return nil, d.err
+	}
+	if n != wantN {
+		return nil, fmt.Errorf("%w: graph has %d vertices, corpus has %d", ErrCorrupt, n, wantN)
+	}
+	g := graph.New(n)
+	for v := 0; v < n; v++ {
+		deg := d.intn(n, "degree")
+		if d.err != nil {
+			return nil, d.err
+		}
+		nbrs := make([]uint32, deg)
+		for i := range nbrs {
+			w := d.u32()
+			if d.err == nil && int(w) >= n {
+				return nil, fmt.Errorf("%w: vertex %d neighbor %d out of range %d", ErrCorrupt, v, w, n)
+			}
+			nbrs[i] = w
+		}
+		if d.err != nil {
+			return nil, d.err
+		}
+		g.SetNeighbors(uint32(v), nbrs)
+	}
+	return g, nil
+}
+
+// ---- exact --------------------------------------------------------------
+
+func saveExact(idx Index, _ *builder) (vec.Metric, *vec.Matrix, error) {
+	x := idx.(*ann.Exact)
+	return x.Metric(), x.Matrix(), nil
+}
+
+func loadExact(h Header, _ *file, mat *vec.Matrix) (Index, error) {
+	return ann.ExactFromMatrix(h.Metric, mat), nil
+}
+
+// ---- hnsw ---------------------------------------------------------------
+
+func saveHNSW(idx Index, b *builder) (vec.Metric, *vec.Matrix, error) {
+	x := idx.(*hnsw.Index)
+	cfg := x.Params()
+	var p enc
+	p.u32(uint32(cfg.M))
+	p.u32(uint32(cfg.EfConstruction))
+	p.u32(uint32(cfg.EfSearch))
+	p.i64(cfg.Seed)
+	p.u32(x.EntryPoint())
+	p.u32(uint32(x.MaxLevel()))
+	b.add("params", p.b)
+
+	var lv enc
+	levels := x.Levels()
+	lv.u32(uint32(len(levels)))
+	for _, l := range levels {
+		lv.u32(uint32(l))
+	}
+	b.add("levels", lv.b)
+
+	var lg enc
+	layers := x.Layers()
+	lg.u32(uint32(len(layers)))
+	for _, g := range layers {
+		writeGraph(&lg, g)
+	}
+	b.add("layers", lg.b)
+	return cfg.Metric, x.Matrix(), nil
+}
+
+func loadHNSW(h Header, f *file, mat *vec.Matrix) (Index, error) {
+	p, err := f.section("params")
+	if err != nil {
+		return nil, err
+	}
+	d := &dec{b: p}
+	cfg := hnsw.Config{
+		M:              d.intn(math.MaxInt32, "M"),
+		EfConstruction: d.intn(math.MaxInt32, "efConstruction"),
+		EfSearch:       d.intn(math.MaxInt32, "efSearch"),
+		Metric:         h.Metric,
+	}
+	cfg.Seed = d.i64()
+	entry := d.u32()
+	maxLevel := d.intn(math.MaxInt32, "maxLevel")
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+
+	lp, err := f.section("levels")
+	if err != nil {
+		return nil, err
+	}
+	d = &dec{b: lp}
+	levels := make([]int, d.intn(len(lp), "level count"))
+	for i := range levels {
+		levels[i] = d.intn(math.MaxInt32, "level")
+	}
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+
+	gp, err := f.section("layers")
+	if err != nil {
+		return nil, err
+	}
+	d = &dec{b: gp}
+	layers := make([]*graph.Graph, d.intn(len(gp), "layer count"))
+	for i := range layers {
+		layers[i], err = readGraph(d, mat.Rows())
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+
+	x, err := hnsw.FromParts(cfg, mat, layers, levels, entry, maxLevel)
+	return x, corrupt(err)
+}
+
+// ---- vamana / diskann ---------------------------------------------------
+
+func saveVamana(idx Index, b *builder) (vec.Metric, *vec.Matrix, error) {
+	x := idx.(*vamana.Index)
+	cfg := x.Params()
+	var p enc
+	p.u32(uint32(cfg.R))
+	p.u32(uint32(cfg.L))
+	p.u32(uint32(cfg.LSearch))
+	p.f32(cfg.Alpha)
+	p.i64(cfg.Seed)
+	p.u32(x.Medoid())
+	b.add("params", p.b)
+	var g enc
+	writeGraph(&g, x.BaseGraph())
+	b.add("graph", g.b)
+	return cfg.Metric, x.Matrix(), nil
+}
+
+func loadVamana(h Header, f *file, mat *vec.Matrix) (Index, error) {
+	p, err := f.section("params")
+	if err != nil {
+		return nil, err
+	}
+	d := &dec{b: p}
+	cfg := vamana.Config{
+		R:       d.intn(math.MaxInt32, "R"),
+		L:       d.intn(math.MaxInt32, "L"),
+		LSearch: d.intn(math.MaxInt32, "LSearch"),
+		Metric:  h.Metric,
+	}
+	cfg.Alpha = d.f32()
+	cfg.Seed = d.i64()
+	medoid := d.u32()
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	g, err := readSingleGraph(f, mat.Rows())
+	if err != nil {
+		return nil, err
+	}
+	x, err := vamana.FromParts(cfg, mat, g, medoid)
+	return x, corrupt(err)
+}
+
+// readSingleGraph decodes the "graph" section shared by the flat-graph
+// families (vamana, hcnng, togg).
+func readSingleGraph(f *file, wantN int) (*graph.Graph, error) {
+	gp, err := f.section("graph")
+	if err != nil {
+		return nil, err
+	}
+	d := &dec{b: gp}
+	g, err := readGraph(d, wantN)
+	if err != nil {
+		return nil, err
+	}
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// ---- hcnng --------------------------------------------------------------
+
+func saveHCNNG(idx Index, b *builder) (vec.Metric, *vec.Matrix, error) {
+	x := idx.(*hcnng.Index)
+	cfg := x.Params()
+	var p enc
+	p.u32(uint32(cfg.Clusterings))
+	p.u32(uint32(cfg.LeafSize))
+	p.u32(uint32(cfg.MaxDegree))
+	p.u32(uint32(cfg.LSearch))
+	p.i64(cfg.Seed)
+	p.u32(x.Entry())
+	b.add("params", p.b)
+	var g enc
+	writeGraph(&g, x.BaseGraph())
+	b.add("graph", g.b)
+	return cfg.Metric, x.Matrix(), nil
+}
+
+func loadHCNNG(h Header, f *file, mat *vec.Matrix) (Index, error) {
+	p, err := f.section("params")
+	if err != nil {
+		return nil, err
+	}
+	d := &dec{b: p}
+	cfg := hcnng.Config{
+		Clusterings: d.intn(math.MaxInt32, "clusterings"),
+		LeafSize:    d.intn(math.MaxInt32, "leafSize"),
+		MaxDegree:   d.intn(math.MaxInt32, "maxDegree"),
+		LSearch:     d.intn(math.MaxInt32, "LSearch"),
+		Metric:      h.Metric,
+	}
+	cfg.Seed = d.i64()
+	entry := d.u32()
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	g, err := readSingleGraph(f, mat.Rows())
+	if err != nil {
+		return nil, err
+	}
+	x, err := hcnng.FromParts(cfg, mat, g, entry)
+	return x, corrupt(err)
+}
+
+// ---- togg ---------------------------------------------------------------
+
+func saveTOGG(idx Index, b *builder) (vec.Metric, *vec.Matrix, error) {
+	x := idx.(*togg.Index)
+	cfg := x.Params()
+	var p enc
+	p.u32(uint32(cfg.K))
+	p.u32(uint32(cfg.GuideDims))
+	p.u32(uint32(cfg.GuideHops))
+	p.u32(uint32(cfg.LSearch))
+	p.i64(cfg.Seed)
+	p.u32(x.Entry())
+	b.add("params", p.b)
+	var gd enc
+	dims := x.GuideDims()
+	gd.u32(uint32(len(dims)))
+	for _, dim := range dims {
+		gd.u32(uint32(dim))
+	}
+	b.add("guide", gd.b)
+	var g enc
+	writeGraph(&g, x.BaseGraph())
+	b.add("graph", g.b)
+	return cfg.Metric, x.Matrix(), nil
+}
+
+func loadTOGG(h Header, f *file, mat *vec.Matrix) (Index, error) {
+	p, err := f.section("params")
+	if err != nil {
+		return nil, err
+	}
+	d := &dec{b: p}
+	cfg := togg.Config{
+		K:         d.intn(math.MaxInt32, "K"),
+		GuideDims: d.intn(math.MaxInt32, "guideDims"),
+		GuideHops: d.intn(math.MaxInt32, "guideHops"),
+		LSearch:   d.intn(math.MaxInt32, "LSearch"),
+		Metric:    h.Metric,
+	}
+	cfg.Seed = d.i64()
+	entry := d.u32()
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	gp, err := f.section("guide")
+	if err != nil {
+		return nil, err
+	}
+	d = &dec{b: gp}
+	dims := make([]int, d.intn(len(gp), "guide dim count"))
+	for i := range dims {
+		dims[i] = d.intn(math.MaxInt32, "guide dim")
+	}
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	g, err := readSingleGraph(f, mat.Rows())
+	if err != nil {
+		return nil, err
+	}
+	x, err := togg.FromParts(cfg, mat, g, entry, dims)
+	return x, corrupt(err)
+}
+
+// ---- ivfpq --------------------------------------------------------------
+
+func saveIVFPQ(idx Index, b *builder) (vec.Metric, *vec.Matrix, error) {
+	x := idx.(*ivfpq.Index)
+	cfg := x.Params()
+	var p enc
+	p.u32(uint32(cfg.NList))
+	p.u32(uint32(cfg.NProbe))
+	p.u32(uint32(cfg.Segments))
+	p.u32(uint32(cfg.CodeBits))
+	p.u32(uint32(cfg.Rerank))
+	p.u32(uint32(cfg.KMeansIters))
+	p.i64(cfg.Seed)
+	b.add("params", p.b)
+
+	var co enc
+	writeVectors(&co, x.Coarse())
+	b.add("coarse", co.b)
+
+	var cb enc
+	books := x.Codebooks()
+	cb.u32(uint32(len(books)))
+	for _, book := range books {
+		writeVectors(&cb, book)
+	}
+	b.add("codebooks", cb.b)
+
+	var li enc
+	lists := x.Lists()
+	li.u32(uint32(len(lists)))
+	for _, list := range lists {
+		li.u32(uint32(len(list)))
+		for _, post := range list {
+			li.u32(post.ID)
+			li.b = append(li.b, post.Code...)
+		}
+	}
+	b.add("lists", li.b)
+	return cfg.Metric, x.Matrix(), nil
+}
+
+func loadIVFPQ(h Header, f *file, mat *vec.Matrix) (Index, error) {
+	p, err := f.section("params")
+	if err != nil {
+		return nil, err
+	}
+	d := &dec{b: p}
+	cfg := ivfpq.Config{
+		NList:       d.intn(math.MaxInt32, "nlist"),
+		NProbe:      d.intn(math.MaxInt32, "nprobe"),
+		Segments:    d.intn(math.MaxInt32, "segments"),
+		CodeBits:    d.intn(math.MaxInt32, "code bits"),
+		Rerank:      d.intn(math.MaxInt32, "rerank"),
+		KMeansIters: d.intn(math.MaxInt32, "kmeans iters"),
+		Metric:      h.Metric,
+	}
+	cfg.Seed = d.i64()
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+
+	cop, err := f.section("coarse")
+	if err != nil {
+		return nil, err
+	}
+	d = &dec{b: cop}
+	coarse := readVectors(d)
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+
+	cbp, err := f.section("codebooks")
+	if err != nil {
+		return nil, err
+	}
+	d = &dec{b: cbp}
+	books := make([][]vec.Vector, d.intn(len(cbp), "codebook count"))
+	for i := range books {
+		books[i] = readVectors(d)
+	}
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+
+	lip, err := f.section("lists")
+	if err != nil {
+		return nil, err
+	}
+	d = &dec{b: lip}
+	lists := make([][]ivfpq.Posting, d.intn(len(lip), "list count"))
+	for i := range lists {
+		list := make([]ivfpq.Posting, d.intn(len(lip), "posting count"))
+		for j := range list {
+			id := d.u32()
+			if d.err == nil && int(id) >= mat.Rows() {
+				return nil, fmt.Errorf("%w: posting id %d out of range %d", ErrCorrupt, id, mat.Rows())
+			}
+			code := d.bytes(cfg.Segments)
+			if d.err != nil {
+				return nil, d.err
+			}
+			list[j] = ivfpq.Posting{ID: id, Code: append([]uint8(nil), code...)}
+		}
+		lists[i] = list
+	}
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+
+	x, err := ivfpq.FromParts(cfg, mat, coarse, books, lists)
+	return x, corrupt(err)
+}

@@ -1,0 +1,289 @@
+package snapshot
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"ndsearch/internal/vec"
+)
+
+// The container layout (all integers little-endian):
+//
+//	offset  size  field
+//	0       4     magic "NDSS"
+//	4       2     format version (currently 1)
+//	6       1     metric (vec.Metric encoding)
+//	7       1     element kind (vec.ElemKind)
+//	8       4     dim
+//	12      4     rows
+//	16      4     reserved (zero)
+//	20      4     CRC32-IEEE of bytes 0..19
+//
+// followed by a sequence of named sections, each framed as
+//
+//	1       name length L (> 0)
+//	L       name
+//	8       payload length P
+//	4       CRC32-IEEE of name ++ payload
+//	P       payload
+//
+// and terminated by a single zero byte where the next name length would
+// be. Section order is not significant; names are unique per file.
+
+const (
+	// FormatVersion is the container format version this package writes.
+	// Loaders reject files with a greater version (ErrVersion); older
+	// versions are migrated in place when the format ever changes.
+	FormatVersion = 1
+
+	headerSize = 24
+)
+
+var magic = [4]byte{'N', 'D', 'S', 'S'}
+
+// Header carries the corpus-level fields every snapshot records.
+type Header struct {
+	// Version is the container format version of the parsed file.
+	Version int
+	// Metric is the index's distance metric.
+	Metric vec.Metric
+	// Elem is the at-rest element kind of the serialized corpus matrix.
+	Elem vec.ElemKind
+	// Dim and Rows describe the corpus matrix.
+	Dim, Rows int
+}
+
+// section is one named, CRC-guarded payload.
+type section struct {
+	name    string
+	payload []byte
+}
+
+// builder accumulates sections and assembles the final file image.
+type builder struct {
+	sections []section
+}
+
+func (b *builder) add(name string, payload []byte) {
+	b.sections = append(b.sections, section{name: name, payload: payload})
+}
+
+// assemble serialises the header plus all sections into one file image.
+func (b *builder) assemble(h Header) []byte {
+	size := headerSize + 1 // header + terminator
+	for _, s := range b.sections {
+		size += 1 + len(s.name) + 8 + 4 + len(s.payload)
+	}
+	out := make([]byte, 0, size)
+	hdr := make([]byte, headerSize)
+	copy(hdr[0:4], magic[:])
+	binary.LittleEndian.PutUint16(hdr[4:6], uint16(h.Version))
+	hdr[6] = uint8(h.Metric)
+	hdr[7] = uint8(h.Elem)
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(h.Dim))
+	binary.LittleEndian.PutUint32(hdr[12:16], uint32(h.Rows))
+	binary.LittleEndian.PutUint32(hdr[20:24], crc32.ChecksumIEEE(hdr[:20]))
+	out = append(out, hdr...)
+	for _, s := range b.sections {
+		out = append(out, uint8(len(s.name)))
+		out = append(out, s.name...)
+		out = binary.LittleEndian.AppendUint64(out, uint64(len(s.payload)))
+		crc := crc32.ChecksumIEEE([]byte(s.name))
+		crc = crc32.Update(crc, crc32.IEEETable, s.payload)
+		out = binary.LittleEndian.AppendUint32(out, crc)
+		out = append(out, s.payload...)
+	}
+	out = append(out, 0) // terminator
+	return out
+}
+
+// file is a parsed snapshot: validated header plus CRC-checked sections.
+type file struct {
+	header   Header
+	sections map[string][]byte
+}
+
+// parseFile validates the container framing: magic, version, header CRC,
+// then every section's CRC. Errors discriminate the failure mode so
+// callers (and operators) can tell a stale format from disk corruption.
+func parseFile(data []byte) (*file, error) {
+	if len(data) < len(magic) {
+		return nil, fmt.Errorf("%w: %d bytes, need at least the %d-byte magic", ErrTruncated, len(data), len(magic))
+	}
+	if [4]byte(data[0:4]) != magic {
+		return nil, fmt.Errorf("%w: got % x, want % x (%q)", ErrBadMagic, data[0:4], magic[:], magic[:])
+	}
+	if len(data) < headerSize {
+		return nil, fmt.Errorf("%w: %d bytes, need %d-byte header", ErrTruncated, len(data), headerSize)
+	}
+	version := int(binary.LittleEndian.Uint16(data[4:6]))
+	if version > FormatVersion {
+		return nil, fmt.Errorf("%w: file is version %d, this build reads <= %d", ErrVersion, version, FormatVersion)
+	}
+	if version < 1 {
+		return nil, fmt.Errorf("%w: version %d", ErrVersion, version)
+	}
+	if got, want := binary.LittleEndian.Uint32(data[20:24]), crc32.ChecksumIEEE(data[:20]); got != want {
+		return nil, fmt.Errorf("%w: header CRC %08x, computed %08x", ErrChecksum, got, want)
+	}
+	metric, err := vec.MetricFromEncoding(data[6])
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	elem := vec.ElemKind(data[7])
+	if elem > vec.I8 {
+		return nil, fmt.Errorf("%w: unknown element kind %d", ErrCorrupt, elem)
+	}
+	f := &file{
+		header: Header{
+			Version: version,
+			Metric:  metric,
+			Elem:    elem,
+			Dim:     int(binary.LittleEndian.Uint32(data[8:12])),
+			Rows:    int(binary.LittleEndian.Uint32(data[12:16])),
+		},
+		sections: map[string][]byte{},
+	}
+	off := headerSize
+	for {
+		if off >= len(data) {
+			return nil, fmt.Errorf("%w: missing section terminator", ErrTruncated)
+		}
+		nameLen := int(data[off])
+		off++
+		if nameLen == 0 { // terminator
+			if off != len(data) {
+				return nil, fmt.Errorf("%w: %d trailing bytes after terminator", ErrCorrupt, len(data)-off)
+			}
+			return f, nil
+		}
+		if off+nameLen+8+4 > len(data) {
+			return nil, fmt.Errorf("%w: section frame at offset %d", ErrTruncated, off-1)
+		}
+		name := string(data[off : off+nameLen])
+		off += nameLen
+		payloadLen := binary.LittleEndian.Uint64(data[off : off+8])
+		off += 8
+		wantCRC := binary.LittleEndian.Uint32(data[off : off+4])
+		off += 4
+		if payloadLen > uint64(len(data)-off) {
+			return nil, fmt.Errorf("%w: section %q claims %d payload bytes, %d remain", ErrTruncated, name, payloadLen, len(data)-off)
+		}
+		payload := data[off : off+int(payloadLen)]
+		off += int(payloadLen)
+		crc := crc32.ChecksumIEEE([]byte(name))
+		crc = crc32.Update(crc, crc32.IEEETable, payload)
+		if crc != wantCRC {
+			return nil, fmt.Errorf("%w: section %q CRC %08x, computed %08x", ErrChecksum, name, wantCRC, crc)
+		}
+		if _, dup := f.sections[name]; dup {
+			return nil, fmt.Errorf("%w: duplicate section %q", ErrCorrupt, name)
+		}
+		f.sections[name] = payload
+	}
+}
+
+// section returns a named section's payload; a missing section is a
+// structural corruption (every family writes a fixed section set).
+func (f *file) section(name string) ([]byte, error) {
+	p, ok := f.sections[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: missing section %q", ErrCorrupt, name)
+	}
+	return p, nil
+}
+
+// ---- payload encoding ---------------------------------------------------
+
+// enc is an append-only little-endian payload encoder.
+type enc struct {
+	b []byte
+}
+
+func (e *enc) u8(v uint8)   { e.b = append(e.b, v) }
+func (e *enc) u32(v uint32) { e.b = binary.LittleEndian.AppendUint32(e.b, v) }
+func (e *enc) u64(v uint64) { e.b = binary.LittleEndian.AppendUint64(e.b, v) }
+func (e *enc) i64(v int64)  { e.u64(uint64(v)) }
+func (e *enc) f32(v float32) {
+	e.u32(math.Float32bits(v))
+}
+
+// dec is the matching cursor decoder. The payload it reads has already
+// passed its CRC, so an overrun here means the writer and reader
+// disagree structurally: that is ErrCorrupt, not truncation. The error
+// is sticky; callers check err once after the reads.
+type dec struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *dec) fail(need int) {
+	if d.err == nil {
+		d.err = fmt.Errorf("%w: payload overrun (need %d bytes at offset %d of %d)", ErrCorrupt, need, d.off, len(d.b))
+	}
+}
+
+func (d *dec) bytes(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || d.off+n > len(d.b) {
+		d.fail(n)
+		return nil
+	}
+	p := d.b[d.off : d.off+n]
+	d.off += n
+	return p
+}
+
+func (d *dec) u8() uint8 {
+	p := d.bytes(1)
+	if p == nil {
+		return 0
+	}
+	return p[0]
+}
+
+func (d *dec) u32() uint32 {
+	p := d.bytes(4)
+	if p == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(p)
+}
+
+func (d *dec) u64() uint64 {
+	p := d.bytes(8)
+	if p == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(p)
+}
+
+func (d *dec) i64() int64 { return int64(d.u64()) }
+
+func (d *dec) f32() float32 { return math.Float32frombits(d.u32()) }
+
+// intn decodes a u32 and range-checks it against [0, max]; violations
+// poison the decoder with ErrCorrupt.
+func (d *dec) intn(max int, what string) int {
+	v := int(d.u32())
+	if d.err == nil && (v < 0 || v > max) {
+		d.err = fmt.Errorf("%w: %s %d outside [0, %d]", ErrCorrupt, what, v, max)
+	}
+	return v
+}
+
+// done verifies the payload was consumed exactly.
+func (d *dec) done() error {
+	if d.err != nil {
+		return d.err
+	}
+	if d.off != len(d.b) {
+		return fmt.Errorf("%w: %d unread payload bytes", ErrCorrupt, len(d.b)-d.off)
+	}
+	return nil
+}

@@ -1,0 +1,226 @@
+// Package snapshot persists built ANNS indexes to a versioned,
+// checksummed, little-endian binary format and restores them without
+// re-running construction — the build-once / serve-many model the paper
+// assumes (its graph indexes are built offline and served from SSD;
+// §II-B). A loaded index answers searches byte-identically to the
+// freshly built one: the corpus matrix round-trips through
+// vec.Encode/Decode (norms recomputed with the same unrolled
+// accumulation Matrix construction uses), and every family's structure
+// (graph adjacency order, entry points, levels, centroids, codebooks,
+// posting lists) is preserved exactly.
+//
+// The container is a fixed header (magic, format version, metric, dim,
+// element kind, all CRC-guarded) followed by named CRC32-guarded
+// sections; see format.go for the layout and DESIGN.md §8 for the
+// policy. Families register Saver/Loader pairs in the registry below;
+// Load dispatches on the algo recorded in the file.
+//
+// Corruption surfaces as one of four typed errors — ErrBadMagic,
+// ErrVersion, ErrChecksum, ErrTruncated (plus ErrCorrupt for structural
+// damage behind a valid checksum) — and never as a panic.
+package snapshot
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+
+	"ndsearch/internal/ann"
+	"ndsearch/internal/hcnng"
+	"ndsearch/internal/hnsw"
+	"ndsearch/internal/ivfpq"
+	"ndsearch/internal/togg"
+	"ndsearch/internal/vamana"
+	"ndsearch/internal/vec"
+)
+
+// Typed load errors, discriminated so operators can tell a stale or
+// foreign file (ErrBadMagic, ErrVersion) from disk damage (ErrChecksum,
+// ErrTruncated) from a writer/reader mismatch (ErrCorrupt). Match with
+// errors.Is.
+var (
+	// ErrBadMagic means the file does not start with the snapshot magic.
+	ErrBadMagic = errors.New("snapshot: bad magic")
+	// ErrVersion means the file's format version is newer than this
+	// build understands.
+	ErrVersion = errors.New("snapshot: unsupported format version")
+	// ErrChecksum means a CRC32 guard (header, section, or manifest
+	// file hash) did not match the stored bytes.
+	ErrChecksum = errors.New("snapshot: checksum mismatch")
+	// ErrTruncated means the file ended inside a header or section
+	// frame.
+	ErrTruncated = errors.New("snapshot: truncated file")
+	// ErrCorrupt means the framing and checksums held but the decoded
+	// structure is invalid (missing section, out-of-range vertex, ...).
+	ErrCorrupt = errors.New("snapshot: corrupt snapshot")
+)
+
+// Index is the minimal interface a snapshot restores: enough to serve
+// searches. All six families satisfy it; the graph families additionally
+// implement ann.Index (which engine shards assert after Load).
+type Index interface {
+	Search(query vec.Vector, k int) []ann.Neighbor
+	Len() int
+}
+
+// Saver appends a family's structure sections to the file under
+// construction and reports the header fields (metric + corpus matrix).
+// The "algo" and "matrix" sections are written by Save itself.
+type Saver func(idx Index, b *builder) (vec.Metric, *vec.Matrix, error)
+
+// Loader rebuilds a family index from a parsed file. mat is the already
+// decoded corpus matrix.
+type Loader func(h Header, f *file, mat *vec.Matrix) (Index, error)
+
+// family couples one algo name to its codec pair.
+type family struct {
+	save Saver
+	load Loader
+}
+
+// families is the codec registry, keyed by the algo name recorded in
+// the file's "algo" section. Names match engine.BuilderByName where
+// both exist ("diskann" is the Vamana graph).
+var families = map[string]family{
+	"exact":   {save: saveExact, load: loadExact},
+	"hnsw":    {save: saveHNSW, load: loadHNSW},
+	"diskann": {save: saveVamana, load: loadVamana},
+	"hcnng":   {save: saveHCNNG, load: loadHCNNG},
+	"togg":    {save: saveTOGG, load: loadTOGG},
+	"ivfpq":   {save: saveIVFPQ, load: loadIVFPQ},
+}
+
+// Algos returns the registered family names.
+func Algos() []string {
+	out := make([]string, 0, len(families))
+	for name := range families {
+		out = append(out, name)
+	}
+	return out
+}
+
+// Detect returns the registry name for a concrete index type.
+func Detect(idx Index) (string, error) {
+	switch idx.(type) {
+	case *ann.Exact:
+		return "exact", nil
+	case *hnsw.Index:
+		return "hnsw", nil
+	case *vamana.Index:
+		return "diskann", nil
+	case *hcnng.Index:
+		return "hcnng", nil
+	case *togg.Index:
+		return "togg", nil
+	case *ivfpq.Index:
+		return "ivfpq", nil
+	default:
+		return "", fmt.Errorf("snapshot: no codec for index type %T", idx)
+	}
+}
+
+// Save serialises idx to w. elem is the at-rest element kind of the
+// corpus matrix (vec.F32 is always lossless; U8/I8 shrink the file 4x
+// but are rejected unless every stored component is representable, so
+// a reload can never silently change search results).
+func Save(w io.Writer, idx Index, elem vec.ElemKind) error {
+	algo, err := Detect(idx)
+	if err != nil {
+		return err
+	}
+	fam := families[algo]
+	b := &builder{}
+	b.add("algo", []byte(algo))
+	metric, mat, err := fam.save(idx, b)
+	if err != nil {
+		return fmt.Errorf("snapshot: save %s: %w", algo, err)
+	}
+	matrixPayload, err := encodeMatrix(mat, elem)
+	if err != nil {
+		return fmt.Errorf("snapshot: save %s: %w", algo, err)
+	}
+	// Prepend the two common sections so every file reads the same way:
+	// algo first, corpus second, family structure after.
+	b.sections = append([]section{b.sections[0], {name: "matrix", payload: matrixPayload}}, b.sections[1:]...)
+	h := Header{Version: FormatVersion, Metric: metric, Elem: elem, Dim: mat.Dim(), Rows: mat.Rows()}
+	if _, err := w.Write(b.assemble(h)); err != nil {
+		return fmt.Errorf("snapshot: write: %w", err)
+	}
+	return nil
+}
+
+// Load restores an index from r, dispatching on the algo recorded in
+// the file. The returned value's concrete type is the family index
+// (*hnsw.Index, *ann.Exact, ...).
+func Load(r io.Reader) (Index, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: read: %w", err)
+	}
+	f, err := parseFile(data)
+	if err != nil {
+		return nil, err
+	}
+	algoBytes, err := f.section("algo")
+	if err != nil {
+		return nil, err
+	}
+	algo := string(algoBytes)
+	fam, ok := families[algo]
+	if !ok {
+		return nil, fmt.Errorf("%w: unknown algo %q", ErrCorrupt, algo)
+	}
+	matPayload, err := f.section("matrix")
+	if err != nil {
+		return nil, err
+	}
+	mat, err := decodeMatrix(f.header, matPayload)
+	if err != nil {
+		return nil, err
+	}
+	idx, err := fam.load(f.header, f, mat)
+	if err != nil {
+		return nil, err
+	}
+	return idx, nil
+}
+
+// SaveFile writes idx to path atomically (temp file + rename), creating
+// parent directories as needed. It returns the CRC32-IEEE of the whole
+// file, computed while writing, so callers recording file checksums
+// (the engine manifest) need not read the file back.
+func SaveFile(path string, idx Index, elem vec.ElemKind) (uint32, error) {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return 0, fmt.Errorf("snapshot: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return 0, fmt.Errorf("snapshot: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	crc := crc32.NewIEEE()
+	if err := Save(io.MultiWriter(tmp, crc), idx, elem); err != nil {
+		tmp.Close()
+		return 0, err
+	}
+	if err := tmp.Close(); err != nil {
+		return 0, fmt.Errorf("snapshot: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return 0, fmt.Errorf("snapshot: %w", err)
+	}
+	return crc.Sum32(), nil
+}
+
+// LoadFile restores an index from path.
+func LoadFile(path string) (Index, error) {
+	fh, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: %w", err)
+	}
+	defer fh.Close()
+	return Load(fh)
+}

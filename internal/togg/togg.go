@@ -87,6 +87,39 @@ func Build(data []vec.Vector, cfg Config) (*Index, error) {
 	return x, nil
 }
 
+// FromParts reassembles a built index from its serialized parts — the
+// snapshot warm-start path. No construction runs; searches on the
+// result are byte-identical to the index the parts came from
+// (guideDims order included, since the guided stage's sign votes
+// iterate it in order). All arguments are retained.
+func FromParts(cfg Config, mat *vec.Matrix, g *graph.Graph, entry uint32, guideDims []int) (*Index, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := mat.Rows()
+	if n == 0 {
+		return nil, fmt.Errorf("togg: empty matrix")
+	}
+	if g.Len() != n {
+		return nil, fmt.Errorf("togg: graph has %d vertices, corpus has %d", g.Len(), n)
+	}
+	if int(entry) >= n {
+		return nil, fmt.Errorf("togg: entry %d out of range %d", entry, n)
+	}
+	if len(guideDims) == 0 || len(guideDims) > mat.Dim() {
+		return nil, fmt.Errorf("togg: %d guide dims for dim %d", len(guideDims), mat.Dim())
+	}
+	for _, d := range guideDims {
+		if d < 0 || d >= mat.Dim() {
+			return nil, fmt.Errorf("togg: guide dim %d out of range %d", d, mat.Dim())
+		}
+	}
+	return &Index{
+		cfg: cfg, mat: mat, kern: vec.NewKernel(cfg.Metric, mat),
+		g: g, entry: entry, guideDims: guideDims,
+	}, nil
+}
+
 func (x *Index) buildKNN() {
 	n := x.mat.Rows()
 	k := x.cfg.K
@@ -262,8 +295,16 @@ func (x *Index) Len() int { return x.mat.Rows() }
 // Entry returns the stage-one entry point.
 func (x *Index) Entry() uint32 { return x.entry }
 
-// GuideDims exposes the selected top-variance dimensions.
+// GuideDims exposes the selected top-variance dimensions, in vote
+// order. Owned by the index.
 func (x *Index) GuideDims() []int { return x.guideDims }
+
+// Params returns the construction/search configuration of the built
+// index.
+func (x *Index) Params() Config { return x.cfg }
+
+// Matrix returns the corpus store. Callers must not mutate it.
+func (x *Index) Matrix() *vec.Matrix { return x.mat }
 
 // SetBeamWidth implements ann.Tunable (stage two's beam).
 func (x *Index) SetBeamWidth(w int) {

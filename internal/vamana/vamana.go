@@ -110,6 +110,27 @@ func Build(data []vec.Vector, cfg Config) (*Index, error) {
 	return idx, nil
 }
 
+// FromParts reassembles a built index from its serialized parts — the
+// snapshot warm-start path. No construction runs; searches on the
+// result are byte-identical to the index the parts came from. All
+// arguments are retained.
+func FromParts(cfg Config, mat *vec.Matrix, g *graph.Graph, medoid uint32) (*Index, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := mat.Rows()
+	if n == 0 {
+		return nil, fmt.Errorf("vamana: empty matrix")
+	}
+	if g.Len() != n {
+		return nil, fmt.Errorf("vamana: graph has %d vertices, corpus has %d", g.Len(), n)
+	}
+	if int(medoid) >= n {
+		return nil, fmt.Errorf("vamana: medoid %d out of range %d", medoid, n)
+	}
+	return &Index{cfg: cfg, mat: mat, kern: vec.NewKernel(cfg.Metric, mat), g: g, medoid: medoid}, nil
+}
+
 // computeMedoid approximates the medoid by sampling: the point minimising
 // distance to a random probe set. Exact medoid is O(n^2); sampling keeps
 // construction fast and is what DiskANN's implementation does at scale.
@@ -276,6 +297,13 @@ func (x *Index) Len() int { return x.mat.Rows() }
 
 // Medoid returns the search entry point.
 func (x *Index) Medoid() uint32 { return x.medoid }
+
+// Params returns the construction/search configuration of the built
+// index.
+func (x *Index) Params() Config { return x.cfg }
+
+// Matrix returns the corpus store. Callers must not mutate it.
+func (x *Index) Matrix() *vec.Matrix { return x.mat }
 
 // SetLSearch adjusts the search beam width.
 func (x *Index) SetLSearch(l int) {
