@@ -18,6 +18,9 @@
 //	-cache   directory for on-disk index snapshots keyed by
 //	         (profile, algo, n, seed); later runs warm-start instead of
 //	         rebuilding, with byte-identical output (empty disables)
+//	-quantized  build suite indexes with the SQ8 compressed traversal
+//	            tier (cache entries keyed separately, "-sq8" suffix)
+//	-rerank     exact-rerank width when quantized, 0 = full list
 package main
 
 import (
@@ -35,7 +38,13 @@ func main() {
 	seed := flag.Int64("seed", 1, "global seed")
 	jobs := flag.Int("j", 1, "experiments to run concurrently")
 	cacheDir := flag.String("cache", "", "index snapshot cache directory (empty disables)")
+	quantized := flag.Bool("quantized", false, "build suite indexes with the SQ8 compressed traversal tier")
+	rerank := flag.Int("rerank", 0, "exact-rerank width for -quantized (0 = full candidate list)")
 	flag.Parse()
+	if *rerank < 0 {
+		fmt.Fprintf(os.Stderr, "ndsearch: -rerank must be >= 0, got %d\n", *rerank)
+		os.Exit(2)
+	}
 
 	args := flag.Args()
 	if len(args) == 0 {
@@ -43,7 +52,7 @@ func main() {
 			strings.Join(figures.ExperimentNames(), "|"))
 		os.Exit(2)
 	}
-	scale := figures.Scale{N: *n, Batch: *batch, K: 10, Seed: *seed}
+	scale := figures.Scale{N: *n, Batch: *batch, K: 10, Seed: *seed, Quantized: *quantized, Rerank: *rerank}
 	suite := figures.NewSuite(scale)
 	suite.CacheDir = *cacheDir
 	if err := figures.RunMany(suite, args, *jobs, os.Stdout); err != nil {

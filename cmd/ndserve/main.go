@@ -21,6 +21,8 @@
 //	-shards         shard count (default 4)
 //	-workers        worker-pool size (default GOMAXPROCS)
 //	-seed           generation/build seed (default 1)
+//	-quantized      build shards with the SQ8 compressed traversal tier
+//	-rerank         exact-rerank width when quantized, 0 = full list (default 0)
 //	-coalesce-max   coalesced batch size threshold, 0 disables (default 256)
 //	-coalesce-wait  coalescing deadline (default 500us)
 //	-save-index     build the engine, persist it to this directory, exit
@@ -68,6 +70,10 @@ func main() {
 	shards := flag.Int("shards", 4, "shard count")
 	workers := flag.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS)")
 	seed := flag.Int64("seed", 1, "generation/build seed")
+	quantized := flag.Bool("quantized", false,
+		"build shard indexes with the SQ8 compressed traversal tier (hnsw, diskann)")
+	rerank := flag.Int("rerank", 0,
+		"exact-rerank width for -quantized (0 = rerank the full candidate list)")
 	coalesceMax := flag.Int("coalesce-max", batcher.DefaultMaxBatch,
 		"coalesced batch size threshold for single-query requests (0 disables coalescing)")
 	coalesceWait := flag.Duration("coalesce-wait", batcher.DefaultMaxWait,
@@ -76,7 +82,7 @@ func main() {
 	loadIndex := flag.String("load-index", "", "serve from a saved engine directory (skips corpus generation and build)")
 	flag.Parse()
 
-	if err := validateFlags(*n, *shards, *workers, *coalesceMax, *coalesceWait, *saveIndex, *loadIndex); err != nil {
+	if err := validateFlags(*n, *shards, *workers, *rerank, *coalesceMax, *coalesceWait, *saveIndex, *loadIndex); err != nil {
 		fmt.Fprintf(os.Stderr, "ndserve: %v\n", err)
 		flag.Usage()
 		os.Exit(2)
@@ -89,7 +95,8 @@ func main() {
 	if *loadIndex != "" {
 		srv, err = loadServer(*loadIndex, *workers, *coalesceMax, *coalesceWait)
 	} else {
-		srv, err = buildServer(*profName, *algo, *n, *shards, *workers, *seed, *coalesceMax, *coalesceWait)
+		opts := engine.IndexOpts{Quantized: *quantized, Rerank: *rerank}
+		srv, err = buildServer(*profName, *algo, *n, *shards, *workers, *seed, opts, *coalesceMax, *coalesceWait)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ndserve: %v\n", err)
@@ -124,10 +131,10 @@ func main() {
 // validateFlags rejects configurations that would build a broken engine
 // or batcher, before any work happens. workers and coalesce-max may be
 // zero (their documented "default / disabled" values) but never
-// negative; n and shards must be positive; coalesce-wait must be
-// non-negative; -save-index and -load-index are mutually exclusive
-// (save persists a fresh build).
-func validateFlags(n, shards, workers, coalesceMax int, coalesceWait time.Duration, saveIndex, loadIndex string) error {
+// negative; n and shards must be positive; rerank and coalesce-wait
+// must be non-negative; -save-index and -load-index are mutually
+// exclusive (save persists a fresh build).
+func validateFlags(n, shards, workers, rerank, coalesceMax int, coalesceWait time.Duration, saveIndex, loadIndex string) error {
 	if loadIndex == "" { // corpus/build flags are unused on the load path
 		if n < 1 {
 			return fmt.Errorf("-n must be >= 1, got %d", n)
@@ -135,6 +142,9 @@ func validateFlags(n, shards, workers, coalesceMax int, coalesceWait time.Durati
 		if shards < 1 {
 			return fmt.Errorf("-shards must be >= 1, got %d", shards)
 		}
+	}
+	if rerank < 0 {
+		return fmt.Errorf("-rerank must be >= 0 (0 = full candidate list), got %d", rerank)
 	}
 	if workers < 0 {
 		return fmt.Errorf("-workers must be >= 0 (0 = GOMAXPROCS), got %d", workers)
@@ -188,7 +198,7 @@ func serve(hsrv *http.Server, srv *Server, ln net.Listener, sig <-chan os.Signal
 // wraps it in a Server, enabling coalescing when coalesceMax > 0. Split
 // from main so tests can drive it.
 func buildServer(profName, algo string, n, shards, workers int, seed int64,
-	coalesceMax int, coalesceWait time.Duration) (*Server, error) {
+	opts engine.IndexOpts, coalesceMax int, coalesceWait time.Duration) (*Server, error) {
 	prof, err := dataset.ProfileByName(profName)
 	if err != nil {
 		return nil, err
@@ -197,20 +207,27 @@ func buildServer(profName, algo string, n, shards, workers int, seed int64,
 	if err != nil {
 		return nil, err
 	}
-	builder, err := engine.BuilderByName(algo, prof.Metric, seed)
+	builder, err := engine.BuilderWithOpts(algo, prof.Metric, seed, opts)
 	if err != nil {
 		return nil, err
 	}
 	start := time.Now()
 	e, err := engine.New(d.Vectors, engine.Config{
 		Shards: shards, Workers: workers, Builder: builder,
-		Meta: engine.Meta{Algo: algo, Dataset: profName, Seed: seed, Elem: prof.Elem},
+		Meta: engine.Meta{
+			Algo: algo, Dataset: profName, Seed: seed, Elem: prof.Elem,
+			Quantized: opts.Quantized, Rerank: opts.Rerank,
+		},
 	})
 	if err != nil {
 		return nil, err
 	}
-	log.Printf("ndserve: built %d-shard %s engine over %d %s vectors in %v",
-		e.Shards(), algo, e.Len(), profName, time.Since(start).Round(time.Millisecond))
+	mode := ""
+	if opts.Quantized {
+		mode = " (sq8)"
+	}
+	log.Printf("ndserve: built %d-shard %s%s engine over %d %s vectors in %v",
+		e.Shards(), algo, mode, e.Len(), profName, time.Since(start).Round(time.Millisecond))
 	return newServer(e, prof.Dim, profName, algo, coalesceMax, coalesceWait), nil
 }
 

@@ -276,27 +276,30 @@ func TestValidateFlags(t *testing.T) {
 		name         string
 		n, shards    int
 		workers      int
+		rerank       int
 		coalesceMax  int
 		coalesceWait time.Duration
 		save, load   string
 		want         func(error) bool
 	}{
-		{"defaults", 20000, 4, 0, 256, 500 * time.Microsecond, "", "", ok},
-		{"zero n", 0, 4, 0, 256, 0, "", "", bad},
-		{"negative n", -5, 4, 0, 256, 0, "", "", bad},
-		{"zero shards", 100, 0, 0, 256, 0, "", "", bad},
-		{"negative shards", 100, -1, 0, 256, 0, "", "", bad},
-		{"negative workers", 100, 2, -1, 256, 0, "", "", bad},
-		{"coalesce disabled", 100, 2, 0, 0, 0, "", "", ok},
-		{"negative coalesce-max", 100, 2, 0, -1, 0, "", "", bad},
-		{"negative coalesce-wait", 100, 2, 0, 256, -time.Microsecond, "", "", bad},
-		{"save", 100, 2, 0, 256, 0, "dir", "", ok},
-		{"load ignores n/shards", 0, 0, 0, 256, 0, "", "dir", ok},
-		{"save and load", 100, 2, 0, 256, 0, "a", "b", bad},
+		{"defaults", 20000, 4, 0, 0, 256, 500 * time.Microsecond, "", "", ok},
+		{"rerank", 100, 2, 0, 64, 256, 0, "", "", ok},
+		{"negative rerank", 100, 2, 0, -1, 256, 0, "", "", bad},
+		{"zero n", 0, 4, 0, 0, 256, 0, "", "", bad},
+		{"negative n", -5, 4, 0, 0, 256, 0, "", "", bad},
+		{"zero shards", 100, 0, 0, 0, 256, 0, "", "", bad},
+		{"negative shards", 100, -1, 0, 0, 256, 0, "", "", bad},
+		{"negative workers", 100, 2, -1, 0, 256, 0, "", "", bad},
+		{"coalesce disabled", 100, 2, 0, 0, 0, 0, "", "", ok},
+		{"negative coalesce-max", 100, 2, 0, 0, -1, 0, "", "", bad},
+		{"negative coalesce-wait", 100, 2, 0, 0, 256, -time.Microsecond, "", "", bad},
+		{"save", 100, 2, 0, 0, 256, 0, "dir", "", ok},
+		{"load ignores n/shards", 0, 0, 0, 0, 256, 0, "", "dir", ok},
+		{"save and load", 100, 2, 0, 0, 256, 0, "a", "b", bad},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
-			err := validateFlags(c.n, c.shards, c.workers, c.coalesceMax, c.coalesceWait, c.save, c.load)
+			err := validateFlags(c.n, c.shards, c.workers, c.rerank, c.coalesceMax, c.coalesceWait, c.save, c.load)
 			if !c.want(err) {
 				t.Errorf("validateFlags(%+v) = %v", c, err)
 			}
@@ -308,7 +311,7 @@ func TestValidateFlags(t *testing.T) {
 // directory answers exactly like the server that saved it, and the
 // manifest supplies dataset/algo/dim so no generation or build runs.
 func TestSaveLoadIndexFlow(t *testing.T) {
-	built, err := buildServer("sift-1b", "hnsw", 500, 3, 2, 7, 32, time.Millisecond)
+	built, err := buildServer("sift-1b", "hnsw", 500, 3, 2, 7, engine.IndexOpts{}, 32, time.Millisecond)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -445,7 +448,7 @@ func TestServeListenerError(t *testing.T) {
 }
 
 func TestBuildServer(t *testing.T) {
-	srv, err := buildServer("glove-100", "exact", 300, 2, 2, 1, 64, time.Millisecond)
+	srv, err := buildServer("glove-100", "exact", 300, 2, 2, 1, engine.IndexOpts{}, 64, time.Millisecond)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -456,7 +459,7 @@ func TestBuildServer(t *testing.T) {
 	if srv.coalescer == nil {
 		t.Error("coalesce-max > 0 must enable coalescing")
 	}
-	plain, err := buildServer("glove-100", "exact", 100, 1, 1, 1, 0, time.Millisecond)
+	plain, err := buildServer("glove-100", "exact", 100, 1, 1, 1, engine.IndexOpts{}, 0, time.Millisecond)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -464,10 +467,10 @@ func TestBuildServer(t *testing.T) {
 	if plain.coalescer != nil {
 		t.Error("coalesce-max = 0 must disable coalescing")
 	}
-	if _, err := buildServer("nope", "exact", 100, 1, 1, 1, 0, 0); err == nil {
+	if _, err := buildServer("nope", "exact", 100, 1, 1, 1, engine.IndexOpts{}, 0, 0); err == nil {
 		t.Error("unknown dataset must fail")
 	}
-	if _, err := buildServer("sift-1b", "nope", 100, 1, 1, 1, 0, 0); err == nil {
+	if _, err := buildServer("sift-1b", "nope", 100, 1, 1, 1, engine.IndexOpts{}, 0, 0); err == nil {
 		t.Error("unknown algorithm must fail")
 	}
 }

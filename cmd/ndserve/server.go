@@ -228,6 +228,9 @@ type HealthResponse struct {
 	Shards  int    `json:"shards"`
 	Workers int    `json:"workers"`
 	Dim     int    `json:"dim"`
+	// Quantized reports whether the shards traverse the SQ8 compressed
+	// tier (from engine provenance, manifest-backed on the load path).
+	Quantized bool `json:"quantized"`
 }
 
 // allowGet gates read-only endpoints to GET/HEAD, mirroring /search's
@@ -249,6 +252,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Status: "ok", Dataset: s.dataset, Algo: s.algo,
 		Vectors: s.engine.Len(), Shards: s.engine.Shards(),
 		Workers: s.engine.Workers(), Dim: s.dim,
+		Quantized: s.engine.Meta().Quantized,
 	})
 }
 

@@ -1,0 +1,163 @@
+// Quantbench measures what the SQ8 compressed traversal tier buys and
+// costs: resident bytes per vector, recall@10, and single-thread QPS
+// for the float32 and quantized modes of the same HNSW index, per
+// dataset profile. Its JSON output (stdout) is the source of
+// BENCH_quant.json at the repo root.
+//
+// Usage:
+//
+//	go run ./examples/quantbench [-n 20000] [-queries 100] [-seed 1] [-passes 3]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"time"
+
+	"ndsearch/internal/ann"
+	"ndsearch/internal/dataset"
+	"ndsearch/internal/hnsw"
+	"ndsearch/internal/vec"
+)
+
+// ModeResult is one serving mode's measurements.
+type ModeResult struct {
+	// BytesPerVector is the resident size of the tier distances are
+	// computed against during traversal: the float32 matrix rows, or
+	// the SQ8 codes plus per-dimension scales and per-row norms.
+	BytesPerVector float64 `json:"bytes_per_vector"`
+	RecallAt10     float64 `json:"recall_at_10"`
+	QPS            float64 `json:"qps"`
+}
+
+// Result is one (dataset, algo) comparison row.
+type Result struct {
+	Dataset     string     `json:"dataset"`
+	Algo        string     `json:"algo"`
+	N           int        `json:"n"`
+	Dim         int        `json:"dim"`
+	Metric      string     `json:"metric"`
+	Float32     ModeResult `json:"float32"`
+	SQ8         ModeResult `json:"sq8"`
+	BytesRatio  float64    `json:"bytes_ratio"`
+	RecallDelta float64    `json:"recall_delta"`
+	QPSRatio    float64    `json:"qps_ratio"`
+}
+
+// Output is the full report, shaped like BENCH_kernels.json.
+type Output struct {
+	Generated string            `json:"generated"`
+	Commands  []string          `json:"commands"`
+	Host      map[string]string `json:"host"`
+	Notes     string            `json:"notes"`
+	Results   []Result          `json:"results"`
+}
+
+func main() {
+	n := flag.Int("n", 20000, "corpus size per dataset")
+	queries := flag.Int("queries", 100, "query count")
+	seed := flag.Int64("seed", 1, "generation/build seed")
+	passes := flag.Int("passes", 3, "timed passes over the query set")
+	flag.Parse()
+
+	out := Output{
+		Generated: time.Now().Format("2006-01-02"),
+		Commands:  []string{"go run ./examples/quantbench"},
+		Host: map[string]string{
+			"go":     runtime.Version(),
+			"goos":   runtime.GOOS,
+			"goarch": runtime.GOARCH,
+		},
+		Notes: "Same HNSW graph hyperparameters per mode; sq8 traverses int8 codes " +
+			"(int32-accumulated kernels) and exact-reranks the full candidate list on the " +
+			"float32 rows. bytes_per_vector counts the traversal tier only. QPS is " +
+			"single-thread Search over the query set.",
+	}
+	for _, profName := range []string{"sift-1b", "glove-100"} {
+		r, err := runProfile(profName, *n, *queries, *seed, *passes)
+		if err != nil {
+			log.Fatalf("quantbench: %s: %v", profName, err)
+		}
+		out.Results = append(out.Results, r)
+		fmt.Fprintf(os.Stderr, "%s: bytes/vec %.1f -> %.1f (%.2fx), recall@10 %.4f -> %.4f, qps %.0f -> %.0f\n",
+			profName, r.Float32.BytesPerVector, r.SQ8.BytesPerVector, r.BytesRatio,
+			r.Float32.RecallAt10, r.SQ8.RecallAt10, r.Float32.QPS, r.SQ8.QPS)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func runProfile(profName string, n, queries int, seed int64, passes int) (Result, error) {
+	prof, err := dataset.ProfileByName(profName)
+	if err != nil {
+		return Result{}, err
+	}
+	d, err := dataset.Generate(prof, dataset.GenConfig{N: n, Queries: queries, Seed: seed})
+	if err != nil {
+		return Result{}, err
+	}
+	const k = 10
+	truth := make([][]ann.Neighbor, len(d.Queries))
+	for i, q := range d.Queries {
+		truth[i] = ann.BruteForce(prof.Metric, d.Vectors, q, k)
+	}
+	res := Result{
+		Dataset: profName, Algo: "hnsw", N: n, Dim: prof.Dim, Metric: prof.Metric.String(),
+	}
+	for _, quantized := range []bool{false, true} {
+		idx, err := hnsw.Build(d.Vectors, hnsw.Config{
+			M: 12, EfConstruction: 100, EfSearch: 64,
+			Metric: prof.Metric, Seed: seed, Quantized: quantized,
+		})
+		if err != nil {
+			return Result{}, err
+		}
+		mode := measure(idx, d.Queries, truth, k, passes)
+		if quantized {
+			mode.BytesPerVector = float64(idx.Matrix().SQ8().Bytes()) / float64(n)
+			res.SQ8 = mode
+		} else {
+			mode.BytesPerVector = float64(idx.Matrix().Bytes()) / float64(n)
+			res.Float32 = mode
+		}
+	}
+	res.BytesRatio = res.Float32.BytesPerVector / res.SQ8.BytesPerVector
+	res.RecallDelta = res.SQ8.RecallAt10 - res.Float32.RecallAt10
+	res.QPSRatio = res.SQ8.QPS / res.Float32.QPS
+	return res, nil
+}
+
+func measure(idx *hnsw.Index, qs []vec.Vector, truth [][]ann.Neighbor, k, passes int) ModeResult {
+	var hits, total int
+	for i, q := range qs {
+		got := idx.Search(q, k)
+		want := map[uint32]bool{}
+		for _, nb := range truth[i] {
+			want[nb.ID] = true
+		}
+		for _, nb := range got {
+			if want[nb.ID] {
+				hits++
+			}
+		}
+		total += len(truth[i])
+	}
+	start := time.Now()
+	for p := 0; p < passes; p++ {
+		for _, q := range qs {
+			idx.Search(q, k)
+		}
+	}
+	elapsed := time.Since(start)
+	return ModeResult{
+		RecallAt10: float64(hits) / float64(total),
+		QPS:        float64(passes*len(qs)) / elapsed.Seconds(),
+	}
+}

@@ -254,13 +254,20 @@ func (f *Frontier) TopK(k int) []Neighbor {
 
 // Validate sanity-checks a result list: ascending (distance, ID) order
 // — the package's total order, including ID-ascending tie-breaks —
-// unique IDs, IDs within range. Used by tests and the simulator's
-// invariant checks.
+// finite distances, unique IDs, IDs within range. Used by tests and the
+// simulator's invariant checks. NaN distances are rejected explicitly:
+// NaN compares false against everything, so a NaN entry would otherwise
+// slip through the order checks while silently breaking the total order
+// downstream (quantized rerank made this reachable in principle — a
+// corrupted scale table could poison reranked distances).
 func Validate(ns []Neighbor, n int) error {
 	seen := make(map[uint32]bool, len(ns))
 	for i, x := range ns {
 		if int(x.ID) >= n {
 			return fmt.Errorf("ann: result ID %d out of range %d", x.ID, n)
+		}
+		if x.Dist != x.Dist {
+			return fmt.Errorf("ann: result %d (ID %d) has NaN distance", i, x.ID)
 		}
 		if seen[x.ID] {
 			return fmt.Errorf("ann: duplicate result ID %d", x.ID)

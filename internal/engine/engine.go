@@ -57,6 +57,11 @@ type Meta struct {
 	Dataset string
 	Seed    int64
 	Elem    vec.ElemKind
+	// Quantized and Rerank record the shard indexes' SQ8 traversal mode
+	// (IndexOpts), so a snapshot manifest can be cross-checked against
+	// the CRC-guarded shard files at load time.
+	Quantized bool
+	Rerank    int
 }
 
 func (c *Config) normalize(n int) error {
@@ -237,6 +242,9 @@ func (e *Engine) Dim() int { return e.dim }
 // Workers returns the worker-pool bound.
 func (e *Engine) Workers() int { return e.workers }
 
+// Meta returns the provenance the engine was built or loaded with.
+func (e *Engine) Meta() Meta { return e.meta }
+
 // Search returns the merged approximate top-k neighbors of one query
 // (global IDs). It is a batch of one; use SearchBatch for throughput.
 func (e *Engine) Search(query vec.Vector, k int) []ann.Neighbor {
@@ -373,12 +381,30 @@ func (e *Engine) Stats() Stats {
 	return st
 }
 
+// IndexOpts selects the optional SQ8 compressed-traversal mode for the
+// graph-family shard builders: Quantized turns it on, Rerank is the
+// exact-rerank width (0 = full candidate list). See hnsw.Config.
+type IndexOpts struct {
+	Quantized bool
+	Rerank    int
+}
+
 // BuilderByName returns a shard-index Builder for a named algorithm:
 // "exact" (brute force), "hnsw", or "diskann" (Vamana). Seeds are
 // diversified per shard so replica graphs are not identical.
 func BuilderByName(algo string, m vec.Metric, seed int64) (Builder, error) {
+	return BuilderWithOpts(algo, m, seed, IndexOpts{})
+}
+
+// BuilderWithOpts is BuilderByName with the SQ8 quantization knobs.
+// "exact" has no compressed tier (it is the full-precision baseline by
+// definition), so requesting it quantized is a configuration error.
+func BuilderWithOpts(algo string, m vec.Metric, seed int64, opts IndexOpts) (Builder, error) {
 	switch algo {
 	case "exact":
+		if opts.Quantized {
+			return nil, fmt.Errorf("engine: algorithm %q has no quantized mode", algo)
+		}
 		return func(_ int, data []vec.Vector) (ann.Index, error) {
 			return ann.NewExact(m, data), nil
 		}, nil
@@ -387,6 +413,7 @@ func BuilderByName(algo string, m vec.Metric, seed int64) (Builder, error) {
 			return hnsw.Build(data, hnsw.Config{
 				M: 12, EfConstruction: 100, EfSearch: 64,
 				Metric: m, Seed: seed + int64(shard),
+				Quantized: opts.Quantized, Rerank: opts.Rerank,
 			})
 		}, nil
 	case "diskann":
@@ -394,6 +421,7 @@ func BuilderByName(algo string, m vec.Metric, seed int64) (Builder, error) {
 			return vamana.Build(data, vamana.Config{
 				R: 24, L: 64, LSearch: 64, Alpha: 1.2,
 				Metric: m, Seed: seed + int64(shard),
+				Quantized: opts.Quantized, Rerank: opts.Rerank,
 			})
 		}, nil
 	default:

@@ -39,6 +39,12 @@ type Manifest struct {
 	// with (vec.ElemKind encoding), restored into Meta on Load so a
 	// re-save keeps the compact representation.
 	ElemKind uint8 `json:"elem_kind"`
+	// Quantized and Rerank record the shards' SQ8 traversal mode. The
+	// quantized bit is cross-checked against each CRC-guarded shard file
+	// (presence of its sq8 section) at load time, so a hand-edited
+	// manifest cannot silently change the serving mode.
+	Quantized bool `json:"quantized,omitempty"`
+	Rerank    int  `json:"rerank,omitempty"`
 	// Dim and Vectors describe the corpus; Bounds are the contiguous
 	// partition offsets (len Shards+1, Bounds[i]..Bounds[i+1] is shard i).
 	Dim     int   `json:"dim"`
@@ -71,6 +77,8 @@ func (e *Engine) Save(dir string) error {
 		Dataset:       e.meta.Dataset,
 		Seed:          e.meta.Seed,
 		ElemKind:      uint8(e.meta.Elem),
+		Quantized:     e.meta.Quantized,
+		Rerank:        e.meta.Rerank,
 		Dim:           e.dim,
 		Vectors:       e.len,
 		Shards:        len(e.shards),
@@ -157,7 +165,11 @@ func Load(dir string, workers int) (*Engine, *Manifest, error) {
 			return nil, nil, err
 		}
 	}
-	meta := Meta{Algo: man.Algo, Dataset: man.Dataset, Seed: man.Seed, Elem: vec.ElemKind(man.ElemKind)}
+	meta := Meta{
+		Algo: man.Algo, Dataset: man.Dataset, Seed: man.Seed,
+		Elem:      vec.ElemKind(man.ElemKind),
+		Quantized: man.Quantized, Rerank: man.Rerank,
+	}
 	return newEngine(shards, workers, man.Vectors, man.Dim, meta), man, nil
 }
 
@@ -177,6 +189,9 @@ func (m *Manifest) validate() error {
 	}
 	if m.ElemKind > uint8(vec.I8) {
 		return fmt.Errorf("engine: load manifest: unknown element kind %d", m.ElemKind)
+	}
+	if m.Rerank < 0 {
+		return fmt.Errorf("engine: load manifest: rerank %d", m.Rerank)
 	}
 	if m.Bounds[0] != 0 || m.Bounds[m.Shards] != m.Vectors {
 		return fmt.Errorf("engine: load manifest: bounds %v do not cover %d vectors", m.Bounds, m.Vectors)
@@ -225,6 +240,12 @@ func loadShard(dir string, man *Manifest, i int) (ann.Index, error) {
 		if dim := mx.Matrix().Dim(); dim != man.Dim {
 			return nil, fmt.Errorf("engine: load shard %d (%s): %w: file dim %d, manifest says %d",
 				i, f.Name, snapshot.ErrCorrupt, dim, man.Dim)
+		}
+		// The shard file's sq8 section (or its absence) is the
+		// CRC-guarded truth for the serving mode.
+		if quantized := mx.Matrix().SQ8() != nil; quantized != man.Quantized {
+			return nil, fmt.Errorf("engine: load shard %d (%s): %w: file quantized=%v, manifest says %v",
+				i, f.Name, snapshot.ErrCorrupt, quantized, man.Quantized)
 		}
 	}
 	return ai, nil

@@ -131,3 +131,77 @@ func TestSuiteCacheRecoversFromCorruption(t *testing.T) {
 		t.Fatal("corrupt cache file was not overwritten")
 	}
 }
+
+// Quantized and full-precision suite runs must never share a cache
+// entry: the quantized scale writes under a distinct "-sq8" key, the
+// loaded index carries the quantized params, and a full-precision
+// entry planted under the plain key is not served to a quantized run.
+func TestSuiteCacheQuantKeying(t *testing.T) {
+	dir := t.TempDir()
+	qScale := cacheScale()
+	qScale.Quantized = true
+	qScale.Rerank = 16
+
+	s := NewSuite(qScale)
+	s.CacheDir = dir
+	w, err := s.Workload("glove-100", "hnsw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "glove-100-hnsw-n400-seed1-sq8.ndx")
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("quantized cache file not written under -sq8 key: %v", err)
+	}
+	got, ok := w.Index.(*hnsw.Index)
+	if !ok {
+		t.Fatalf("workload index is %T", w.Index)
+	}
+	if p := got.Params(); !p.Quantized || p.Rerank != 16 {
+		t.Fatalf("quantized suite built params %+v", p)
+	}
+
+	// Warm-start from the quantized entry keeps the quantized params.
+	warm := NewSuite(qScale)
+	warm.CacheDir = dir
+	w2, err := warm.Workload("glove-100", "hnsw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := w2.Index.(*hnsw.Index).Params(); !p.Quantized || p.Rerank != 16 {
+		t.Fatalf("warm-started quantized params %+v", p)
+	}
+	if !reflect.DeepEqual(w.Batch, w2.Batch) {
+		t.Fatal("quantized cache warm start changed the traced batch")
+	}
+
+	// A full-precision run in the same directory uses the plain key and
+	// rebuilds without the sq8 tier.
+	plain := NewSuite(cacheScale())
+	plain.CacheDir = dir
+	wp, err := plain.Workload("glove-100", "hnsw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := wp.Index.(*hnsw.Index).Params(); p.Quantized || p.Rerank != 0 {
+		t.Fatalf("full-precision suite built params %+v", p)
+	}
+	// A quantized snapshot planted under the plain key fails the
+	// staleness check and is rebuilt.
+	quantBytes, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainPath := filepath.Join(dir, "glove-100-hnsw-n400-seed1.ndx")
+	if err := os.WriteFile(plainPath, quantBytes, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fresh := NewSuite(cacheScale())
+	fresh.CacheDir = dir
+	wf, err := fresh.Workload("glove-100", "hnsw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := wf.Index.(*hnsw.Index).Params(); p.Quantized {
+		t.Fatalf("quantized entry under the plain key was served: %+v", p)
+	}
+}

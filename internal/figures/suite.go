@@ -36,7 +36,21 @@ type Scale struct {
 	K int
 	// Seed drives all generation.
 	Seed int64
+	// Quantized builds every suite graph index with the SQ8 compressed
+	// traversal tier (exact rerank of Rerank candidates, 0 = full
+	// list), so figures can be regenerated in the quantized serving
+	// mode. Cached snapshots are keyed separately per mode.
+	Quantized bool
+	Rerank    int
 }
+
+// quantOpts is the slice of Scale the index constructors need.
+type quantOpts struct {
+	quantized bool
+	rerank    int
+}
+
+func (s Scale) quant() quantOpts { return quantOpts{quantized: s.Quantized, rerank: s.Rerank} }
 
 // DefaultScale returns the standard experiment scale.
 func DefaultScale() Scale { return Scale{N: 4000, Batch: 1024, K: 10, Seed: 1} }
@@ -189,17 +203,21 @@ func (s *Suite) WorkloadSized(profName, algo string, queries int) (*Workload, er
 // directory race benignly.
 func (s *Suite) buildOrLoadIndex(profName, algo string, d *dataset.Dataset) (ann.Index, int, error) {
 	if s.CacheDir == "" {
-		return buildIndex(algo, d, s.Scale.Seed)
+		return buildIndex(algo, d, s.Scale.Seed, s.Scale.quant())
+	}
+	mode := ""
+	if s.Scale.Quantized {
+		mode = "-sq8" // quantized entries live beside full-precision ones
 	}
 	path := filepath.Join(s.CacheDir,
-		fmt.Sprintf("%s-%s-n%d-seed%d.ndx", profName, algo, s.Scale.N, s.Scale.Seed))
+		fmt.Sprintf("%s-%s-n%d-seed%d%s.ndx", profName, algo, s.Scale.N, s.Scale.Seed, mode))
 	if cached, err := snapshot.LoadFile(path); err == nil {
 		if idx, ok := cached.(ann.Index); ok && idx.Len() == len(d.Vectors) &&
 			s.cachedIndexCurrent(algo, idx, d.Profile.Metric) {
 			return idx, workloadMaxDegree, nil
 		}
 	}
-	idx, maxDeg, err := buildIndex(algo, d, s.Scale.Seed)
+	idx, maxDeg, err := buildIndex(algo, d, s.Scale.Seed, s.Scale.quant())
 	if err != nil {
 		return nil, 0, err
 	}
@@ -215,20 +233,20 @@ func (s *Suite) buildOrLoadIndex(profName, algo string, d *dataset.Dataset) (ann
 // entry (hyperparameters changed since it was written) must be rebuilt,
 // or cached figure runs would silently diverge from cache-less ones.
 func (s *Suite) cachedIndexCurrent(algo string, idx ann.Index, m vec.Metric) bool {
-	seed := s.Scale.Seed
+	seed, q := s.Scale.Seed, s.Scale.quant()
 	switch algo {
 	case "hnsw":
 		x, ok := idx.(*hnsw.Index)
-		return ok && x.Params() == suiteHNSWConfig(m, seed)
+		return ok && x.Params() == suiteHNSWConfig(m, seed, q)
 	case "diskann":
 		x, ok := idx.(*vamana.Index)
-		return ok && x.Params() == suiteVamanaConfig(m, seed)
+		return ok && x.Params() == suiteVamanaConfig(m, seed, q)
 	case "hcnng":
 		x, ok := idx.(*hcnng.Index)
-		return ok && x.Params() == suiteHCNNGConfig(m, seed)
+		return ok && x.Params() == suiteHCNNGConfig(m, seed, q)
 	case "togg":
 		x, ok := idx.(*togg.Index)
-		return ok && x.Params() == suiteTOGGConfig(m, seed)
+		return ok && x.Params() == suiteTOGGConfig(m, seed, q)
 	default:
 		return false
 	}
@@ -241,36 +259,40 @@ const workloadMaxDegree = 24
 // The suite build configurations, shared by buildIndex and the cache
 // staleness check so the two can never disagree.
 
-func suiteHNSWConfig(m vec.Metric, seed int64) hnsw.Config {
-	return hnsw.Config{M: 12, EfConstruction: 100, EfSearch: 64, Metric: m, Seed: seed}
+func suiteHNSWConfig(m vec.Metric, seed int64, q quantOpts) hnsw.Config {
+	return hnsw.Config{M: 12, EfConstruction: 100, EfSearch: 64, Metric: m, Seed: seed,
+		Quantized: q.quantized, Rerank: q.rerank}
 }
 
-func suiteVamanaConfig(m vec.Metric, seed int64) vamana.Config {
-	return vamana.Config{R: 24, L: 64, LSearch: 64, Alpha: 1.2, Metric: m, Seed: seed}
+func suiteVamanaConfig(m vec.Metric, seed int64, q quantOpts) vamana.Config {
+	return vamana.Config{R: 24, L: 64, LSearch: 64, Alpha: 1.2, Metric: m, Seed: seed,
+		Quantized: q.quantized, Rerank: q.rerank}
 }
 
-func suiteHCNNGConfig(m vec.Metric, seed int64) hcnng.Config {
-	return hcnng.Config{Clusterings: 10, LeafSize: 40, MaxDegree: 24, LSearch: 64, Metric: m, Seed: seed}
+func suiteHCNNGConfig(m vec.Metric, seed int64, q quantOpts) hcnng.Config {
+	return hcnng.Config{Clusterings: 10, LeafSize: 40, MaxDegree: 24, LSearch: 64, Metric: m, Seed: seed,
+		Quantized: q.quantized, Rerank: q.rerank}
 }
 
-func suiteTOGGConfig(m vec.Metric, seed int64) togg.Config {
-	return togg.Config{K: 12, GuideDims: 8, GuideHops: 32, LSearch: 64, Metric: m, Seed: seed}
+func suiteTOGGConfig(m vec.Metric, seed int64, q quantOpts) togg.Config {
+	return togg.Config{K: 12, GuideDims: 8, GuideHops: 32, LSearch: 64, Metric: m, Seed: seed,
+		Quantized: q.quantized, Rerank: q.rerank}
 }
 
-func buildIndex(algo string, d *dataset.Dataset, seed int64) (ann.Index, int, error) {
+func buildIndex(algo string, d *dataset.Dataset, seed int64, q quantOpts) (ann.Index, int, error) {
 	m := d.Profile.Metric
 	switch algo {
 	case "hnsw":
-		idx, err := hnsw.Build(d.Vectors, suiteHNSWConfig(m, seed))
+		idx, err := hnsw.Build(d.Vectors, suiteHNSWConfig(m, seed, q))
 		return idx, workloadMaxDegree, err
 	case "diskann":
-		idx, err := vamana.Build(d.Vectors, suiteVamanaConfig(m, seed))
+		idx, err := vamana.Build(d.Vectors, suiteVamanaConfig(m, seed, q))
 		return idx, workloadMaxDegree, err
 	case "hcnng":
-		idx, err := hcnng.Build(d.Vectors, suiteHCNNGConfig(m, seed))
+		idx, err := hcnng.Build(d.Vectors, suiteHCNNGConfig(m, seed, q))
 		return idx, workloadMaxDegree, err
 	case "togg":
-		idx, err := buildTOGG(d, seed)
+		idx, err := buildTOGG(d, seed, q)
 		return idx, workloadMaxDegree, err
 	default:
 		return nil, 0, fmt.Errorf("figures: unknown algorithm %q", algo)

@@ -74,6 +74,6 @@ func (t *Table) Fprint(w io.Writer) {
 	fmt.Fprintln(w)
 }
 
-func buildTOGG(d *dataset.Dataset, seed int64) (ann.Index, error) {
-	return togg.Build(d.Vectors, suiteTOGGConfig(d.Profile.Metric, seed))
+func buildTOGG(d *dataset.Dataset, seed int64, q quantOpts) (ann.Index, error) {
+	return togg.Build(d.Vectors, suiteTOGGConfig(d.Profile.Metric, seed, q))
 }

@@ -31,6 +31,14 @@ type Config struct {
 	Metric vec.Metric
 	// Seed drives partitioning.
 	Seed int64
+	// Quantized switches search traversal to the SQ8 compressed tier
+	// with exact rerank of the candidate head; construction always runs
+	// full precision.
+	Quantized bool
+	// Rerank is the number of leading candidates re-scored exactly in
+	// quantized mode; 0 means the whole candidate list. Ignored when
+	// Quantized is false.
+	Rerank int
 }
 
 // DefaultConfig follows the HCNNG paper's recommended settings.
@@ -49,6 +57,9 @@ func (c Config) Validate() error {
 	if c.MaxDegree < 2 || c.LSearch < 1 {
 		return fmt.Errorf("hcnng: degenerate degree/beam parameters")
 	}
+	if c.Rerank < 0 {
+		return fmt.Errorf("hcnng: rerank width must be >= 0, got %d", c.Rerank)
+	}
 	return nil
 }
 
@@ -57,9 +68,13 @@ func (c Config) Validate() error {
 // layer (query preprocessed once per search, stored norms precomputed
 // at build).
 type Index struct {
-	cfg   Config
-	mat   *vec.Matrix
-	kern  *vec.Kernel
+	cfg  Config
+	mat  *vec.Matrix
+	kern *vec.Kernel
+	// tkern is the traversal kernel: the SQ8 code-space kernel in
+	// quantized mode, otherwise kern itself. Construction and exact
+	// rerank always use kern.
+	tkern *vec.Kernel
 	g     *graph.Graph
 	entry uint32
 }
@@ -77,6 +92,7 @@ func Build(data []vec.Vector, cfg Config) (*Index, error) {
 	}
 	mat := vec.NewMatrix(data)
 	idx := &Index{cfg: cfg, mat: mat, kern: vec.NewKernel(cfg.Metric, mat), g: graph.New(len(data))}
+	idx.initTraversal()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	points := make([]uint32, len(data))
 	for i := range points {
@@ -117,7 +133,21 @@ func FromParts(cfg Config, mat *vec.Matrix, g *graph.Graph, entry uint32) (*Inde
 	if int(entry) >= n {
 		return nil, fmt.Errorf("hcnng: entry %d out of range %d", entry, n)
 	}
-	return &Index{cfg: cfg, mat: mat, kern: vec.NewKernel(cfg.Metric, mat), g: g, entry: entry}, nil
+	idx := &Index{cfg: cfg, mat: mat, kern: vec.NewKernel(cfg.Metric, mat), g: g, entry: entry}
+	idx.initTraversal()
+	return idx, nil
+}
+
+// initTraversal picks the search-time kernel, quantizing the corpus
+// into the SQ8 tier if quantized mode was requested and the matrix does
+// not already carry one (quantization is deterministic, so fresh-build
+// and snapshot-attached tiers are identical).
+func (x *Index) initTraversal() {
+	x.tkern = x.kern
+	if x.cfg.Quantized {
+		x.mat.EnableSQ8()
+		x.tkern = vec.NewQuantizedKernel(x.cfg.Metric, x.mat)
+	}
 }
 
 // cluster recursively bi-partitions points by two random pivots and
@@ -231,10 +261,10 @@ func (x *Index) searchInternal(query vec.Vector, k int, tr *trace.Query) ([]ann.
 	if l < k {
 		l = k
 	}
-	q := x.kern.Prepare(query)
+	q := x.tkern.Prepare(query)
 	visited := map[uint32]bool{x.entry: true}
 	f := ann.NewFrontier(l)
-	f.Push(ann.Neighbor{ID: x.entry, Dist: x.kern.DistTo(q, int(x.entry))})
+	f.Push(ann.Neighbor{ID: x.entry, Dist: x.tkern.DistTo(q, int(x.entry))})
 	for {
 		c, ok := f.PopNearest()
 		if !ok {
@@ -250,13 +280,16 @@ func (x *Index) searchInternal(query vec.Vector, k int, tr *trace.Query) ([]ann.
 			}
 			visited[n] = true
 			computed = append(computed, n)
-			f.Push(ann.Neighbor{ID: n, Dist: x.kern.DistTo(q, int(n))})
+			f.Push(ann.Neighbor{ID: n, Dist: x.tkern.DistTo(q, int(n))})
 		}
 		if tr != nil && len(computed) > 0 {
 			tr.Iters = append(tr.Iters, trace.Iter{Entry: c.ID, Neighbors: computed})
 		}
 	}
 	res := f.Results()
+	if x.cfg.Quantized {
+		return ann.RerankExact(x.kern, query, res, x.cfg.Rerank, k), nil
+	}
 	if k < len(res) {
 		res = res[:k]
 	}

@@ -29,6 +29,16 @@ type Config struct {
 	Metric vec.Metric
 	// Seed drives level sampling; fixed seeds give identical graphs.
 	Seed int64
+	// Quantized switches search traversal to the SQ8 compressed tier:
+	// candidates are ranked by int8 code-space distances, then the head
+	// is re-scored exactly on the float32 rows before returning top-k.
+	// Construction always runs full precision — build cost is paid once,
+	// graph quality is not degraded by quantization.
+	Quantized bool
+	// Rerank is the number of leading candidates re-scored exactly in
+	// quantized mode; 0 means the whole candidate list (recall-optimal
+	// default). Ignored when Quantized is false.
+	Rerank int
 }
 
 // DefaultConfig mirrors the common hnswlib defaults used by the paper's
@@ -45,6 +55,9 @@ func (c Config) Validate() error {
 	if c.EfConstruction < 1 || c.EfSearch < 1 {
 		return fmt.Errorf("hnsw: ef parameters must be >= 1")
 	}
+	if c.Rerank < 0 {
+		return fmt.Errorf("hnsw: rerank width must be >= 0, got %d", c.Rerank)
+	}
 	return nil
 }
 
@@ -53,9 +66,13 @@ func (c Config) Validate() error {
 // batched kernel layer (query preprocessed once per search, stored
 // norms precomputed at build).
 type Index struct {
-	cfg      Config
-	mat      *vec.Matrix
-	kern     *vec.Kernel
+	cfg  Config
+	mat  *vec.Matrix
+	kern *vec.Kernel
+	// tkern is the traversal kernel: the SQ8 code-space kernel in
+	// quantized mode, otherwise kern itself. Construction and exact
+	// rerank always use kern.
+	tkern    *vec.Kernel
 	layers   []*graph.Graph // layers[0] is the base layer
 	levels   []int          // highest layer of each vertex
 	entry    uint32
@@ -81,6 +98,7 @@ func Build(data []vec.Vector, cfg Config) (*Index, error) {
 		levels:   make([]int, len(data)),
 		maxLevel: -1,
 	}
+	idx.initTraversal()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	mL := 1.0 / math.Log(float64(cfg.M))
 	for i := range data {
@@ -116,7 +134,7 @@ func FromParts(cfg Config, mat *vec.Matrix, layers []*graph.Graph, levels []int,
 	if int(entry) >= n {
 		return nil, fmt.Errorf("hnsw: entry %d out of range %d", entry, n)
 	}
-	return &Index{
+	idx := &Index{
 		cfg:      cfg,
 		mat:      mat,
 		kern:     vec.NewKernel(cfg.Metric, mat),
@@ -124,7 +142,21 @@ func FromParts(cfg Config, mat *vec.Matrix, layers []*graph.Graph, levels []int,
 		levels:   levels,
 		entry:    entry,
 		maxLevel: maxLevel,
-	}, nil
+	}
+	idx.initTraversal()
+	return idx, nil
+}
+
+// initTraversal picks the search-time kernel. In quantized mode a
+// matrix arriving without its SQ8 tier (e.g. built fresh rather than
+// warm-started from a snapshot) is quantized here; quantization is
+// deterministic, so either path yields identical codes.
+func (x *Index) initTraversal() {
+	x.tkern = x.kern
+	if x.cfg.Quantized {
+		x.mat.EnableSQ8()
+		x.tkern = vec.NewQuantizedKernel(x.cfg.Metric, x.mat)
+	}
 }
 
 func (x *Index) ensureLayers(level int) {
@@ -145,7 +177,7 @@ func (x *Index) insert(v uint32, level int) {
 	ep := x.entry
 	// Greedy descent through layers above the insertion level.
 	for l := x.maxLevel; l > level; l-- {
-		ep, _ = x.greedyClosest(q, ep, l, nil)
+		ep, _ = x.greedyClosest(x.kern, q, ep, l, nil)
 	}
 	// Beam insert from min(level, maxLevel) down to 0.
 	top := level
@@ -153,7 +185,7 @@ func (x *Index) insert(v uint32, level int) {
 		top = x.maxLevel
 	}
 	for l := top; l >= 0; l-- {
-		cands := x.searchLayer(q, ep, x.cfg.EfConstruction, l, nil)
+		cands := x.searchLayer(x.kern, q, ep, x.cfg.EfConstruction, l, nil)
 		m := x.cfg.M
 		if l == 0 {
 			m = 2 * x.cfg.M
@@ -240,10 +272,12 @@ func (x *Index) selectHeuristic(cands []ann.Neighbor, m int) []ann.Neighbor {
 }
 
 // greedyClosest walks layer l greedily from ep toward q, returning the
-// local minimum. When tr is non-nil each expansion is recorded.
-func (x *Index) greedyClosest(q vec.PreparedQuery, ep uint32, l int, tr *trace.Query) (uint32, float32) {
+// local minimum, evaluating distances on kern (the float kernel during
+// construction, the traversal kernel during search). When tr is non-nil
+// each expansion is recorded.
+func (x *Index) greedyClosest(kern *vec.Kernel, q vec.PreparedQuery, ep uint32, l int, tr *trace.Query) (uint32, float32) {
 	cur := ep
-	curDist := x.kern.DistTo(q, int(cur))
+	curDist := kern.DistTo(q, int(cur))
 	for {
 		improved := false
 		nbrs := x.layers[l].Neighbors(cur)
@@ -252,7 +286,7 @@ func (x *Index) greedyClosest(q vec.PreparedQuery, ep uint32, l int, tr *trace.Q
 			tr.Iters = append(tr.Iters, it)
 		}
 		for _, n := range nbrs {
-			if d := x.kern.DistTo(q, int(n)); d < curDist {
+			if d := kern.DistTo(q, int(n)); d < curDist {
 				cur, curDist = n, d
 				improved = true
 			}
@@ -266,10 +300,10 @@ func (x *Index) greedyClosest(q vec.PreparedQuery, ep uint32, l int, tr *trace.Q
 // searchLayer is the ef-bounded best-first search on one layer. When tr
 // is non-nil, every vertex expansion appends a trace iteration listing
 // the not-yet-visited neighbors whose distances were computed.
-func (x *Index) searchLayer(q vec.PreparedQuery, ep uint32, ef, l int, tr *trace.Query) []ann.Neighbor {
+func (x *Index) searchLayer(kern *vec.Kernel, q vec.PreparedQuery, ep uint32, ef, l int, tr *trace.Query) []ann.Neighbor {
 	visited := map[uint32]bool{ep: true}
 	f := ann.NewFrontier(ef)
-	f.Push(ann.Neighbor{ID: ep, Dist: x.kern.DistTo(q, int(ep))})
+	f.Push(ann.Neighbor{ID: ep, Dist: kern.DistTo(q, int(ep))})
 	for {
 		c, ok := f.PopNearest()
 		if !ok {
@@ -285,7 +319,7 @@ func (x *Index) searchLayer(q vec.PreparedQuery, ep uint32, ef, l int, tr *trace
 			}
 			visited[n] = true
 			computed = append(computed, n)
-			f.Push(ann.Neighbor{ID: n, Dist: x.kern.DistTo(q, int(n))})
+			f.Push(ann.Neighbor{ID: n, Dist: kern.DistTo(q, int(n))})
 		}
 		if tr != nil && len(computed) > 0 {
 			tr.Iters = append(tr.Iters, trace.Iter{Entry: c.ID, Neighbors: computed})
@@ -308,16 +342,22 @@ func (x *Index) SearchTraced(query vec.Vector, k int) ([]ann.Neighbor, trace.Que
 }
 
 func (x *Index) search(query vec.Vector, k int, tr *trace.Query) ([]ann.Neighbor, error) {
-	q := x.kern.Prepare(query)
+	q := x.tkern.Prepare(query)
 	ep := x.entry
 	for l := x.maxLevel; l > 0; l-- {
-		ep, _ = x.greedyClosest(q, ep, l, tr)
+		ep, _ = x.greedyClosest(x.tkern, q, ep, l, tr)
 	}
 	ef := x.cfg.EfSearch
 	if ef < k {
 		ef = k
 	}
-	res := x.searchLayer(q, ep, ef, 0, tr)
+	res := x.searchLayer(x.tkern, q, ep, ef, 0, tr)
+	if x.cfg.Quantized {
+		// Code-space distances ordered the candidates; the head is
+		// re-scored exactly so returned distances are in metric units
+		// and the (distance, ID) total order holds.
+		return ann.RerankExact(x.kern, query, res, x.cfg.Rerank, k), nil
+	}
 	if k < len(res) {
 		res = res[:k]
 	}

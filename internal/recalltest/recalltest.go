@@ -1,0 +1,96 @@
+// Package recalltest is the reusable recall harness the quantized tier
+// is pinned by: it generates a seed-dataset corpus, computes exact
+// ground truth once (ann.BruteForce), and asserts recall floors —
+// in particular that a family's quantized recall@k stays within a
+// fixed loss budget of its own float32 recall. It lives in the test
+// dependency graph only (imported exclusively from _test files) but is
+// a normal package so every family's tests share one implementation.
+package recalltest
+
+import (
+	"testing"
+
+	"ndsearch/internal/ann"
+	"ndsearch/internal/dataset"
+	"ndsearch/internal/vec"
+)
+
+// Corpus is a generated evaluation set with precomputed ground truth.
+type Corpus struct {
+	Profile dataset.Profile
+	Data    []vec.Vector
+	Queries []vec.Vector
+	K       int
+	exact   [][]ann.Neighbor
+}
+
+// Load generates the named profile's synthetic corpus and computes
+// exact top-K ground truth for every query. Under -short, n and queries
+// are scaled down 4x (floored at 64 vectors / 4 queries) so tier-1
+// stays fast; recall floors are statements about rankings, not corpus
+// size, so they hold at both scales.
+func Load(tb testing.TB, profile string, n, queries, k int, seed int64) *Corpus {
+	tb.Helper()
+	p, err := dataset.ProfileByName(profile)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if testing.Short() {
+		n = max(n/4, 64)
+		queries = max(queries/4, 4)
+	}
+	ds, err := dataset.Generate(p, dataset.GenConfig{N: n, Queries: queries, Seed: seed})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	c := &Corpus{Profile: p, Data: ds.Vectors, Queries: ds.Queries, K: k}
+	c.exact = make([][]ann.Neighbor, len(c.Queries))
+	for i, q := range c.Queries {
+		c.exact[i] = ann.BruteForce(p.Metric, c.Data, q, k)
+	}
+	return c
+}
+
+// Recall returns idx's mean recall@K over the corpus queries against
+// the precomputed ground truth.
+func (c *Corpus) Recall(idx ann.Index) float64 {
+	if len(c.Queries) == 0 {
+		return 0
+	}
+	var sum float64
+	for i, q := range c.Queries {
+		sum += ann.Recall(idx.Search(q, c.K), c.exact[i], c.K)
+	}
+	return sum / float64(len(c.Queries))
+}
+
+// RequireQuantizedFloor builds one float32 and one quantized index via
+// build and asserts the quantized recall@K is within maxLoss of the
+// float32 recall — the in-tree enforcement of the <1% loss target. It
+// also validates every quantized result list (sorted exact distances,
+// no NaN, unique IDs) and returns both recalls for logging.
+func RequireQuantizedFloor(tb testing.TB, name string, c *Corpus, maxLoss float64, build func(quantized bool) (ann.Index, error)) (floatRecall, quantRecall float64) {
+	tb.Helper()
+	fidx, err := build(false)
+	if err != nil {
+		tb.Fatalf("%s float32 build: %v", name, err)
+	}
+	qidx, err := build(true)
+	if err != nil {
+		tb.Fatalf("%s quantized build: %v", name, err)
+	}
+	floatRecall = c.Recall(fidx)
+	quantRecall = c.Recall(qidx)
+	tb.Logf("%s on %s: recall@%d float32 %.4f, sq8 %.4f (loss %.4f, budget %.4f)",
+		name, c.Profile.Name, c.K, floatRecall, quantRecall, floatRecall-quantRecall, maxLoss)
+	if quantRecall < floatRecall-maxLoss {
+		tb.Errorf("%s on %s: quantized recall@%d %.4f below float32 %.4f by more than %.4f",
+			name, c.Profile.Name, c.K, quantRecall, floatRecall, maxLoss)
+	}
+	for i, q := range c.Queries {
+		if err := ann.Validate(qidx.Search(q, c.K), len(c.Data)); err != nil {
+			tb.Fatalf("%s quantized results for query %d: %v", name, i, err)
+		}
+	}
+	return floatRecall, quantRecall
+}

@@ -1,0 +1,28 @@
+package recalltest
+
+import (
+	"testing"
+
+	"ndsearch/internal/ann"
+)
+
+// The harness's ground truth and an exact index are the same
+// computation, so exact search must score perfect recall — the sanity
+// anchor for every floor built on top of it.
+func TestExactSearchScoresPerfectRecall(t *testing.T) {
+	c := Load(t, "sift-1b", 400, 8, 10, 3)
+	idx := ann.NewExact(c.Profile.Metric, c.Data)
+	if r := c.Recall(idx); r != 1 {
+		t.Fatalf("exact recall@%d = %v, want 1", c.K, r)
+	}
+}
+
+func TestShortModeDownscales(t *testing.T) {
+	if !testing.Short() {
+		t.Skip("meaningful under -short only")
+	}
+	c := Load(t, "glove-100", 4000, 40, 10, 3)
+	if len(c.Data) != 1000 || len(c.Queries) != 10 {
+		t.Fatalf("short mode generated %d vectors / %d queries, want 1000/10", len(c.Data), len(c.Queries))
+	}
+}

@@ -10,7 +10,7 @@ import (
 )
 
 // snapshotOf serialises one small index per family.
-func snapshotOf(t *testing.T, algo string) []byte {
+func snapshotOf(t testing.TB, algo string) []byte {
 	t.Helper()
 	built := buildFamily(t, algo, metricsOf(algo)[0], testData(80, 8, 17))
 	var buf bytes.Buffer

@@ -232,6 +232,11 @@ func saveHNSW(idx Index, b *builder) (vec.Metric, *vec.Matrix, error) {
 		writeGraph(&lg, g)
 	}
 	b.add("layers", lg.b)
+	if cfg.Quantized {
+		if err := addSQ8(b, x.Matrix(), cfg.Rerank); err != nil {
+			return 0, nil, err
+		}
+	}
 	return cfg.Metric, x.Matrix(), nil
 }
 
@@ -246,6 +251,8 @@ func loadHNSW(h Header, f *file, mat *vec.Matrix) (Index, error) {
 		EfConstruction: d.intn(math.MaxInt32, "efConstruction"),
 		EfSearch:       d.intn(math.MaxInt32, "efSearch"),
 		Metric:         h.Metric,
+		Quantized:      h.Quantized,
+		Rerank:         h.Rerank,
 	}
 	cfg.Seed = d.i64()
 	entry := d.u32()
@@ -303,6 +310,11 @@ func saveVamana(idx Index, b *builder) (vec.Metric, *vec.Matrix, error) {
 	var g enc
 	writeGraph(&g, x.BaseGraph())
 	b.add("graph", g.b)
+	if cfg.Quantized {
+		if err := addSQ8(b, x.Matrix(), cfg.Rerank); err != nil {
+			return 0, nil, err
+		}
+	}
 	return cfg.Metric, x.Matrix(), nil
 }
 
@@ -313,10 +325,12 @@ func loadVamana(h Header, f *file, mat *vec.Matrix) (Index, error) {
 	}
 	d := &dec{b: p}
 	cfg := vamana.Config{
-		R:       d.intn(math.MaxInt32, "R"),
-		L:       d.intn(math.MaxInt32, "L"),
-		LSearch: d.intn(math.MaxInt32, "LSearch"),
-		Metric:  h.Metric,
+		R:         d.intn(math.MaxInt32, "R"),
+		L:         d.intn(math.MaxInt32, "L"),
+		LSearch:   d.intn(math.MaxInt32, "LSearch"),
+		Metric:    h.Metric,
+		Quantized: h.Quantized,
+		Rerank:    h.Rerank,
 	}
 	cfg.Alpha = d.f32()
 	cfg.Seed = d.i64()
@@ -366,6 +380,11 @@ func saveHCNNG(idx Index, b *builder) (vec.Metric, *vec.Matrix, error) {
 	var g enc
 	writeGraph(&g, x.BaseGraph())
 	b.add("graph", g.b)
+	if cfg.Quantized {
+		if err := addSQ8(b, x.Matrix(), cfg.Rerank); err != nil {
+			return 0, nil, err
+		}
+	}
 	return cfg.Metric, x.Matrix(), nil
 }
 
@@ -381,6 +400,8 @@ func loadHCNNG(h Header, f *file, mat *vec.Matrix) (Index, error) {
 		MaxDegree:   d.intn(math.MaxInt32, "maxDegree"),
 		LSearch:     d.intn(math.MaxInt32, "LSearch"),
 		Metric:      h.Metric,
+		Quantized:   h.Quantized,
+		Rerank:      h.Rerank,
 	}
 	cfg.Seed = d.i64()
 	entry := d.u32()
@@ -418,6 +439,11 @@ func saveTOGG(idx Index, b *builder) (vec.Metric, *vec.Matrix, error) {
 	var g enc
 	writeGraph(&g, x.BaseGraph())
 	b.add("graph", g.b)
+	if cfg.Quantized {
+		if err := addSQ8(b, x.Matrix(), cfg.Rerank); err != nil {
+			return 0, nil, err
+		}
+	}
 	return cfg.Metric, x.Matrix(), nil
 }
 
@@ -433,6 +459,8 @@ func loadTOGG(h Header, f *file, mat *vec.Matrix) (Index, error) {
 		GuideHops: d.intn(math.MaxInt32, "guideHops"),
 		LSearch:   d.intn(math.MaxInt32, "LSearch"),
 		Metric:    h.Metric,
+		Quantized: h.Quantized,
+		Rerank:    h.Rerank,
 	}
 	cfg.Seed = d.i64()
 	entry := d.u32()

@@ -13,7 +13,7 @@ import (
 //
 //	offset  size  field
 //	0       4     magic "NDSS"
-//	4       2     format version (currently 1)
+//	4       2     format version (currently 2)
 //	6       1     metric (vec.Metric encoding)
 //	7       1     element kind (vec.ElemKind)
 //	8       4     dim
@@ -31,12 +31,22 @@ import (
 //
 // and terminated by a single zero byte where the next name length would
 // be. Section order is not significant; names are unique per file.
+//
+// Version history:
+//
+//	1  initial container (PR 4)
+//	2  adds the optional "sq8" section (quant.go) carrying the SQ8
+//	   compressed tier: rerank width, per-dimension scale factors, and
+//	   the int8 code buffer. Presence of the section is what marks an
+//	   index as quantized — no per-family params changed, so version-1
+//	   files parse under the same per-family codecs and load as
+//	   full-precision indexes.
 
 const (
 	// FormatVersion is the container format version this package writes.
-	// Loaders reject files with a greater version (ErrVersion); older
-	// versions are migrated in place when the format ever changes.
-	FormatVersion = 1
+	// Loaders reject files with a greater version (ErrVersion) and
+	// accept every older version back to 1.
+	FormatVersion = 2
 
 	headerSize = 24
 )
@@ -53,6 +63,13 @@ type Header struct {
 	Elem vec.ElemKind
 	// Dim and Rows describe the corpus matrix.
 	Dim, Rows int
+	// Quantized and Rerank carry the decoded "sq8" section's mode to the
+	// family loaders: Quantized is set by Load when the section is
+	// present (it is not a header byte on disk), and Rerank is the saved
+	// exact-rerank width. Version-1 files never have the section, so
+	// both stay zero there.
+	Quantized bool
+	Rerank    int
 }
 
 // section is one named, CRC-guarded payload.

@@ -1,0 +1,46 @@
+package snapshot
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"ndsearch/internal/vec"
+)
+
+// FuzzLoadQuantized drives Load with mutated snapshot bytes, seeded
+// from valid quantized saves of every graph family (so the fuzzer
+// starts inside the sq8-section decoder's input space) plus a
+// full-precision file. The contract under test is the package's error
+// discipline: Load either succeeds or returns one of the five typed
+// errors — it never panics and never leaks an undiscriminated error.
+func FuzzLoadQuantized(f *testing.F) {
+	data := testData(60, 8, 17)
+	for _, algo := range quantAlgos {
+		var buf bytes.Buffer
+		if err := Save(&buf, buildQuantFamily(f, algo, vec.L2, data, 16), vec.F32); err != nil {
+			f.Fatalf("seed save %s: %v", algo, err)
+		}
+		f.Add(buf.Bytes())
+	}
+	f.Add(snapshotOf(f, "hnsw")) // full-precision seed: no sq8 section
+	f.Add([]byte{})
+	f.Add([]byte("NDSS"))
+
+	typed := []error{ErrBadMagic, ErrVersion, ErrChecksum, ErrTruncated, ErrCorrupt}
+	f.Fuzz(func(t *testing.T, in []byte) {
+		idx, err := Load(bytes.NewReader(in)) // a panic fails the fuzz run
+		if err == nil {
+			if idx == nil {
+				t.Fatal("Load returned nil index and nil error")
+			}
+			return
+		}
+		for _, want := range typed {
+			if errors.Is(err, want) {
+				return
+			}
+		}
+		t.Fatalf("Load returned untyped error: %v", err)
+	})
+}

@@ -1,0 +1,92 @@
+package snapshot
+
+import (
+	"fmt"
+	"math"
+
+	"ndsearch/internal/vec"
+)
+
+// The "sq8" section (format version 2) persists the SQ8 compressed
+// tier verbatim, so a warm-started quantized index traverses the exact
+// codes the saved index did — byte-identical resave included — instead
+// of requantizing on load. Payload layout:
+//
+//	4          rerank width (u32)
+//	4          rows (u32, must match header)
+//	4          dim (u32, must match header)
+//	4*dim      per-dimension scale factors (f32 bit patterns)
+//	rows*dim   int8 codes, row-major, one byte each
+//
+// Presence of the section is what marks a snapshot as quantized; the
+// per-family params sections are unchanged from version 1, which is why
+// old files keep loading (as full-precision indexes) without any
+// per-family migration.
+
+// addSQ8 appends the "sq8" section for a quantized index's matrix.
+func addSQ8(b *builder, mat *vec.Matrix, rerank int) error {
+	sq := mat.SQ8()
+	if sq == nil {
+		return fmt.Errorf("quantized index has no SQ8 tier")
+	}
+	var e enc
+	e.u32(uint32(rerank))
+	e.u32(uint32(sq.Rows()))
+	e.u32(uint32(sq.Dim()))
+	for _, s := range sq.Scales() {
+		e.f32(s)
+	}
+	codes := sq.Codes()
+	buf := make([]byte, len(codes))
+	for i, c := range codes {
+		buf[i] = byte(c)
+	}
+	e.b = append(e.b, buf...)
+	b.add("sq8", e.b)
+	return nil
+}
+
+// readSQ8 decodes the "sq8" section if present, attaches the tier to
+// mat, and reports the saved rerank width. A missing section is not an
+// error — it simply means a full-precision snapshot (including every
+// version-1 file).
+func readSQ8(f *file, mat *vec.Matrix) (rerank int, quantized bool, err error) {
+	payload, ok := f.sections["sq8"]
+	if !ok {
+		return 0, false, nil
+	}
+	d := &dec{b: payload}
+	rerank = d.intn(math.MaxInt32, "rerank width")
+	rows := d.intn(math.MaxInt32, "sq8 rows")
+	dim := d.intn(math.MaxInt32, "sq8 dim")
+	if d.err != nil {
+		return 0, false, d.err
+	}
+	if rows != mat.Rows() || dim != mat.Dim() {
+		return 0, false, fmt.Errorf("%w: sq8 section is %dx%d, corpus is %dx%d",
+			ErrCorrupt, rows, dim, mat.Rows(), mat.Dim())
+	}
+	scales := make([]float32, dim)
+	for i := range scales {
+		scales[i] = d.f32()
+	}
+	raw := d.bytes(rows * dim)
+	if d.err != nil {
+		return 0, false, d.err
+	}
+	codes := make([]int8, len(raw))
+	for i, b := range raw {
+		codes[i] = int8(b)
+	}
+	if err := d.done(); err != nil {
+		return 0, false, err
+	}
+	sq, err := vec.SQ8FromParts(dim, rows, scales, codes)
+	if err != nil {
+		return 0, false, corrupt(err)
+	}
+	if err := mat.AttachSQ8(sq); err != nil {
+		return 0, false, corrupt(err)
+	}
+	return rerank, true, nil
+}

@@ -1,0 +1,315 @@
+package snapshot
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"math"
+	"testing"
+
+	"ndsearch/internal/hcnng"
+	"ndsearch/internal/hnsw"
+	"ndsearch/internal/togg"
+	"ndsearch/internal/vamana"
+	"ndsearch/internal/vec"
+)
+
+// quantAlgos are the families with an SQ8 compressed traversal tier.
+var quantAlgos = []string{"hnsw", "diskann", "hcnng", "togg"}
+
+// buildQuantFamily mirrors buildFamily but with Quantized set and a
+// non-trivial rerank width, so the saved "sq8" section carries every
+// field the codec round-trips.
+func buildQuantFamily(tb testing.TB, algo string, m vec.Metric, data []vec.Vector, rerank int) Index {
+	tb.Helper()
+	var (
+		idx Index
+		err error
+	)
+	switch algo {
+	case "hnsw":
+		idx, err = hnsw.Build(data, hnsw.Config{
+			M: 6, EfConstruction: 40, EfSearch: 32, Metric: m, Seed: 3,
+			Quantized: true, Rerank: rerank,
+		})
+	case "diskann":
+		idx, err = vamana.Build(data, vamana.Config{
+			R: 12, L: 32, LSearch: 32, Alpha: 1.2, Metric: m, Seed: 3,
+			Quantized: true, Rerank: rerank,
+		})
+	case "hcnng":
+		idx, err = hcnng.Build(data, hcnng.Config{
+			Clusterings: 4, LeafSize: 16, MaxDegree: 12, LSearch: 32, Metric: m, Seed: 3,
+			Quantized: true, Rerank: rerank,
+		})
+	case "togg":
+		idx, err = togg.Build(data, togg.Config{
+			K: 8, GuideDims: 4, GuideHops: 16, LSearch: 32, Metric: m, Seed: 3,
+			Quantized: true, Rerank: rerank,
+		})
+	default:
+		tb.Fatalf("no quantized build for algo %q", algo)
+	}
+	if err != nil {
+		tb.Fatalf("build quantized %s: %v", algo, err)
+	}
+	return idx
+}
+
+// quantParams extracts the quantization mode a loaded index reports.
+func quantParams(tb testing.TB, idx Index) (quantized bool, rerank int, mat *vec.Matrix) {
+	tb.Helper()
+	switch x := idx.(type) {
+	case *hnsw.Index:
+		cfg := x.Params()
+		return cfg.Quantized, cfg.Rerank, x.Matrix()
+	case *vamana.Index:
+		cfg := x.Params()
+		return cfg.Quantized, cfg.Rerank, x.Matrix()
+	case *hcnng.Index:
+		cfg := x.Params()
+		return cfg.Quantized, cfg.Rerank, x.Matrix()
+	case *togg.Index:
+		cfg := x.Params()
+		return cfg.Quantized, cfg.Rerank, x.Matrix()
+	default:
+		tb.Fatalf("no quant params for index type %T", idx)
+		return false, 0, nil
+	}
+}
+
+// requireSameSQ8 asserts two compressed tiers are bitwise identical —
+// scale factors included, which is what makes resaves byte-identical.
+func requireSameSQ8(t *testing.T, got, want *vec.SQ8) {
+	t.Helper()
+	if got == nil || want == nil {
+		t.Fatalf("SQ8 tier missing: got %v, want %v", got != nil, want != nil)
+	}
+	if got.Rows() != want.Rows() || got.Dim() != want.Dim() {
+		t.Fatalf("SQ8 shape %dx%d, want %dx%d", got.Rows(), got.Dim(), want.Rows(), want.Dim())
+	}
+	for i, s := range want.Scales() {
+		if math.Float32bits(got.Scales()[i]) != math.Float32bits(s) {
+			t.Fatalf("scale[%d] = %v (bits %08x), want %v (bits %08x)",
+				i, got.Scales()[i], math.Float32bits(got.Scales()[i]), s, math.Float32bits(s))
+		}
+	}
+	if !bytes.Equal(codesAsBytes(got.Codes()), codesAsBytes(want.Codes())) {
+		t.Fatalf("code buffers differ")
+	}
+}
+
+func codesAsBytes(codes []int8) []byte {
+	out := make([]byte, len(codes))
+	for i, c := range codes {
+		out[i] = byte(c)
+	}
+	return out
+}
+
+// A loaded quantized snapshot serves searches byte-identically to the
+// built index: same codes traversed, same rerank width, same exact
+// distances on the head.
+func TestQuantizedWarmStartEquivalence(t *testing.T) {
+	const n, dim = 220, 20
+	queries := testQueries(12, dim, 99)
+	for _, algo := range quantAlgos {
+		for _, m := range metricsOf(algo) {
+			t.Run(algo+"/"+m.String(), func(t *testing.T) {
+				built := buildQuantFamily(t, algo, m, testData(n, dim, 7), 24)
+				var buf bytes.Buffer
+				if err := Save(&buf, built, vec.F32); err != nil {
+					t.Fatalf("save: %v", err)
+				}
+				loaded, err := Load(bytes.NewReader(buf.Bytes()))
+				if err != nil {
+					t.Fatalf("load: %v", err)
+				}
+				quantized, rerank, lmat := quantParams(t, loaded)
+				if !quantized || rerank != 24 {
+					t.Fatalf("loaded params quantized=%v rerank=%d, want true/24", quantized, rerank)
+				}
+				_, _, bmat := quantParams(t, built)
+				requireSameSQ8(t, lmat.SQ8(), bmat.SQ8())
+				for _, q := range queries {
+					for _, k := range []int{1, 5, 17, n + 50} {
+						requireSameResults(t, t.Name(),
+							loaded.Search(q, k), built.Search(q, k))
+					}
+				}
+			})
+		}
+	}
+}
+
+// The acceptance property from the issue: a quantized index round-trips
+// snapshots byte-identically, scale factors included. Save → Load →
+// Save must reproduce the file bit for bit, which can only hold if the
+// loader attaches the stored codes instead of requantizing.
+func TestQuantizedSnapshotByteIdenticalResave(t *testing.T) {
+	const n, dim = 180, 16
+	data := testData(n, dim, 11)
+	for _, algo := range quantAlgos {
+		t.Run(algo, func(t *testing.T) {
+			built := buildQuantFamily(t, algo, vec.L2, data, 12)
+			var first bytes.Buffer
+			if err := Save(&first, built, vec.F32); err != nil {
+				t.Fatalf("save: %v", err)
+			}
+			f, err := parseFile(first.Bytes())
+			if err != nil {
+				t.Fatalf("parse own save: %v", err)
+			}
+			if _, ok := f.sections["sq8"]; !ok {
+				t.Fatalf("quantized save has no sq8 section")
+			}
+			loaded, err := Load(bytes.NewReader(first.Bytes()))
+			if err != nil {
+				t.Fatalf("load: %v", err)
+			}
+			var second bytes.Buffer
+			if err := Save(&second, loaded, vec.F32); err != nil {
+				t.Fatalf("resave: %v", err)
+			}
+			if !bytes.Equal(first.Bytes(), second.Bytes()) {
+				t.Fatalf("resave differs: %d vs %d bytes", first.Len(), second.Len())
+			}
+
+			// And the converse: a full-precision save never grows the
+			// section, so old readers' section sets are undisturbed.
+			plain := buildFamily(t, algo, vec.L2, data)
+			var pbuf bytes.Buffer
+			if err := Save(&pbuf, plain, vec.F32); err != nil {
+				t.Fatalf("save plain: %v", err)
+			}
+			pf, err := parseFile(pbuf.Bytes())
+			if err != nil {
+				t.Fatalf("parse plain save: %v", err)
+			}
+			if _, ok := pf.sections["sq8"]; ok {
+				t.Fatalf("full-precision save grew an sq8 section")
+			}
+		})
+	}
+}
+
+// Version-1 files (written before the sq8 section existed) must keep
+// loading as full-precision indexes. A full-precision version-2 file
+// has the exact byte layout a version-1 writer produced apart from the
+// version field, so patching it down reconstructs a genuine v1 file.
+func TestVersion1SnapshotStillLoads(t *testing.T) {
+	for _, algo := range Algos() {
+		t.Run(algo, func(t *testing.T) {
+			data := testData(80, 8, 17)
+			built := buildFamily(t, algo, metricsOf(algo)[0], data)
+			var buf bytes.Buffer
+			if err := Save(&buf, built, vec.F32); err != nil {
+				t.Fatalf("save: %v", err)
+			}
+			v1 := append([]byte(nil), buf.Bytes()...)
+			binary.LittleEndian.PutUint16(v1[4:6], 1)
+			binary.LittleEndian.PutUint32(v1[20:24], crc32.ChecksumIEEE(v1[:20]))
+			loaded, err := Load(bytes.NewReader(v1))
+			if err != nil {
+				t.Fatalf("load v1 file: %v", err)
+			}
+			switch loaded.(type) {
+			case *hnsw.Index, *vamana.Index, *hcnng.Index, *togg.Index:
+				if quantized, rerank, _ := quantParams(t, loaded); quantized || rerank != 0 {
+					t.Fatalf("v1 file loaded quantized=%v rerank=%d, want false/0", quantized, rerank)
+				}
+			}
+			q := testQueries(1, 8, 18)[0]
+			requireSameResults(t, algo, loaded.Search(q, 7), built.Search(q, 7))
+		})
+	}
+}
+
+// findSection walks the section frames of a serialized snapshot and
+// returns the offsets of the named section's CRC field and payload.
+func findSection(tb testing.TB, data []byte, name string) (crcOff, payloadOff, payloadLen int) {
+	tb.Helper()
+	off := headerSize
+	for off < len(data) {
+		nameLen := int(data[off])
+		off++
+		if nameLen == 0 {
+			break
+		}
+		got := string(data[off : off+nameLen])
+		off += nameLen
+		plen := int(binary.LittleEndian.Uint64(data[off : off+8]))
+		off += 8
+		if got == name {
+			return off, off + 4, plen
+		}
+		off += 4 + plen
+	}
+	tb.Fatalf("section %q not found", name)
+	return 0, 0, 0
+}
+
+// resealSection recomputes the named section's CRC after a payload
+// edit, so the corruption under test is the structural one, not the
+// checksum.
+func resealSection(data []byte, name string, crcOff, payloadOff, payloadLen int) {
+	crc := crc32.ChecksumIEEE([]byte(name))
+	crc = crc32.Update(crc, crc32.IEEETable, data[payloadOff:payloadOff+payloadLen])
+	binary.LittleEndian.PutUint32(data[crcOff:crcOff+4], crc)
+}
+
+// Damage inside the sq8 section surfaces as the right typed error:
+// bit rot under the checksum is ErrChecksum; structurally invalid
+// payloads behind a valid checksum are ErrCorrupt. Never a panic.
+func TestSQ8SectionCorruption(t *testing.T) {
+	built := buildQuantFamily(t, "hnsw", vec.L2, testData(100, 8, 23), 8)
+	var buf bytes.Buffer
+	if err := Save(&buf, built, vec.F32); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	good := buf.Bytes()
+	crcOff, payloadOff, payloadLen := findSection(t, good, "sq8")
+
+	// Payload layout offsets (see quant.go): rerank u32, rows u32,
+	// dim u32, then scales, then codes.
+	const (
+		rerankOff = 0
+		rowsOff   = 4
+		scalesOff = 12
+	)
+
+	cases := []struct {
+		name   string
+		mutate func(p []byte) // p is the sq8 payload
+		reseal bool
+		want   error
+	}{
+		{"flip scale byte", func(p []byte) { p[scalesOff] ^= 0xFF }, false, ErrChecksum},
+		{"flip code byte", func(p []byte) { p[payloadLen-1] ^= 0xFF }, false, ErrChecksum},
+		{"rows mismatch", func(p []byte) {
+			binary.LittleEndian.PutUint32(p[rowsOff:], binary.LittleEndian.Uint32(p[rowsOff:])+1)
+		}, true, ErrCorrupt},
+		{"rerank out of range", func(p []byte) {
+			binary.LittleEndian.PutUint32(p[rerankOff:], 0xFFFFFFFF)
+		}, true, ErrCorrupt},
+		{"NaN scale", func(p []byte) {
+			binary.LittleEndian.PutUint32(p[scalesOff:], math.Float32bits(float32(math.NaN())))
+		}, true, ErrCorrupt},
+		{"negative scale", func(p []byte) {
+			binary.LittleEndian.PutUint32(p[scalesOff:], math.Float32bits(-1))
+		}, true, ErrCorrupt},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			bad := append([]byte(nil), good...)
+			tc.mutate(bad[payloadOff : payloadOff+payloadLen])
+			if tc.reseal {
+				resealSection(bad, "sq8", crcOff, payloadOff, payloadLen)
+			}
+			if _, err := loadBytes(t, tc.name, bad); !errors.Is(err, tc.want) {
+				t.Errorf("err = %v, want %v", err, tc.want)
+			}
+		})
+	}
+}

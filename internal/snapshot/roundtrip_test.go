@@ -44,7 +44,7 @@ func testQueries(n, dim int, seed int64) []vec.Vector {
 
 // buildFamily constructs one small index per registry name. dim must be
 // divisible by 4 for ivfpq (Segments: 4); the graph families accept any.
-func buildFamily(t *testing.T, algo string, m vec.Metric, data []vec.Vector) Index {
+func buildFamily(t testing.TB, algo string, m vec.Metric, data []vec.Vector) Index {
 	t.Helper()
 	var (
 		idx Index

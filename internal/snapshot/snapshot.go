@@ -181,6 +181,14 @@ func Load(r io.Reader) (Index, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Attach the compressed tier (if saved) before the family loader
+	// runs, so FromParts finds the stored codes instead of requantizing.
+	rerank, quantized, err := readSQ8(f, mat)
+	if err != nil {
+		return nil, err
+	}
+	f.header.Quantized = quantized
+	f.header.Rerank = rerank
 	idx, err := fam.load(f.header, f, mat)
 	if err != nil {
 		return nil, err

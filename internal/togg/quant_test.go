@@ -1,0 +1,28 @@
+package togg
+
+import (
+	"testing"
+
+	"ndsearch/internal/ann"
+	"ndsearch/internal/recalltest"
+	"ndsearch/internal/vec"
+)
+
+func quantCfg(m vec.Metric, quantized bool) Config {
+	cfg := Config{K: 16, GuideDims: 8, GuideHops: 64, LSearch: 64, Metric: m, Seed: 1}
+	cfg.Quantized = quantized
+	return cfg
+}
+
+// Acceptance floor: quantized traversal (guided stage voting on int8
+// codes, beam stage on code-space distances) with full-list rerank
+// holds recall@10 within 1% of the float32 index on the seed datasets.
+// TOGG's KNN build is O(n^2), so this family runs a smaller corpus.
+func TestQuantizedRecallFloor(t *testing.T) {
+	for _, profile := range []string{"sift-1b", "glove-100"} {
+		c := recalltest.Load(t, profile, 1200, 16, 10, 7)
+		recalltest.RequireQuantizedFloor(t, "togg", c, 0.01, func(quantized bool) (ann.Index, error) {
+			return Build(c.Data, quantCfg(c.Profile.Metric, quantized))
+		})
+	}
+}

@@ -34,6 +34,14 @@ type Config struct {
 	Metric vec.Metric
 	// Seed drives entry sampling.
 	Seed int64
+	// Quantized switches search traversal (both the guided stage and the
+	// beam refinement) to the SQ8 compressed tier with exact rerank of
+	// the candidate head; construction always runs full precision.
+	Quantized bool
+	// Rerank is the number of leading candidates re-scored exactly in
+	// quantized mode; 0 means the whole candidate list. Ignored when
+	// Quantized is false.
+	Rerank int
 }
 
 // DefaultConfig returns a configuration close to the TOGG paper's.
@@ -49,6 +57,9 @@ func (c Config) Validate() error {
 	if c.GuideDims < 1 || c.GuideHops < 1 || c.LSearch < 1 {
 		return fmt.Errorf("togg: degenerate guide/beam parameters")
 	}
+	if c.Rerank < 0 {
+		return fmt.Errorf("togg: rerank width must be >= 0, got %d", c.Rerank)
+	}
 	return nil
 }
 
@@ -57,9 +68,13 @@ func (c Config) Validate() error {
 // layer (query preprocessed once per search, stored norms precomputed
 // at build).
 type Index struct {
-	cfg       Config
-	mat       *vec.Matrix
-	kern      *vec.Kernel
+	cfg  Config
+	mat  *vec.Matrix
+	kern *vec.Kernel
+	// tkern is the traversal kernel: the SQ8 code-space kernel in
+	// quantized mode, otherwise kern itself. Construction and exact
+	// rerank always use kern.
+	tkern     *vec.Kernel
 	g         *graph.Graph
 	entry     uint32
 	guideDims []int // top-variance dimensions used by stage one
@@ -80,6 +95,7 @@ func Build(data []vec.Vector, cfg Config) (*Index, error) {
 	}
 	mat := vec.NewMatrix(data)
 	x := &Index{cfg: cfg, mat: mat, kern: vec.NewKernel(cfg.Metric, mat), g: graph.New(len(data))}
+	x.initTraversal()
 	x.buildKNN()
 	x.pickGuideDims()
 	rng := rand.New(rand.NewSource(cfg.Seed))
@@ -114,10 +130,24 @@ func FromParts(cfg Config, mat *vec.Matrix, g *graph.Graph, entry uint32, guideD
 			return nil, fmt.Errorf("togg: guide dim %d out of range %d", d, mat.Dim())
 		}
 	}
-	return &Index{
+	x := &Index{
 		cfg: cfg, mat: mat, kern: vec.NewKernel(cfg.Metric, mat),
 		g: g, entry: entry, guideDims: guideDims,
-	}, nil
+	}
+	x.initTraversal()
+	return x, nil
+}
+
+// initTraversal picks the search-time kernel, quantizing the corpus
+// into the SQ8 tier if quantized mode was requested and the matrix does
+// not already carry one (quantization is deterministic, so fresh-build
+// and snapshot-attached tiers are identical).
+func (x *Index) initTraversal() {
+	x.tkern = x.kern
+	if x.cfg.Quantized {
+		x.mat.EnableSQ8()
+		x.tkern = vec.NewQuantizedKernel(x.cfg.Metric, x.mat)
+	}
 }
 
 func (x *Index) buildKNN() {
@@ -189,31 +219,57 @@ func (x *Index) pickGuideDims() {
 
 // guidedStep selects among cur's neighbors the closest one lying in the
 // query's direction octant (sign agreement over the guide dimensions).
-// Returns false if no neighbor qualifies or improves.
+// Returns false if no neighbor qualifies or improves. In quantized mode
+// the sign votes read the int8 codes — the same representation the
+// distance kernel sees — widened to int before differencing (a code
+// difference can reach ±254, which would wrap in int8).
 func (x *Index) guidedStep(q vec.PreparedQuery, cur uint32, curDist float32, tr *trace.Query) (uint32, float32, bool) {
 	nbrs := x.g.Neighbors(cur)
 	best := cur
 	bestDist := curDist
-	query := q.Vec()
-	curRow := x.mat.Row(int(cur))
 	var computed []uint32
-	for _, n := range nbrs {
-		agree := 0
-		nRow := x.mat.Row(int(n))
-		for _, d := range x.guideDims {
-			dq := query[d] - curRow[d]
-			dn := nRow[d] - curRow[d]
-			if (dq >= 0) == (dn >= 0) {
-				agree++
+	if sq := x.mat.SQ8(); x.cfg.Quantized && sq != nil {
+		qc := q.Codes()
+		curRow := sq.Row(int(cur))
+		for _, n := range nbrs {
+			agree := 0
+			nRow := sq.Row(int(n))
+			for _, d := range x.guideDims {
+				dq := int(qc[d]) - int(curRow[d])
+				dn := int(nRow[d]) - int(curRow[d])
+				if (dq >= 0) == (dn >= 0) {
+					agree++
+				}
+			}
+			if agree*2 < len(x.guideDims) {
+				continue
+			}
+			computed = append(computed, n)
+			if d := x.tkern.DistTo(q, int(n)); d < bestDist {
+				best, bestDist = n, d
 			}
 		}
-		// Expand only neighbors pointing mostly toward the query.
-		if agree*2 < len(x.guideDims) {
-			continue
-		}
-		computed = append(computed, n)
-		if d := x.kern.DistTo(q, int(n)); d < bestDist {
-			best, bestDist = n, d
+	} else {
+		query := q.Vec()
+		curRow := x.mat.Row(int(cur))
+		for _, n := range nbrs {
+			agree := 0
+			nRow := x.mat.Row(int(n))
+			for _, d := range x.guideDims {
+				dq := query[d] - curRow[d]
+				dn := nRow[d] - curRow[d]
+				if (dq >= 0) == (dn >= 0) {
+					agree++
+				}
+			}
+			// Expand only neighbors pointing mostly toward the query.
+			if agree*2 < len(x.guideDims) {
+				continue
+			}
+			computed = append(computed, n)
+			if d := x.tkern.DistTo(q, int(n)); d < bestDist {
+				best, bestDist = n, d
+			}
 		}
 	}
 	if tr != nil && len(computed) > 0 {
@@ -236,10 +292,10 @@ func (x *Index) SearchTraced(query vec.Vector, k int) ([]ann.Neighbor, trace.Que
 }
 
 func (x *Index) searchInternal(query vec.Vector, k int, tr *trace.Query) ([]ann.Neighbor, error) {
-	q := x.kern.Prepare(query)
+	q := x.tkern.Prepare(query)
 	// Stage one: guided routing toward the query's region.
 	cur := x.entry
-	curDist := x.kern.DistTo(q, int(cur))
+	curDist := x.tkern.DistTo(q, int(cur))
 	for hop := 0; hop < x.cfg.GuideHops; hop++ {
 		next, nextDist, moved := x.guidedStep(q, cur, curDist, tr)
 		if !moved {
@@ -270,13 +326,16 @@ func (x *Index) searchInternal(query vec.Vector, k int, tr *trace.Query) ([]ann.
 			}
 			visited[n] = true
 			computed = append(computed, n)
-			f.Push(ann.Neighbor{ID: n, Dist: x.kern.DistTo(q, int(n))})
+			f.Push(ann.Neighbor{ID: n, Dist: x.tkern.DistTo(q, int(n))})
 		}
 		if tr != nil && len(computed) > 0 {
 			tr.Iters = append(tr.Iters, trace.Iter{Entry: c.ID, Neighbors: computed})
 		}
 	}
 	res := f.Results()
+	if x.cfg.Quantized {
+		return ann.RerankExact(x.kern, query, res, x.cfg.Rerank, k), nil
+	}
 	if k < len(res) {
 		res = res[:k]
 	}

@@ -1,0 +1,26 @@
+package vamana
+
+import (
+	"testing"
+
+	"ndsearch/internal/ann"
+	"ndsearch/internal/recalltest"
+	"ndsearch/internal/vec"
+)
+
+func quantCfg(m vec.Metric, quantized bool) Config {
+	cfg := Config{R: 24, L: 64, LSearch: 64, Alpha: 1.2, Metric: m, Seed: 1}
+	cfg.Quantized = quantized
+	return cfg
+}
+
+// Acceptance floor: quantized traversal with full-list rerank holds
+// recall@10 within 1% of the float32 index on the seed datasets.
+func TestQuantizedRecallFloor(t *testing.T) {
+	for _, profile := range []string{"sift-1b", "glove-100"} {
+		c := recalltest.Load(t, profile, 2000, 20, 10, 7)
+		recalltest.RequireQuantizedFloor(t, "vamana", c, 0.01, func(quantized bool) (ann.Index, error) {
+			return Build(c.Data, quantCfg(c.Profile.Metric, quantized))
+		})
+	}
+}

@@ -101,6 +101,11 @@ type PreparedQuery struct {
 	metric Metric
 	vec    Vector
 	norm   float32
+	// codes / codeNorm are the query quantized under the kernel's corpus
+	// scales — populated only by a quantized kernel's Prepare, and read
+	// only by quantized distance paths.
+	codes    []int8
+	codeNorm float32
 }
 
 // PrepareQuery preprocesses query for metric m. The query slice is
@@ -115,6 +120,13 @@ func PrepareQuery(m Metric, query Vector) PreparedQuery {
 
 // Vec returns the underlying query vector.
 func (q *PreparedQuery) Vec() Vector { return q.vec }
+
+// Codes returns the query's int8 codes, or nil if the query was not
+// prepared by a quantized kernel. Consumers that inspect per-dimension
+// values during quantized traversal (togg's guided stage) read these
+// instead of the float vector so they see the same representation the
+// distance kernel does.
+func (q *PreparedQuery) Codes() []int8 { return q.codes }
 
 // DistanceTo evaluates the prepared query against an arbitrary vector
 // (no Matrix required): the matrix-free kernel path BruteForce uses.
@@ -141,14 +153,36 @@ func (q *PreparedQuery) DistanceTo(v Vector) float32 {
 // Kernel evaluates distances between prepared queries and Matrix rows
 // under one metric. It is stateless beyond the metric and the matrix
 // reference, so a single Kernel is safe for concurrent searches.
+//
+// A quantized kernel (NewQuantizedKernel) evaluates over the matrix's
+// SQ8 codes instead of the float32 rows: int32-accumulated code-space
+// distances, comparable among themselves but not in the metric's units
+// — ordering keys for traversal, with the final candidate head re-
+// ranked on a float kernel. Both kernel flavors share one Matrix, so
+// an index can hold both and pay for the rows once.
 type Kernel struct {
 	metric Metric
 	mat    *Matrix
+	// sq, when non-nil, switches every distance path to the int8
+	// code-space kernels over this compressed tier.
+	sq *SQ8
 }
 
 // NewKernel binds metric m to the rows of mat.
 func NewKernel(m Metric, mat *Matrix) *Kernel {
 	return &Kernel{metric: m, mat: mat}
+}
+
+// NewQuantizedKernel binds metric m to the SQ8 codes of mat, which must
+// already carry a compressed tier (EnableSQ8 or AttachSQ8). It panics
+// otherwise: a quantized kernel without codes is a construction bug,
+// not a runtime condition.
+func NewQuantizedKernel(m Metric, mat *Matrix) *Kernel {
+	sq := mat.SQ8()
+	if sq == nil {
+		panic("vec: NewQuantizedKernel on a matrix without an SQ8 tier")
+	}
+	return &Kernel{metric: m, mat: mat, sq: sq}
 }
 
 // Metric returns the kernel's distance metric.
@@ -157,14 +191,30 @@ func (k *Kernel) Metric() Metric { return k.metric }
 // Matrix returns the underlying corpus store.
 func (k *Kernel) Matrix() *Matrix { return k.mat }
 
-// Prepare preprocesses query once for this kernel's metric.
+// Quantized reports whether this kernel evaluates over SQ8 codes.
+func (k *Kernel) Quantized() bool { return k.sq != nil }
+
+// Prepare preprocesses query once for this kernel's metric. A quantized
+// kernel also quantizes the query under the corpus scales and, for
+// Angular, precomputes its code-space norm.
 func (k *Kernel) Prepare(query Vector) PreparedQuery {
-	return PrepareQuery(k.metric, query)
+	q := PrepareQuery(k.metric, query)
+	if k.sq != nil {
+		q.codes = k.sq.QuantizeQuery(query)
+		if k.metric == Angular {
+			q.codeNorm = codeNorm(q.codes)
+		}
+	}
+	return q
 }
 
 // DistTo returns the distance from the prepared query to row. For
 // Angular the stored-vector norm comes from the precomputed table.
 func (k *Kernel) DistTo(q PreparedQuery, row int) float32 {
+	if k.sq != nil {
+		k.checkCodes(q)
+		return k.distToQ(q, row)
+	}
 	r := k.mat.Row(row)
 	if len(r) != len(q.vec) {
 		panic(fmt.Sprintf("vec: dim mismatch %d vs %d", len(q.vec), len(r)))
@@ -192,6 +242,11 @@ func (k *Kernel) DistsTo(q PreparedQuery, rows []uint32, out []float32) {
 	if len(out) != len(rows) {
 		panic(fmt.Sprintf("vec: DistsTo out length %d != rows %d", len(out), len(rows)))
 	}
+	if k.sq != nil {
+		k.checkCodes(q)
+		k.distsToQ(q, rows, out)
+		return
+	}
 	k.checkDim(q)
 	dim, buf := k.mat.dim, k.mat.buf
 	switch k.metric {
@@ -218,6 +273,11 @@ func (k *Kernel) DistsTo(q PreparedQuery, rows []uint32, out []float32) {
 func (k *Kernel) DistsAll(q PreparedQuery, out []float32) {
 	if len(out) != k.mat.rows {
 		panic(fmt.Sprintf("vec: DistsAll out length %d != rows %d", len(out), k.mat.rows))
+	}
+	if k.sq != nil {
+		k.checkCodes(q)
+		k.distsAllQ(q, out)
+		return
 	}
 	k.checkDim(q)
 	dim, buf := k.mat.dim, k.mat.buf
@@ -251,6 +311,19 @@ func (k *Kernel) checkDim(q PreparedQuery) {
 // precomputed norms of both for Angular — the build-time kernel for
 // neighbor-selection heuristics, pruning, and MST construction.
 func (k *Kernel) DistRows(i, j int) float32 {
+	if k.sq != nil {
+		a, b := k.sq.Row(i), k.sq.Row(j)
+		switch k.metric {
+		case L2:
+			return float32(l2sqI8(a, b))
+		case Angular:
+			return angularFromDot(float32(dotI8(a, b)), k.sq.norms[i], k.sq.norms[j])
+		case InnerProduct:
+			return -float32(dotI8(a, b))
+		default:
+			panic(fmt.Sprintf("vec: unknown metric %d", k.metric))
+		}
+	}
 	a, b := k.mat.Row(i), k.mat.Row(j)
 	switch k.metric {
 	case L2:
@@ -259,6 +332,85 @@ func (k *Kernel) DistRows(i, j int) float32 {
 		return angularFromDot(dot4(a, b), k.mat.norms[i], k.mat.norms[j])
 	case InnerProduct:
 		return -dot4(a, b)
+	default:
+		panic(fmt.Sprintf("vec: unknown metric %d", k.metric))
+	}
+}
+
+// ---- quantized paths ----------------------------------------------------
+//
+// Code-space distances are exact int32 accumulations widened to float32
+// at the end (and, for Angular, normalized by the precomputed code
+// norms through the same angularFromDot the float path uses). Every
+// quantized consumer shares these paths, so quantized distances are
+// internally consistent the same way float kernel distances are.
+
+// checkCodes validates that the query was prepared by a quantized
+// kernel over a matching corpus (non-empty tiers only).
+func (k *Kernel) checkCodes(q PreparedQuery) {
+	if k.sq.rows == 0 {
+		return
+	}
+	if q.codes == nil {
+		panic("vec: query not prepared by a quantized kernel")
+	}
+	if len(q.codes) != k.sq.dim {
+		panic(fmt.Sprintf("vec: dim mismatch %d vs %d", len(q.codes), k.sq.dim))
+	}
+}
+
+// distToQ is the single-pair code-space distance.
+func (k *Kernel) distToQ(q PreparedQuery, row int) float32 {
+	r := k.sq.Row(row)
+	switch k.metric {
+	case L2:
+		return float32(l2sqI8(q.codes, r))
+	case Angular:
+		return angularFromDot(float32(dotI8(q.codes, r)), q.codeNorm, k.sq.norms[row])
+	case InnerProduct:
+		return -float32(dotI8(q.codes, r))
+	default:
+		panic(fmt.Sprintf("vec: unknown metric %d", k.metric))
+	}
+}
+
+// distsToQ is the code-space shortlist batch, metric switch hoisted.
+func (k *Kernel) distsToQ(q PreparedQuery, rows []uint32, out []float32) {
+	dim, codes := k.sq.dim, k.sq.codes
+	switch k.metric {
+	case L2:
+		for i, r := range rows {
+			out[i] = float32(l2sqI8(q.codes, codes[int(r)*dim:int(r)*dim+dim]))
+		}
+	case Angular:
+		for i, r := range rows {
+			out[i] = angularFromDot(float32(dotI8(q.codes, codes[int(r)*dim:int(r)*dim+dim])), q.codeNorm, k.sq.norms[r])
+		}
+	case InnerProduct:
+		for i, r := range rows {
+			out[i] = -float32(dotI8(q.codes, codes[int(r)*dim:int(r)*dim+dim]))
+		}
+	default:
+		panic(fmt.Sprintf("vec: unknown metric %d", k.metric))
+	}
+}
+
+// distsAllQ is the code-space full scan, metric switch hoisted.
+func (k *Kernel) distsAllQ(q PreparedQuery, out []float32) {
+	dim, codes := k.sq.dim, k.sq.codes
+	switch k.metric {
+	case L2:
+		for i := range out {
+			out[i] = float32(l2sqI8(q.codes, codes[i*dim:i*dim+dim]))
+		}
+	case Angular:
+		for i := range out {
+			out[i] = angularFromDot(float32(dotI8(q.codes, codes[i*dim:i*dim+dim])), q.codeNorm, k.sq.norms[i])
+		}
+	case InnerProduct:
+		for i := range out {
+			out[i] = -float32(dotI8(q.codes, codes[i*dim:i*dim+dim]))
+		}
 	default:
 		panic(fmt.Sprintf("vec: unknown metric %d", k.metric))
 	}

@@ -28,6 +28,11 @@ type Matrix struct {
 	// kept current from construction so those consumers need no rebuild.
 	norms []float32
 	sq    []float32
+	// sq8 is the optional compressed tier: per-dimension SQ8 codes that
+	// quantized kernels traverse instead of the float32 rows. Nil unless
+	// EnableSQ8 or AttachSQ8 ran; both are construction-time operations —
+	// attach the tier before the matrix is shared across goroutines.
+	sq8 *SQ8
 }
 
 // NewMatrix copies data into a contiguous row-major store and
@@ -77,3 +82,30 @@ func (m *Matrix) SquaredNorm(i int) float32 { return m.sq[i] }
 // Bytes returns the flat buffer size in bytes (the store's resident
 // footprint, excluding the norm tables).
 func (m *Matrix) Bytes() int64 { return int64(len(m.buf)) * 4 }
+
+// EnableSQ8 quantizes the rows into the SQ8 compressed tier and caches
+// it on the matrix. Idempotent: a tier already present (quantized or
+// attached) is returned as-is. Like NewMatrix, this is a construction-
+// time operation — call it before the matrix is shared.
+func (m *Matrix) EnableSQ8() *SQ8 {
+	if m.sq8 == nil {
+		m.sq8 = QuantizeSQ8(m)
+	}
+	return m.sq8
+}
+
+// AttachSQ8 installs a previously serialized compressed tier — the
+// snapshot warm-start path, which must reuse the saved scales and codes
+// verbatim rather than requantize (byte-identical resave depends on
+// it). The tier's shape must match the matrix.
+func (m *Matrix) AttachSQ8(s *SQ8) error {
+	if s.dim != m.dim || s.rows != m.rows {
+		return fmt.Errorf("vec: sq8 shape %dx%d does not match matrix %dx%d",
+			s.rows, s.dim, m.rows, m.dim)
+	}
+	m.sq8 = s
+	return nil
+}
+
+// SQ8 returns the compressed tier, or nil if none was enabled.
+func (m *Matrix) SQ8() *SQ8 { return m.sq8 }
