@@ -21,6 +21,11 @@
 //	-quantized  build suite indexes with the SQ8 compressed traversal
 //	            tier (cache entries keyed separately, "-sq8" suffix)
 //	-rerank     exact-rerank width when quantized, 0 = full list
+//	-serve      index serving mode: ram (default), mmap, or readat —
+//	            the paged modes traverse the cached snapshot files in
+//	            place (beyond-RAM serving; requires -cache) with
+//	            byte-identical output; cache entries are keyed
+//	            separately per mode ("-mmap"/"-readat" suffix)
 package main
 
 import (
@@ -40,9 +45,20 @@ func main() {
 	cacheDir := flag.String("cache", "", "index snapshot cache directory (empty disables)")
 	quantized := flag.Bool("quantized", false, "build suite indexes with the SQ8 compressed traversal tier")
 	rerank := flag.Int("rerank", 0, "exact-rerank width for -quantized (0 = full candidate list)")
+	serve := flag.String("serve", "ram", "index serving mode: ram, mmap, or readat (paged modes require -cache)")
 	flag.Parse()
 	if *rerank < 0 {
 		fmt.Fprintf(os.Stderr, "ndsearch: -rerank must be >= 0, got %d\n", *rerank)
+		os.Exit(2)
+	}
+	switch *serve {
+	case "ram", "mmap", "readat":
+	default:
+		fmt.Fprintf(os.Stderr, "ndsearch: -serve must be ram, mmap, or readat, got %q\n", *serve)
+		os.Exit(2)
+	}
+	if *serve != "ram" && *cacheDir == "" {
+		fmt.Fprintf(os.Stderr, "ndsearch: -serve %s pages indexes out of cached snapshot files; it requires -cache\n", *serve)
 		os.Exit(2)
 	}
 
@@ -52,7 +68,8 @@ func main() {
 			strings.Join(figures.ExperimentNames(), "|"))
 		os.Exit(2)
 	}
-	scale := figures.Scale{N: *n, Batch: *batch, K: 10, Seed: *seed, Quantized: *quantized, Rerank: *rerank}
+	scale := figures.Scale{N: *n, Batch: *batch, K: 10, Seed: *seed,
+		Quantized: *quantized, Rerank: *rerank, Serve: *serve}
 	suite := figures.NewSuite(scale)
 	suite.CacheDir = *cacheDir
 	if err := figures.RunMany(suite, args, *jobs, os.Stdout); err != nil {

@@ -27,6 +27,10 @@
 //	-coalesce-wait  coalescing deadline (default 500us)
 //	-save-index     build the engine, persist it to this directory, exit
 //	-load-index     restore the engine from this directory instead of building
+//	-serve          shard serving mode with -load-index: ram (default,
+//	                fully resident), mmap, or readat (beyond-RAM paged)
+//	-cache-pages    paged serving: per-shard page-cache budget in 4 KiB
+//	                pages (0 = snapshot default)
 //
 // With coalescing enabled (the default), concurrent single-query
 // /search requests are admitted through a micro-batcher that forms
@@ -37,7 +41,12 @@
 // one invocation pays graph construction and writes a checksummed
 // snapshot (internal/snapshot, DESIGN.md §8); every later invocation
 // warm-starts from the snapshot in file-I/O time without invoking any
-// index build. On SIGINT/SIGTERM the server drains gracefully:
+// index build. With -serve mmap (or readat), the loaded shards are not
+// materialized at all: node records are traversed straight out of the
+// page-aligned snapshot files through a bounded page cache (DESIGN.md
+// §10), serving corpora larger than resident memory with results
+// byte-identical to -serve ram; /stats then reports the software
+// page-touch and fault counters. On SIGINT/SIGTERM the server drains gracefully:
 // in-flight (including coalesced) searches complete before the process
 // exits.
 package main
@@ -80,9 +89,14 @@ func main() {
 		"max time a single-query request waits for a coalesced batch to form")
 	saveIndex := flag.String("save-index", "", "build the engine, save it to this directory, and exit")
 	loadIndex := flag.String("load-index", "", "serve from a saved engine directory (skips corpus generation and build)")
+	serveMode := flag.String("serve", engine.ServeRAM,
+		"shard serving mode with -load-index: ram, mmap, or readat (paged beyond-RAM serving)")
+	cachePages := flag.Int("cache-pages", 0,
+		"paged serving: per-shard page-cache budget in 4 KiB pages (0 = snapshot default)")
 	flag.Parse()
 
-	if err := validateFlags(*n, *shards, *workers, *rerank, *coalesceMax, *coalesceWait, *saveIndex, *loadIndex); err != nil {
+	if err := validateFlags(*n, *shards, *workers, *rerank, *coalesceMax, *coalesceWait,
+		*saveIndex, *loadIndex, *serveMode, *cachePages); err != nil {
 		fmt.Fprintf(os.Stderr, "ndserve: %v\n", err)
 		flag.Usage()
 		os.Exit(2)
@@ -93,7 +107,8 @@ func main() {
 		err error
 	)
 	if *loadIndex != "" {
-		srv, err = loadServer(*loadIndex, *workers, *coalesceMax, *coalesceWait)
+		lo := engine.LoadOptions{Workers: *workers, Serve: *serveMode, CachePages: *cachePages}
+		srv, err = loadServer(*loadIndex, lo, *coalesceMax, *coalesceWait)
 	} else {
 		opts := engine.IndexOpts{Quantized: *quantized, Rerank: *rerank}
 		srv, err = buildServer(*profName, *algo, *n, *shards, *workers, *seed, opts, *coalesceMax, *coalesceWait)
@@ -133,8 +148,10 @@ func main() {
 // zero (their documented "default / disabled" values) but never
 // negative; n and shards must be positive; rerank and coalesce-wait
 // must be non-negative; -save-index and -load-index are mutually
-// exclusive (save persists a fresh build).
-func validateFlags(n, shards, workers, rerank, coalesceMax int, coalesceWait time.Duration, saveIndex, loadIndex string) error {
+// exclusive (save persists a fresh build); paged -serve modes need a
+// snapshot directory to page from, so they require -load-index.
+func validateFlags(n, shards, workers, rerank, coalesceMax int, coalesceWait time.Duration,
+	saveIndex, loadIndex, serveMode string, cachePages int) error {
 	if loadIndex == "" { // corpus/build flags are unused on the load path
 		if n < 1 {
 			return fmt.Errorf("-n must be >= 1, got %d", n)
@@ -142,6 +159,19 @@ func validateFlags(n, shards, workers, rerank, coalesceMax int, coalesceWait tim
 		if shards < 1 {
 			return fmt.Errorf("-shards must be >= 1, got %d", shards)
 		}
+	}
+	switch serveMode {
+	case engine.ServeRAM:
+	case engine.ServeMmap, engine.ServeReadAt:
+		if loadIndex == "" {
+			return fmt.Errorf("-serve %s pages node records out of a saved snapshot; it requires -load-index", serveMode)
+		}
+	default:
+		return fmt.Errorf("-serve must be %s, %s, or %s, got %q",
+			engine.ServeRAM, engine.ServeMmap, engine.ServeReadAt, serveMode)
+	}
+	if cachePages < 0 {
+		return fmt.Errorf("-cache-pages must be >= 0 (0 = snapshot default), got %d", cachePages)
 	}
 	if rerank < 0 {
 		return fmt.Errorf("-rerank must be >= 0 (0 = full candidate list), got %d", rerank)
@@ -233,15 +263,18 @@ func buildServer(profName, algo string, n, shards, workers int, seed int64,
 
 // loadServer warm-starts the engine from a snapshot directory written
 // by -save-index (or engine.Save): no corpus generation, no index
-// build — the serving configuration comes from the manifest.
-func loadServer(dir string, workers, coalesceMax int, coalesceWait time.Duration) (*Server, error) {
+// build — the serving configuration comes from the manifest. With a
+// paged serving mode, shard node records stay in the files and are
+// traversed through a bounded per-shard page cache.
+func loadServer(dir string, lo engine.LoadOptions, coalesceMax int, coalesceWait time.Duration) (*Server, error) {
 	start := time.Now()
-	e, man, err := engine.Load(dir, workers)
+	e, man, err := engine.LoadWithOptions(dir, lo)
 	if err != nil {
 		return nil, err
 	}
-	log.Printf("ndserve: loaded %d-shard %s engine over %d %s vectors from %s in %v",
-		e.Shards(), man.Algo, e.Len(), man.Dataset, dir, time.Since(start).Round(time.Millisecond))
+	log.Printf("ndserve: loaded %d-shard %s engine over %d %s vectors from %s in %v (serve=%s, format v%d)",
+		e.Shards(), man.Algo, e.Len(), man.Dataset, dir,
+		time.Since(start).Round(time.Millisecond), e.ServeMode(), e.FormatVersion())
 	return newServer(e, man.Dim, man.Dataset, man.Algo, coalesceMax, coalesceWait), nil
 }
 

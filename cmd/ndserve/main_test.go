@@ -280,26 +280,34 @@ func TestValidateFlags(t *testing.T) {
 		coalesceMax  int
 		coalesceWait time.Duration
 		save, load   string
+		serve        string
+		cachePages   int
 		want         func(error) bool
 	}{
-		{"defaults", 20000, 4, 0, 0, 256, 500 * time.Microsecond, "", "", ok},
-		{"rerank", 100, 2, 0, 64, 256, 0, "", "", ok},
-		{"negative rerank", 100, 2, 0, -1, 256, 0, "", "", bad},
-		{"zero n", 0, 4, 0, 0, 256, 0, "", "", bad},
-		{"negative n", -5, 4, 0, 0, 256, 0, "", "", bad},
-		{"zero shards", 100, 0, 0, 0, 256, 0, "", "", bad},
-		{"negative shards", 100, -1, 0, 0, 256, 0, "", "", bad},
-		{"negative workers", 100, 2, -1, 0, 256, 0, "", "", bad},
-		{"coalesce disabled", 100, 2, 0, 0, 0, 0, "", "", ok},
-		{"negative coalesce-max", 100, 2, 0, 0, -1, 0, "", "", bad},
-		{"negative coalesce-wait", 100, 2, 0, 0, 256, -time.Microsecond, "", "", bad},
-		{"save", 100, 2, 0, 0, 256, 0, "dir", "", ok},
-		{"load ignores n/shards", 0, 0, 0, 0, 256, 0, "", "dir", ok},
-		{"save and load", 100, 2, 0, 0, 256, 0, "a", "b", bad},
+		{"defaults", 20000, 4, 0, 0, 256, 500 * time.Microsecond, "", "", "ram", 0, ok},
+		{"rerank", 100, 2, 0, 64, 256, 0, "", "", "ram", 0, ok},
+		{"negative rerank", 100, 2, 0, -1, 256, 0, "", "", "ram", 0, bad},
+		{"zero n", 0, 4, 0, 0, 256, 0, "", "", "ram", 0, bad},
+		{"negative n", -5, 4, 0, 0, 256, 0, "", "", "ram", 0, bad},
+		{"zero shards", 100, 0, 0, 0, 256, 0, "", "", "ram", 0, bad},
+		{"negative shards", 100, -1, 0, 0, 256, 0, "", "", "ram", 0, bad},
+		{"negative workers", 100, 2, -1, 0, 256, 0, "", "", "ram", 0, bad},
+		{"coalesce disabled", 100, 2, 0, 0, 0, 0, "", "", "ram", 0, ok},
+		{"negative coalesce-max", 100, 2, 0, 0, -1, 0, "", "", "ram", 0, bad},
+		{"negative coalesce-wait", 100, 2, 0, 0, 256, -time.Microsecond, "", "", "ram", 0, bad},
+		{"save", 100, 2, 0, 0, 256, 0, "dir", "", "ram", 0, ok},
+		{"load ignores n/shards", 0, 0, 0, 0, 256, 0, "", "dir", "ram", 0, ok},
+		{"save and load", 100, 2, 0, 0, 256, 0, "a", "b", "ram", 0, bad},
+		{"mmap serve with load", 0, 0, 0, 0, 256, 0, "", "dir", "mmap", 64, ok},
+		{"readat serve with load", 0, 0, 0, 0, 256, 0, "", "dir", "readat", 0, ok},
+		{"mmap serve without load", 100, 2, 0, 0, 256, 0, "", "", "mmap", 0, bad},
+		{"unknown serve mode", 0, 0, 0, 0, 256, 0, "", "dir", "disk", 0, bad},
+		{"negative cache-pages", 0, 0, 0, 0, 256, 0, "", "dir", "mmap", -1, bad},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
-			err := validateFlags(c.n, c.shards, c.workers, c.rerank, c.coalesceMax, c.coalesceWait, c.save, c.load)
+			err := validateFlags(c.n, c.shards, c.workers, c.rerank, c.coalesceMax, c.coalesceWait,
+				c.save, c.load, c.serve, c.cachePages)
 			if !c.want(err) {
 				t.Errorf("validateFlags(%+v) = %v", c, err)
 			}
@@ -320,7 +328,7 @@ func TestSaveLoadIndexFlow(t *testing.T) {
 	if err := built.engine.Save(dir); err != nil {
 		t.Fatal(err)
 	}
-	loaded, err := loadServer(dir, 2, 32, time.Millisecond)
+	loaded, err := loadServer(dir, engine.LoadOptions{Workers: 2}, 32, time.Millisecond)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -41,7 +41,7 @@ func TestQuantSaveLoadFlow(t *testing.T) {
 	if err := built.engine.Save(dir); err != nil {
 		t.Fatal(err)
 	}
-	loaded, err := loadServer(dir, 2, 0, time.Millisecond)
+	loaded, err := loadServer(dir, engine.LoadOptions{Workers: 2}, 0, time.Millisecond)
 	if err != nil {
 		t.Fatal(err)
 	}

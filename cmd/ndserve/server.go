@@ -231,6 +231,13 @@ type HealthResponse struct {
 	// Quantized reports whether the shards traverse the SQ8 compressed
 	// tier (from engine provenance, manifest-backed on the load path).
 	Quantized bool `json:"quantized"`
+	// Serve is the shard serving mode actually in use: "ram", "mmap",
+	// or "readat" (engine.ServeMode — a requested mmap that fell back
+	// to positioned reads reports "readat").
+	Serve string `json:"serve"`
+	// SnapshotFormat is the snapshot container format version backing
+	// the engine (the version a fresh build would save at).
+	SnapshotFormat int `json:"snapshot_format_version"`
 }
 
 // allowGet gates read-only endpoints to GET/HEAD, mirroring /search's
@@ -252,12 +259,16 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Status: "ok", Dataset: s.dataset, Algo: s.algo,
 		Vectors: s.engine.Len(), Shards: s.engine.Shards(),
 		Workers: s.engine.Workers(), Dim: s.dim,
-		Quantized: s.engine.Meta().Quantized,
+		Quantized:      s.engine.Meta().Quantized,
+		Serve:          s.engine.ServeMode(),
+		SnapshotFormat: s.engine.FormatVersion(),
 	})
 }
 
 // StatsResponse is the /stats payload: cumulative engine counters,
-// per-shard task counts, and (when enabled) coalescer counters.
+// per-shard task counts, and (when enabled) coalescer counters. On the
+// paged serving path, Pages carries the software page counters summed
+// across the shards.
 type StatsResponse struct {
 	Batches            int64           `json:"batches"`
 	Queries            int64           `json:"queries"`
@@ -266,7 +277,21 @@ type StatsResponse struct {
 	BusyUS             float64         `json:"busy_us"`
 	MeanQueryLatencyUS float64         `json:"mean_query_latency_us"`
 	MaxBatchLatencyUS  float64         `json:"max_batch_latency_us"`
+	Serve              string          `json:"serve"`
+	Pages              *PageStats      `json:"pages,omitempty"`
 	Coalescer          *CoalescerStats `json:"coalescer,omitempty"`
+}
+
+// PageStats is the paged-serving section of /stats: engine-wide sums of
+// the per-shard software page counters (engine.PageStats).
+type PageStats struct {
+	Touches       uint64 `json:"touches"`
+	Faults        uint64 `json:"faults"`
+	IOErrors      uint64 `json:"io_errors"`
+	ResidentPages int    `json:"resident_pages"`
+	CachePages    int    `json:"cache_pages"`
+	PageSizeBytes int    `json:"page_size_bytes"`
+	TotalPages    int64  `json:"total_pages"`
 }
 
 // CoalescerStats is the admission-layer section of /stats.
@@ -294,6 +319,18 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		BusyUS:             float64(st.Busy) / float64(time.Microsecond),
 		MeanQueryLatencyUS: float64(st.MeanQueryLatency()) / float64(time.Microsecond),
 		MaxBatchLatencyUS:  float64(st.MaxBatchLatency) / float64(time.Microsecond),
+		Serve:              s.engine.ServeMode(),
+	}
+	if ps, ok := s.engine.PageStats(); ok {
+		resp.Pages = &PageStats{
+			Touches:       ps.Touches,
+			Faults:        ps.Faults,
+			IOErrors:      ps.IOErrors,
+			ResidentPages: ps.ResidentPages,
+			CachePages:    ps.CachePages,
+			PageSizeBytes: ps.PageSize,
+			TotalPages:    ps.TotalPages,
+		}
 	}
 	if s.coalescer != nil {
 		cs := s.coalescer.Stats()

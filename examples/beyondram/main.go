@@ -1,0 +1,321 @@
+// Beyondram demonstrates beyond-RAM serving: an HNSW corpus saved as a
+// page-aligned version-3 snapshot and traversed out of the file through
+// a page cache budgeted at a fraction of the image (>= 4x smaller),
+// byte-identical to the resident index. It reports the software
+// page-touch counters alongside the ssdsim cost model's predictions for
+// the same traversals — the software NodeStore's page touches are the
+// host-side analogue of the device model's page senses (Fig. 14's
+// page-access-ratio numerator), so the two are cross-checked here.
+//
+// Its JSON output (stdout) is the source of BENCH_mmap.json at the repo
+// root; the human-readable summary goes to stderr.
+//
+// Usage:
+//
+//	go run ./examples/beyondram [-n 20000] [-queries 128] [-seed 1] [-passes 3] [-budget-div 8]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"ndsearch/internal/ann"
+	"ndsearch/internal/core"
+	"ndsearch/internal/dataset"
+	"ndsearch/internal/hnsw"
+	"ndsearch/internal/nand"
+	"ndsearch/internal/searssd"
+	"ndsearch/internal/snapshot"
+	"ndsearch/internal/trace"
+	"ndsearch/internal/vec"
+)
+
+// ModeResult is one serving mode's measurements.
+type ModeResult struct {
+	// ResidentBytes is what the mode keeps in memory for traversal: the
+	// full float32 matrix when resident, the pinned navigation data plus
+	// the page-cache budget when paged.
+	ResidentBytes int64   `json:"resident_bytes"`
+	RecallAt10    float64 `json:"recall_at_10"`
+	QPS           float64 `json:"qps"`
+	// TouchesPerQuery / FaultsPerQuery are the software page counters,
+	// zero for the resident mode.
+	TouchesPerQuery float64 `json:"touches_per_query,omitempty"`
+	FaultsPerQuery  float64 `json:"faults_per_query,omitempty"`
+}
+
+// Layout describes the snapshot's page-aligned block section.
+type Layout struct {
+	PageSize     int   `json:"page_size"`
+	NodeLen      int   `json:"node_len"`
+	NodesPerPage int   `json:"nodes_per_page"`
+	TotalPages   int64 `json:"total_pages"`
+	CachePages   int   `json:"cache_pages"`
+	// CorpusOverBudget is TotalPages/CachePages — the beyond-RAM factor.
+	CorpusOverBudget float64 `json:"corpus_over_budget"`
+}
+
+// CrossCheck relates the software page-touch counters to the ssdsim
+// cost model's predictions over the same traced traversals.
+type CrossCheck struct {
+	// TraceLenPerQuery is computed vertices per query (the Fig. 14
+	// denominator); each computed vertex costs the software store one
+	// record touch for its distance.
+	TraceLenPerQuery float64 `json:"trace_len_per_query"`
+	// ModelPageReadsPerQuery is the device model's page senses per query
+	// (speculative included); ModelBaseReadsPerQuery excludes
+	// speculation.
+	ModelPageReadsPerQuery float64 `json:"model_page_reads_per_query"`
+	ModelBaseReadsPerQuery float64 `json:"model_base_reads_per_query"`
+	// PageAccessRatio is the model's Fig. 14 metric: base page senses /
+	// trace length. Below 1 because the layout packs co-visited nodes
+	// into shared pages.
+	PageAccessRatio float64 `json:"page_access_ratio"`
+	// SoftwareTouchRatio is software touches / trace length. Above 1
+	// because traversal touches a record once for its distance and again
+	// when its adjacency is expanded.
+	SoftwareTouchRatio float64 `json:"software_touch_ratio"`
+	// PageSenseCostNS is the model's per-sense cost (tR + expected ECC);
+	// PredictedSenseUSPerQuery prices the model's base senses with it.
+	PageSenseCostNS          float64 `json:"page_sense_cost_ns"`
+	PredictedSenseUSPerQuery float64 `json:"predicted_sense_us_per_query"`
+}
+
+// Result is one dataset profile's full comparison row.
+type Result struct {
+	Dataset    string     `json:"dataset"`
+	Algo       string     `json:"algo"`
+	N          int        `json:"n"`
+	Dim        int        `json:"dim"`
+	Metric     string     `json:"metric"`
+	Backend    string     `json:"backend"`
+	Layout     Layout     `json:"layout"`
+	RAM        ModeResult `json:"ram"`
+	Mmap       ModeResult `json:"mmap"`
+	CrossCheck CrossCheck `json:"crosscheck"`
+}
+
+// Output is the full report, shaped like BENCH_quant.json.
+type Output struct {
+	Generated string            `json:"generated"`
+	Commands  []string          `json:"commands"`
+	Host      map[string]string `json:"host"`
+	Notes     string            `json:"notes"`
+	Results   []Result          `json:"results"`
+}
+
+func main() {
+	n := flag.Int("n", 20000, "corpus size per dataset")
+	queries := flag.Int("queries", 128, "query count")
+	seed := flag.Int64("seed", 1, "generation/build seed")
+	passes := flag.Int("passes", 3, "timed passes over the query set")
+	budgetDiv := flag.Int("budget-div", 8, "page-cache budget = total pages / budget-div (>= 4)")
+	flag.Parse()
+	if *budgetDiv < 4 {
+		log.Fatal("beyondram: -budget-div must be >= 4 (the example's premise is a corpus >= 4x the cache budget)")
+	}
+
+	out := Output{
+		Generated: time.Now().Format("2006-01-02"),
+		Commands:  []string{"go run ./examples/beyondram"},
+		Host: map[string]string{
+			"go":     runtime.Version(),
+			"goos":   runtime.GOOS,
+			"goarch": runtime.GOARCH,
+		},
+		Notes: "Beyond-RAM serving over the page-aligned v3 snapshot: the paged store answers " +
+			"byte-identically to the resident index (verified per query before timing) while " +
+			"holding only cache_pages pages resident; corpus_over_budget is the beyond-RAM " +
+			"factor. The crosscheck traces the same queries through the ssdsim device model: " +
+			"software page touches and device page senses share the trace-length denominator, " +
+			"the device lands below 1 sense/vertex via in-page MAC grouping, the software " +
+			"store above 1 touch/vertex (distance + adjacency touches per record).",
+	}
+	for _, profName := range []string{"sift-1b", "glove-100"} {
+		r, err := runProfile(profName, *n, *queries, *seed, *passes, *budgetDiv)
+		if err != nil {
+			log.Fatalf("beyondram: %s: %v", profName, err)
+		}
+		out.Results = append(out.Results, r)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func runProfile(profName string, n, queries int, seed int64, passes, budgetDiv int) (Result, error) {
+	prof, err := dataset.ProfileByName(profName)
+	if err != nil {
+		return Result{}, err
+	}
+	d, err := dataset.Generate(prof, dataset.GenConfig{N: n, Queries: queries, Seed: seed})
+	if err != nil {
+		return Result{}, err
+	}
+	idx, err := hnsw.Build(d.Vectors, hnsw.Config{
+		M: 12, EfConstruction: 100, EfSearch: 64, Metric: prof.Metric, Seed: seed,
+	})
+	if err != nil {
+		return Result{}, err
+	}
+
+	// Save the page-aligned v3 snapshot and reopen it paged under a
+	// cache budget a budget-div fraction of the image.
+	dir, err := os.MkdirTemp("", "beyondram")
+	if err != nil {
+		return Result{}, err
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "corpus.ndss")
+	if _, err := snapshot.SaveFile(path, idx, prof.Elem); err != nil {
+		return Result{}, err
+	}
+	probe, err := snapshot.OpenPagedFile(path, snapshot.PagedOptions{})
+	if err != nil {
+		return Result{}, err
+	}
+	total := probe.Stats().TotalPages
+	probe.Close()
+	budget := int(total) / budgetDiv
+	if budget < 1 {
+		budget = 1
+	}
+	paged, err := snapshot.OpenPagedFile(path, snapshot.PagedOptions{CachePages: budget})
+	if err != nil {
+		return Result{}, err
+	}
+	defer paged.Close()
+	st := paged.Stats()
+	factor := float64(st.TotalPages) / float64(st.CachePages)
+	if factor < 4 {
+		return Result{}, fmt.Errorf("corpus is only %.1fx the cache budget; need >= 4x", factor)
+	}
+
+	const k = 10
+	truth := make([][]ann.Neighbor, len(d.Queries))
+	for i, q := range d.Queries {
+		truth[i] = ann.BruteForce(prof.Metric, d.Vectors, q, k)
+	}
+
+	// Byte identity: the paged traversal must reproduce the resident
+	// results bit for bit before any throughput claim means anything.
+	for qi, q := range d.Queries {
+		want, got := idx.Search(q, k), paged.Search(q, k)
+		if len(want) != len(got) {
+			return Result{}, fmt.Errorf("query %d: paged returned %d results, resident %d", qi, len(got), len(want))
+		}
+		for i := range want {
+			if want[i].ID != got[i].ID || math.Float32bits(want[i].Dist) != math.Float32bits(got[i].Dist) {
+				return Result{}, fmt.Errorf("query %d result %d: resident %+v, paged %+v", qi, i, want[i], got[i])
+			}
+		}
+	}
+
+	ram := measure(idx, d.Queries, truth, k, passes)
+	ram.ResidentBytes = idx.Matrix().Bytes()
+	before := paged.Stats()
+	mm := measure(paged, d.Queries, truth, k, passes)
+	after := paged.Stats()
+	searches := float64(passes * len(d.Queries))
+	mm.TouchesPerQuery = float64(after.Touches-before.Touches) / searches
+	mm.FaultsPerQuery = float64(after.Faults-before.Faults) / searches
+	mm.ResidentBytes = int64(after.CachePages) * int64(after.PageSize)
+
+	// The ssdsim cross-check: trace the same queries on the resident
+	// index and run them through the device model, whose page senses are
+	// the hardware analogue of the software page touches.
+	batch := &trace.Batch{Dataset: prof.Name, Algo: "hnsw"}
+	for qi, q := range d.Queries {
+		_, tr := idx.SearchTraced(q, k)
+		tr.QueryID = qi
+		batch.Queries = append(batch.Queries, tr)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Params.Geometry = nand.ScaledGeometry()
+	sys, err := core.NewSystemFromIndex(idx, prof, cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	simRes, err := sys.SimulateBatch(batch)
+	if err != nil {
+		return Result{}, err
+	}
+	nq := float64(len(d.Queries))
+	senseNS := float64(searssd.DefaultParams().PageSenseCost().Nanoseconds())
+	cross := CrossCheck{
+		TraceLenPerQuery:         float64(simRes.TraceLength) / nq,
+		ModelPageReadsPerQuery:   float64(simRes.PageReads) / nq,
+		ModelBaseReadsPerQuery:   float64(simRes.BasePageReads) / nq,
+		PageAccessRatio:          simRes.PageAccessRatio,
+		SoftwareTouchRatio:       mm.TouchesPerQuery * nq / float64(simRes.TraceLength),
+		PageSenseCostNS:          senseNS,
+		PredictedSenseUSPerQuery: float64(simRes.BasePageReads) / nq * senseNS / 1e3,
+	}
+
+	res := Result{
+		Dataset: prof.Name, Algo: "hnsw", N: n, Dim: prof.Dim, Metric: prof.Metric.String(),
+		Backend: paged.Backend(),
+		Layout: Layout{
+			PageSize:     after.PageSize,
+			NodeLen:      paged.Store().NodeLen(),
+			NodesPerPage: paged.Store().NodesPerPage(),
+			TotalPages:   after.TotalPages, CachePages: after.CachePages,
+			CorpusOverBudget: factor,
+		},
+		RAM: ram, Mmap: mm, CrossCheck: cross,
+	}
+
+	fmt.Fprintf(os.Stderr, "%s: corpus %d pages, cache budget %d pages (%.1fx beyond RAM), backend %s\n",
+		prof.Name, after.TotalPages, after.CachePages, factor, paged.Backend())
+	fmt.Fprintf(os.Stderr, "%s: resident bytes: ram %d, paged %d (%.1fx smaller)\n",
+		prof.Name, ram.ResidentBytes, mm.ResidentBytes, float64(ram.ResidentBytes)/float64(mm.ResidentBytes))
+	fmt.Fprintf(os.Stderr, "%s: qps: ram %.0f, paged %.0f; recall@10 %.4f (byte-identical)\n",
+		prof.Name, ram.QPS, mm.QPS, mm.RecallAt10)
+	fmt.Fprintf(os.Stderr, "%s: page touches/query: software %.1f (%.2fx trace length %.1f); "+
+		"ssdsim senses/query %.1f (ratio %.2f), %.1f us predicted sense time\n",
+		prof.Name, mm.TouchesPerQuery, cross.SoftwareTouchRatio, cross.TraceLenPerQuery,
+		cross.ModelBaseReadsPerQuery, cross.PageAccessRatio, cross.PredictedSenseUSPerQuery)
+	return res, nil
+}
+
+// searcher is the common Search surface of the resident and paged index.
+type searcher interface {
+	Search(q vec.Vector, k int) []ann.Neighbor
+}
+
+func measure(idx searcher, qs []vec.Vector, truth [][]ann.Neighbor, k, passes int) ModeResult {
+	var hits, total int
+	for i, q := range qs {
+		got := idx.Search(q, k)
+		want := map[uint32]bool{}
+		for _, nb := range truth[i] {
+			want[nb.ID] = true
+		}
+		for _, nb := range got {
+			if want[nb.ID] {
+				hits++
+			}
+		}
+		total += len(truth[i])
+	}
+	start := time.Now()
+	for p := 0; p < passes; p++ {
+		for _, q := range qs {
+			idx.Search(q, k)
+		}
+	}
+	elapsed := time.Since(start)
+	return ModeResult{
+		RecallAt10: float64(hits) / float64(total),
+		QPS:        float64(passes*len(qs)) / elapsed.Seconds(),
+	}
+}

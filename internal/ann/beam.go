@@ -1,0 +1,44 @@
+package ann
+
+import (
+	"ndsearch/internal/trace"
+	"ndsearch/internal/vec"
+)
+
+// BeamSearch is the ef-bounded best-first graph traversal every family
+// refinement stage runs (the paper's candidate-list/result-list loop,
+// §II-A), expressed over the NodeStore boundary: distances and
+// adjacency both come from st, so the same loop serves in-RAM slices
+// and paged snapshot blocks byte-identically. start must carry its
+// distance (st.Dist of the entry point); ef bounds the result list.
+// When tr is non-nil every vertex expansion appends a trace iteration
+// listing the not-yet-visited neighbors whose distances were computed.
+func BeamSearch(st NodeStore, q vec.PreparedQuery, start Neighbor, ef int, tr *trace.Query) []Neighbor {
+	visited := map[uint32]bool{start.ID: true}
+	f := NewFrontier(ef)
+	f.Push(start)
+	var scratch []uint32
+	for {
+		c, ok := f.PopNearest()
+		if !ok {
+			break
+		}
+		if worst, full := f.WorstDist(); full && c.Dist > worst {
+			break
+		}
+		var computed []uint32
+		scratch = st.Neighbors(c.ID, scratch)
+		for _, n := range scratch {
+			if visited[n] {
+				continue
+			}
+			visited[n] = true
+			computed = append(computed, n)
+			f.Push(Neighbor{ID: n, Dist: st.Dist(q, n)})
+		}
+		if tr != nil && len(computed) > 0 {
+			tr.Iters = append(tr.Iters, trace.Iter{Entry: c.ID, Neighbors: computed})
+		}
+	}
+	return f.Results()
+}

@@ -1,0 +1,181 @@
+package ann
+
+import (
+	"ndsearch/internal/vec"
+)
+
+// NodeStore is the traversal/storage boundary: everything a graph
+// search needs from one node — its distance to the query (in the
+// traversal representation and in exact full precision), its adjacency,
+// and its per-dimension components (togg's guided stage) — keyed by
+// node ID, with no commitment to where the bytes live. The in-RAM
+// implementation (KernelStore) reads the vec.Matrix/vec.SQ8 slices the
+// traversals used to touch directly; the paged implementation
+// (snapshot.OpenPaged) decodes node records out of page-aligned blocks
+// on demand. Both are bit-identical per the kernel layer's shared
+// accumulation contract, which is what lets every serving mode return
+// byte-identical results.
+//
+// A NodeStore must be safe for concurrent searches.
+type NodeStore interface {
+	// Len returns the number of stored nodes.
+	Len() int
+	// Dim returns the vector dimensionality.
+	Dim() int
+	// Quantized reports whether traversal distances evaluate in SQ8
+	// code space (Dist ranks candidates; DistExact reranks the head).
+	Quantized() bool
+	// Prepare preprocesses a query for Dist: quantizing it under the
+	// corpus scales when the store is quantized.
+	Prepare(query vec.Vector) vec.PreparedQuery
+	// PrepareExact preprocesses a query for DistExact (always full
+	// precision).
+	PrepareExact(query vec.Vector) vec.PreparedQuery
+	// Dist returns the traversal distance from a Prepare'd query to
+	// node v.
+	Dist(q vec.PreparedQuery, v uint32) float32
+	// DistExact returns the exact metric distance from a PrepareExact'd
+	// query to node v.
+	DistExact(q vec.PreparedQuery, v uint32) float32
+	// Neighbors returns node v's adjacency list. buf is caller scratch:
+	// implementations that must materialize the list (paged stores)
+	// append into buf[:0] and return it; in-RAM stores may ignore buf
+	// and return a view they own. Either way the result is only valid
+	// until the next Neighbors call with the same buf, and callers must
+	// not mutate it.
+	Neighbors(v uint32, buf []uint32) []uint32
+	// Components appends node v's value at each listed dimension to
+	// buf[:0], in the traversal representation: widened SQ8 codes when
+	// quantized (sign-exact — code values and their differences fit
+	// float32 exactly), float32 row components otherwise.
+	Components(v uint32, dims []int, buf []float32) []float32
+}
+
+// KernelStore is the in-RAM NodeStore: distances through the existing
+// kernel pair (full-precision kern, traversal tkern — the same kernel
+// when not quantized) and adjacency from a resident GraphView. It is
+// the trivial implementation that keeps every existing result
+// byte-identical: each method is exactly the slice access the
+// traversals performed before the NodeStore boundary existed.
+type KernelStore struct {
+	kern  *vec.Kernel
+	tkern *vec.Kernel
+	g     GraphView
+}
+
+// NewKernelStore wraps a kernel pair and a base adjacency view. g may
+// be nil for stores used only for distance evaluation (construction
+// paths pass explicit per-layer graphs via WithGraph).
+func NewKernelStore(kern, tkern *vec.Kernel, g GraphView) *KernelStore {
+	return &KernelStore{kern: kern, tkern: tkern, g: g}
+}
+
+// Len returns the node count.
+func (s *KernelStore) Len() int {
+	if s.g != nil {
+		return s.g.Len()
+	}
+	return s.kern.Matrix().Rows()
+}
+
+// Dim returns the vector dimensionality.
+func (s *KernelStore) Dim() int { return s.kern.Matrix().Dim() }
+
+// Quantized reports whether traversal runs on the SQ8 tier.
+func (s *KernelStore) Quantized() bool { return s.tkern.Quantized() }
+
+// Prepare preprocesses a query for traversal distances.
+func (s *KernelStore) Prepare(query vec.Vector) vec.PreparedQuery { return s.tkern.Prepare(query) }
+
+// PrepareExact preprocesses a query for exact distances.
+func (s *KernelStore) PrepareExact(query vec.Vector) vec.PreparedQuery {
+	return s.kern.Prepare(query)
+}
+
+// Dist is the traversal-kernel distance to node v.
+func (s *KernelStore) Dist(q vec.PreparedQuery, v uint32) float32 {
+	return s.tkern.DistTo(q, int(v))
+}
+
+// DistExact is the full-precision distance to node v.
+func (s *KernelStore) DistExact(q vec.PreparedQuery, v uint32) float32 {
+	return s.kern.DistTo(q, int(v))
+}
+
+// Neighbors returns the resident adjacency view (buf is unused).
+func (s *KernelStore) Neighbors(v uint32, _ []uint32) []uint32 { return s.g.Neighbors(v) }
+
+// Components reads the traversal representation's components.
+func (s *KernelStore) Components(v uint32, dims []int, buf []float32) []float32 {
+	buf = buf[:0]
+	if sq := s.kern.Matrix().SQ8(); s.Quantized() && sq != nil {
+		row := sq.Row(int(v))
+		for _, d := range dims {
+			buf = append(buf, float32(row[d]))
+		}
+		return buf
+	}
+	row := s.kern.Matrix().Row(int(v))
+	for _, d := range dims {
+		buf = append(buf, row[d])
+	}
+	return buf
+}
+
+// graphOverride swaps a store's adjacency while keeping its distance
+// evaluation — how HNSW traverses pinned upper layers (resident
+// graphs) over whatever store serves the vectors.
+type graphOverride struct {
+	NodeStore
+	g GraphView
+}
+
+func (o graphOverride) Neighbors(v uint32, _ []uint32) []uint32 { return o.g.Neighbors(v) }
+
+// WithGraph returns a NodeStore whose adjacency comes from g while
+// distances still evaluate on s.
+func WithGraph(s NodeStore, g GraphView) NodeStore { return graphOverride{NodeStore: s, g: g} }
+
+// StoreGraph adapts a NodeStore's adjacency to the read-only GraphView
+// placement code consumes — the Graph() view paged indexes expose when
+// no resident base graph exists. Each call materializes the list, so
+// it is for inspection, not hot traversal.
+type StoreGraph struct {
+	S NodeStore
+}
+
+// Len returns the node count.
+func (g StoreGraph) Len() int { return g.S.Len() }
+
+// Neighbors returns node v's adjacency (freshly materialized).
+func (g StoreGraph) Neighbors(v uint32) []uint32 { return g.S.Neighbors(v, nil) }
+
+// Degree returns node v's out-degree.
+func (g StoreGraph) Degree(v uint32) int { return len(g.S.Neighbors(v, nil)) }
+
+// RerankExactStore is RerankExact evaluated through a NodeStore's exact
+// path — same clamping, same (distance, ID) sort, so quantized results
+// are byte-identical regardless of which store served the traversal.
+func RerankExactStore(store NodeStore, query vec.Vector, cands []Neighbor, width, k int) []Neighbor {
+	w := width
+	if w <= 0 || w > len(cands) {
+		w = len(cands)
+	}
+	if w < k {
+		w = min(k, len(cands))
+	}
+	head := make([]Neighbor, w)
+	copy(head, cands[:w])
+	q := store.PrepareExact(query)
+	for i := range head {
+		head[i].Dist = store.DistExact(q, head[i].ID)
+	}
+	sortNeighbors(head)
+	if k > len(head) {
+		k = len(head)
+	}
+	if k < 0 {
+		k = 0
+	}
+	return head[:k]
+}

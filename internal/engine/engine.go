@@ -22,6 +22,7 @@ import (
 
 	"ndsearch/internal/ann"
 	"ndsearch/internal/hnsw"
+	"ndsearch/internal/snapshot"
 	"ndsearch/internal/vamana"
 	"ndsearch/internal/vec"
 )
@@ -108,6 +109,19 @@ type Engine struct {
 	closeOnce sync.Once
 	// perShard counts executed tasks per shard (load-skew telemetry).
 	perShard []atomic.Int64
+
+	// serveMode is the shard serving mode ("" means ServeRAM): builds
+	// and plain loads decode shards fully resident; paged loads
+	// (LoadOptions.Serve) traverse node records through a bounded page
+	// cache over the snapshot files. paged holds the open per-shard
+	// handles on the paged path, for counters and for Close.
+	serveMode string
+	paged     []*snapshot.PagedIndex
+	// formatVersion is the snapshot container version backing the
+	// engine: the manifest's version on the load path, zero for
+	// in-process builds (FormatVersion reports the version Save would
+	// write there).
+	formatVersion int
 
 	mu    sync.Mutex
 	stats Stats
@@ -220,13 +234,20 @@ func (e *Engine) worker() {
 	}
 }
 
-// Close stops the worker pool and waits for the workers to exit. It is
-// idempotent. SearchBatch and Search must not be called after (or
-// concurrently with) Close.
+// Close stops the worker pool, waits for the workers to exit, and (on
+// the paged serving path) releases the per-shard mappings and file
+// handles. It is idempotent. SearchBatch and Search must not be called
+// after (or concurrently with) Close.
 func (e *Engine) Close() {
 	e.closeOnce.Do(func() {
 		close(e.tasks)
 		e.wg.Wait()
+		// Workers have drained, so no search can touch a paged store now.
+		for _, p := range e.paged {
+			if p != nil {
+				_ = p.Close()
+			}
+		}
 	})
 }
 
@@ -244,6 +265,51 @@ func (e *Engine) Workers() int { return e.workers }
 
 // Meta returns the provenance the engine was built or loaded with.
 func (e *Engine) Meta() Meta { return e.meta }
+
+// ServeMode reports how the shards serve node data: ServeRAM (fully
+// resident), or ServeMmap / ServeReadAt when the engine was loaded with
+// a paged LoadOptions.Serve. On the paged path this is the backend
+// actually in use — a requested mmap that fell back to positioned reads
+// (unsupported platform) reports ServeReadAt.
+func (e *Engine) ServeMode() string {
+	if e.serveMode == "" {
+		return ServeRAM
+	}
+	return e.serveMode
+}
+
+// FormatVersion reports the snapshot container format version backing
+// the engine: the manifest's recorded version when the engine was
+// loaded from a snapshot directory, and the version Save would write
+// (snapshot.FormatVersion) for an engine built in-process.
+func (e *Engine) FormatVersion() int {
+	if e.formatVersion == 0 {
+		return snapshot.FormatVersion
+	}
+	return e.formatVersion
+}
+
+// PageStats aggregates the software page counters across all paged
+// shards. ok is false when the engine serves from RAM (no paged
+// shards), in which case the stats are zero. Touches, Faults, IOErrors,
+// ResidentPages, CachePages, and TotalPages are sums over the shards;
+// PageSize is the (uniform) page quantum.
+func (e *Engine) PageStats() (agg snapshot.PagedStats, ok bool) {
+	if len(e.paged) == 0 {
+		return snapshot.PagedStats{}, false
+	}
+	for _, p := range e.paged {
+		st := p.Stats()
+		agg.Touches += st.Touches
+		agg.Faults += st.Faults
+		agg.IOErrors += st.IOErrors
+		agg.ResidentPages += st.ResidentPages
+		agg.CachePages += st.CachePages
+		agg.TotalPages += st.TotalPages
+		agg.PageSize = st.PageSize
+	}
+	return agg, true
+}
 
 // Search returns the merged approximate top-k neighbors of one query
 // (global IDs). It is a batch of one; use SearchBatch for throughput.

@@ -121,12 +121,67 @@ func (e *Engine) Save(dir string) error {
 	return nil
 }
 
+// Serving modes for LoadOptions.Serve (and Engine.ServeMode).
+const (
+	// ServeRAM decodes every shard fully resident (the default).
+	ServeRAM = "ram"
+	// ServeMmap serves shard node records from a read-only mapping of
+	// each snapshot file through a bounded page cache (beyond-RAM mode;
+	// falls back to ServeReadAt where mmap is unavailable).
+	ServeMmap = "mmap"
+	// ServeReadAt is the paged mode over positioned reads.
+	ServeReadAt = "readat"
+)
+
+// LoadOptions parameterises LoadWithOptions.
+type LoadOptions struct {
+	// Workers sizes the concurrent shard open and the search pool
+	// (< 1 means GOMAXPROCS).
+	Workers int
+	// Serve selects the shard serving mode: ServeRAM (or empty),
+	// ServeMmap, or ServeReadAt. The paged modes require version-3
+	// (page-aligned blocks) shard files; older files load only in RAM.
+	Serve string
+	// CachePages bounds each paged shard's resident page cache
+	// (0 = snapshot.DefaultCachePages). Ignored for ServeRAM.
+	CachePages int
+}
+
+// normalizeServe validates a serving-mode string, mapping "" to ServeRAM.
+func normalizeServe(mode string) (string, error) {
+	switch mode {
+	case "", ServeRAM:
+		return ServeRAM, nil
+	case ServeMmap, ServeReadAt:
+		return mode, nil
+	default:
+		return "", fmt.Errorf("engine: unknown serving mode %q (want %s, %s, or %s)",
+			mode, ServeRAM, ServeMmap, ServeReadAt)
+	}
+}
+
 // Load restores an engine from a directory written by Save: shard files
 // are checksum-verified, decoded concurrently (bounded by workers,
 // which also sizes the search pool; < 1 means GOMAXPROCS), and served
 // without invoking any index Build. The returned manifest carries the
-// provenance Save recorded.
+// provenance Save recorded. Shards are fully resident; use
+// LoadWithOptions for the paged (beyond-RAM) serving modes.
 func Load(dir string, workers int) (*Engine, *Manifest, error) {
+	return LoadWithOptions(dir, LoadOptions{Workers: workers})
+}
+
+// LoadWithOptions is Load with a serving-mode choice. With a paged mode
+// (ServeMmap, ServeReadAt), each shard's navigation sections are
+// decoded resident while node records (vectors + adjacency) stay in the
+// file, traversed through a bounded per-shard page cache; the engine
+// then serves corpora larger than memory, with software page-touch and
+// fault counters exposed by Engine.PageStats. Paged results are
+// byte-identical to RAM serving of the same directory.
+func LoadWithOptions(dir string, opts LoadOptions) (*Engine, *Manifest, error) {
+	mode, err := normalizeServe(opts.Serve)
+	if err != nil {
+		return nil, nil, err
+	}
 	blob, err := os.ReadFile(filepath.Join(dir, ManifestName))
 	if err != nil {
 		return nil, nil, fmt.Errorf("engine: load: %w", err)
@@ -138,11 +193,16 @@ func Load(dir string, workers int) (*Engine, *Manifest, error) {
 	if err := man.validate(); err != nil {
 		return nil, nil, err
 	}
+	workers := opts.Workers
 	if workers < 1 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	shards := make([]shard, man.Shards)
 	errs := make([]error, man.Shards)
+	var paged []*snapshot.PagedIndex
+	if mode != ServeRAM {
+		paged = make([]*snapshot.PagedIndex, man.Shards)
+	}
 	sem := make(chan struct{}, workers)
 	var wg sync.WaitGroup
 	for i := range man.Files {
@@ -151,17 +211,33 @@ func Load(dir string, workers int) (*Engine, *Manifest, error) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			idx, err := loadShard(dir, man, i)
+			if mode == ServeRAM {
+				idx, err := loadShard(dir, man, i)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				shards[i] = shard{index: idx, base: uint32(man.Bounds[i])}
+				return
+			}
+			pi, idx, err := openShardPaged(dir, man, i, mode, opts.CachePages)
 			if err != nil {
 				errs[i] = err
 				return
 			}
+			paged[i] = pi
 			shards[i] = shard{index: idx, base: uint32(man.Bounds[i])}
 		}(i)
 	}
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
+			// Release whatever paged shards did open before failing.
+			for _, p := range paged {
+				if p != nil {
+					_ = p.Close()
+				}
+			}
 			return nil, nil, err
 		}
 	}
@@ -170,7 +246,15 @@ func Load(dir string, workers int) (*Engine, *Manifest, error) {
 		Elem:      vec.ElemKind(man.ElemKind),
 		Quantized: man.Quantized, Rerank: man.Rerank,
 	}
-	return newEngine(shards, workers, man.Vectors, man.Dim, meta), man, nil
+	e := newEngine(shards, workers, man.Vectors, man.Dim, meta)
+	e.formatVersion = man.FormatVersion
+	if mode != ServeRAM {
+		// Report the backend actually serving: a requested mmap may have
+		// fallen back to positioned reads on platforms without mmap.
+		e.serveMode = paged[0].Backend()
+		e.paged = paged
+	}
+	return e, man, nil
 }
 
 // validate checks the manifest's internal consistency before any shard
@@ -249,4 +333,49 @@ func loadShard(dir string, man *Manifest, i int) (ann.Index, error) {
 		}
 	}
 	return ai, nil
+}
+
+// openShardPaged opens one shard file for paged serving and cross-checks
+// the manifest's claims against it. The whole-file CRC the RAM path
+// verifies is deliberately skipped here — reading the multi-gigabyte
+// block image up front is exactly what paged serving exists to avoid;
+// instead every resident navigation section is CRC-checked individually
+// and the blocks meta is self-checksummed (snapshot.OpenPagedFile), with
+// serve-time record damage handled defensively by the paged store.
+func openShardPaged(dir string, man *Manifest, i int, backend string, cachePages int) (*snapshot.PagedIndex, ann.Index, error) {
+	f := man.Files[i]
+	pi, err := snapshot.OpenPagedFile(filepath.Join(dir, f.Name), snapshot.PagedOptions{
+		Backend: backend, CachePages: cachePages,
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("engine: load shard %d (%s): %w", i, f.Name, err)
+	}
+	fail := func(err error) (*snapshot.PagedIndex, ann.Index, error) {
+		_ = pi.Close()
+		return nil, nil, err
+	}
+	ai, ok := pi.Index().(ann.Index)
+	if !ok {
+		return fail(fmt.Errorf("engine: load shard %d (%s): %T does not implement ann.Index", i, f.Name, pi.Index()))
+	}
+	if pi.Algo() != man.Algo {
+		return fail(fmt.Errorf("engine: load shard %d (%s): %w: file holds %s, manifest says %s",
+			i, f.Name, snapshot.ErrCorrupt, pi.Algo(), man.Algo))
+	}
+	if ai.Len() != f.Rows {
+		return fail(fmt.Errorf("engine: load shard %d (%s): %d rows, manifest says %d", i, f.Name, ai.Len(), f.Rows))
+	}
+	h := pi.Header()
+	if h.Dim != man.Dim {
+		return fail(fmt.Errorf("engine: load shard %d (%s): %w: file dim %d, manifest says %d",
+			i, f.Name, snapshot.ErrCorrupt, h.Dim, man.Dim))
+	}
+	// The blocks meta's quantized bit (paired with the sq8s section) is
+	// the in-file truth for the serving mode, as the sq8 section is on
+	// the RAM path.
+	if h.Quantized != man.Quantized {
+		return fail(fmt.Errorf("engine: load shard %d (%s): %w: file quantized=%v, manifest says %v",
+			i, f.Name, snapshot.ErrCorrupt, h.Quantized, man.Quantized))
+	}
+	return pi, ai, nil
 }

@@ -1,0 +1,58 @@
+package figures
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// The beyond-RAM suite path: a paged (mmap/readat) run writes its cache
+// entry under a mode-specific key — so it never collides with a RAM
+// run's entry — and produces a workload byte-identical to the RAM run:
+// same traced batch, same recall, so every figure is unchanged by the
+// serving mode.
+func TestSuiteServeModeKeyedCacheByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	ramSuite := NewSuite(cacheScale())
+	ramSuite.CacheDir = dir
+	ramW, err := ramSuite.Workload("sift-1b", "hnsw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []string{"mmap", "readat"} {
+		t.Run(mode, func(t *testing.T) {
+			scale := cacheScale()
+			scale.Serve = mode
+			s := NewSuite(scale)
+			s.CacheDir = dir
+			w, err := s.Workload("sift-1b", "hnsw")
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join(dir, "sift-1b-hnsw-n400-seed1-"+mode+".ndx")
+			if _, err := os.Stat(path); err != nil {
+				t.Fatalf("cache entry not written under the %q serve key: %v", mode, err)
+			}
+			if !reflect.DeepEqual(ramW.Batch, w.Batch) {
+				t.Fatalf("%s-served workload's traced batch differs from RAM serving", mode)
+			}
+			if math.Float64bits(ramW.Recall10) != math.Float64bits(w.Recall10) {
+				t.Fatalf("recall drifted under %s serving: %v vs %v", mode, w.Recall10, ramW.Recall10)
+			}
+		})
+	}
+}
+
+// Paged serving needs a snapshot file to page from; without a cache
+// directory the suite reports a clear configuration error instead of
+// silently serving from RAM.
+func TestSuiteServeModeRequiresCacheDir(t *testing.T) {
+	scale := cacheScale()
+	scale.Serve = "mmap"
+	s := NewSuite(scale)
+	if _, err := s.Workload("sift-1b", "hnsw"); err == nil {
+		t.Fatal("paged serving without a cache directory succeeded")
+	}
+}

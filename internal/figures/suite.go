@@ -42,6 +42,23 @@ type Scale struct {
 	// mode. Cached snapshots are keyed separately per mode.
 	Quantized bool
 	Rerank    int
+	// Serve selects how the graph indexes are served: "" or "ram"
+	// (fully resident, the default), "mmap", or "readat" (beyond-RAM
+	// paged serving over the cached snapshot files — requires a suite
+	// CacheDir, since the paged store traverses the file in place).
+	// Results are byte-identical across modes, so every figure is
+	// unchanged; cache entries are keyed separately per serving mode so
+	// paged runs, which hold their snapshot files open, never collide
+	// with RAM runs in the disk cache.
+	Serve string
+}
+
+// pagedBackend returns the paged serving backend, or "" for RAM modes.
+func (s Scale) pagedBackend() string {
+	if s.Serve == "" || s.Serve == "ram" {
+		return ""
+	}
+	return s.Serve
 }
 
 // quantOpts is the slice of Scale the index constructors need.
@@ -202,15 +219,29 @@ func (s *Suite) WorkloadSized(profName, algo string, queries int) (*Workload, er
 // (temp + rename), so concurrent suite processes sharing a cache
 // directory race benignly.
 func (s *Suite) buildOrLoadIndex(profName, algo string, d *dataset.Dataset) (ann.Index, int, error) {
+	backend := s.Scale.pagedBackend()
 	if s.CacheDir == "" {
+		if backend != "" {
+			return nil, 0, fmt.Errorf("figures: serving mode %q pages indexes out of snapshot files; it requires a cache directory", s.Scale.Serve)
+		}
 		return buildIndex(algo, d, s.Scale.Seed, s.Scale.quant())
 	}
+	// Mode-specific key suffixes keep every serving mode's entries apart:
+	// quantized beside full-precision (the "-sq8" precedent), and paged
+	// runs — which keep their snapshot files open/mmapped for the whole
+	// process — beside RAM runs that may rewrite stale entries.
 	mode := ""
 	if s.Scale.Quantized {
-		mode = "-sq8" // quantized entries live beside full-precision ones
+		mode = "-sq8"
+	}
+	if backend != "" {
+		mode += "-" + backend
 	}
 	path := filepath.Join(s.CacheDir,
 		fmt.Sprintf("%s-%s-n%d-seed%d%s.ndx", profName, algo, s.Scale.N, s.Scale.Seed, mode))
+	if backend != "" {
+		return s.loadOrBuildPaged(path, algo, d, backend)
+	}
 	if cached, err := snapshot.LoadFile(path); err == nil {
 		if idx, ok := cached.(ann.Index); ok && idx.Len() == len(d.Vectors) &&
 			s.cachedIndexCurrent(algo, idx, d.Profile.Metric) {
@@ -225,6 +256,37 @@ func (s *Suite) buildOrLoadIndex(profName, algo string, d *dataset.Dataset) (ann
 	// (read-only or full cache directory) must not fail a figure run
 	// that already holds a good index.
 	_, _ = snapshot.SaveFile(path, idx, vec.F32)
+	return idx, maxDeg, nil
+}
+
+// loadOrBuildPaged serves a suite workload's index out of its cached
+// snapshot file through the paged NodeStore (mmap or readat backend):
+// the beyond-RAM counterpart of the resident cache path, byte-identical
+// by the paged store's contract. A missing or stale entry is rebuilt,
+// saved, and reopened paged; if the save or reopen fails (read-only
+// cache directory), the freshly built resident index serves instead —
+// same results, just not paged. Paged handles stay open for the process
+// lifetime, as the suite serves from them until exit.
+func (s *Suite) loadOrBuildPaged(path, algo string, d *dataset.Dataset, backend string) (ann.Index, int, error) {
+	if pi, err := snapshot.OpenPagedFile(path, snapshot.PagedOptions{Backend: backend}); err == nil {
+		if idx, ok := pi.Index().(ann.Index); ok && idx.Len() == len(d.Vectors) &&
+			s.cachedIndexCurrent(algo, idx, d.Profile.Metric) {
+			return idx, workloadMaxDegree, nil
+		}
+		_ = pi.Close()
+	}
+	idx, maxDeg, err := buildIndex(algo, d, s.Scale.Seed, s.Scale.quant())
+	if err != nil {
+		return nil, 0, err
+	}
+	if _, err := snapshot.SaveFile(path, idx, vec.F32); err == nil {
+		if pi, err := snapshot.OpenPagedFile(path, snapshot.PagedOptions{Backend: backend}); err == nil {
+			if pidx, ok := pi.Index().(ann.Index); ok {
+				return pidx, maxDeg, nil
+			}
+			_ = pi.Close()
+		}
+	}
 	return idx, maxDeg, nil
 }
 

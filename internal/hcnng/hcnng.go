@@ -75,8 +75,13 @@ type Index struct {
 	// quantized mode, otherwise kern itself. Construction and exact
 	// rerank always use kern.
 	tkern *vec.Kernel
+	// store is the traversal/storage boundary all search-time node
+	// access goes through; paged indexes (FromStore) traverse snapshot
+	// blocks and leave mat/kern/tkern/g nil.
+	store ann.NodeStore
 	g     *graph.Graph
 	entry uint32
+	n     int
 }
 
 var _ ann.Index = (*Index)(nil)
@@ -112,7 +117,35 @@ func Build(data []vec.Vector, cfg Config) (*Index, error) {
 		}
 	}
 	idx.entry = best
+	idx.initStore()
 	return idx, nil
+}
+
+// initStore wires the in-RAM NodeStore once graph and kernels exist.
+func (x *Index) initStore() {
+	x.n = x.mat.Rows()
+	x.store = ann.NewKernelStore(x.kern, x.tkern, x.g)
+}
+
+// FromStore assembles a search-only index over an external NodeStore —
+// the paged (beyond-RAM) serving path, where adjacency and vectors
+// live in snapshot blocks and only the entry point is resident. The
+// index cannot be re-saved (BaseGraph is nil) and serves searches only.
+func FromStore(cfg Config, store ann.NodeStore, entry uint32) (*Index, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := store.Len()
+	if n == 0 {
+		return nil, fmt.Errorf("hcnng: empty store")
+	}
+	if cfg.Quantized != store.Quantized() {
+		return nil, fmt.Errorf("hcnng: config quantized=%v but store quantized=%v", cfg.Quantized, store.Quantized())
+	}
+	if int(entry) >= n {
+		return nil, fmt.Errorf("hcnng: entry %d out of range %d", entry, n)
+	}
+	return &Index{cfg: cfg, store: store, entry: entry, n: n}, nil
 }
 
 // FromParts reassembles a built index from its serialized parts — the
@@ -135,6 +168,7 @@ func FromParts(cfg Config, mat *vec.Matrix, g *graph.Graph, entry uint32) (*Inde
 	}
 	idx := &Index{cfg: cfg, mat: mat, kern: vec.NewKernel(cfg.Metric, mat), g: g, entry: entry}
 	idx.initTraversal()
+	idx.initStore()
 	return idx, nil
 }
 
@@ -261,34 +295,11 @@ func (x *Index) searchInternal(query vec.Vector, k int, tr *trace.Query) ([]ann.
 	if l < k {
 		l = k
 	}
-	q := x.tkern.Prepare(query)
-	visited := map[uint32]bool{x.entry: true}
-	f := ann.NewFrontier(l)
-	f.Push(ann.Neighbor{ID: x.entry, Dist: x.tkern.DistTo(q, int(x.entry))})
-	for {
-		c, ok := f.PopNearest()
-		if !ok {
-			break
-		}
-		if worst, full := f.WorstDist(); full && c.Dist > worst {
-			break
-		}
-		var computed []uint32
-		for _, n := range x.g.Neighbors(c.ID) {
-			if visited[n] {
-				continue
-			}
-			visited[n] = true
-			computed = append(computed, n)
-			f.Push(ann.Neighbor{ID: n, Dist: x.tkern.DistTo(q, int(n))})
-		}
-		if tr != nil && len(computed) > 0 {
-			tr.Iters = append(tr.Iters, trace.Iter{Entry: c.ID, Neighbors: computed})
-		}
-	}
-	res := f.Results()
+	st := x.store
+	q := st.Prepare(query)
+	res := ann.BeamSearch(st, q, ann.Neighbor{ID: x.entry, Dist: st.Dist(q, x.entry)}, l, tr)
 	if x.cfg.Quantized {
-		return ann.RerankExact(x.kern, query, res, x.cfg.Rerank, k), nil
+		return ann.RerankExactStore(st, query, res, x.cfg.Rerank, k), nil
 	}
 	if k < len(res) {
 		res = res[:k]
@@ -296,14 +307,25 @@ func (x *Index) searchInternal(query vec.Vector, k int, tr *trace.Query) ([]ann.
 	return res, nil
 }
 
-// Graph returns the proximity graph.
-func (x *Index) Graph() ann.GraphView { return x.g }
+// Graph returns the proximity graph (a store-backed view when the
+// adjacency lives in snapshot blocks).
+func (x *Index) Graph() ann.GraphView {
+	if x.g != nil {
+		return x.g
+	}
+	return ann.StoreGraph{S: x.store}
+}
 
-// BaseGraph returns the mutable graph for placement experiments.
+// BaseGraph returns the mutable graph for placement experiments and
+// snapshot saving; nil for a paged (FromStore) index.
 func (x *Index) BaseGraph() *graph.Graph { return x.g }
 
+// Store returns the traversal/storage boundary the index searches
+// through.
+func (x *Index) Store() ann.NodeStore { return x.store }
+
 // Len returns the number of indexed vectors.
-func (x *Index) Len() int { return x.mat.Rows() }
+func (x *Index) Len() int { return x.n }
 
 // Entry returns the search entry point.
 func (x *Index) Entry() uint32 { return x.entry }
@@ -312,7 +334,8 @@ func (x *Index) Entry() uint32 { return x.entry }
 // index.
 func (x *Index) Params() Config { return x.cfg }
 
-// Matrix returns the corpus store. Callers must not mutate it.
+// Matrix returns the corpus store; nil for a paged (FromStore) index.
+// Callers must not mutate it.
 func (x *Index) Matrix() *vec.Matrix { return x.mat }
 
 // SetBeamWidth implements ann.Tunable.

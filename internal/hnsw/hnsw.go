@@ -72,11 +72,17 @@ type Index struct {
 	// tkern is the traversal kernel: the SQ8 code-space kernel in
 	// quantized mode, otherwise kern itself. Construction and exact
 	// rerank always use kern.
-	tkern    *vec.Kernel
-	layers   []*graph.Graph // layers[0] is the base layer
+	tkern *vec.Kernel
+	// store is the traversal/storage boundary all search-time node
+	// access goes through. In-RAM indexes wrap (kern, tkern, base
+	// layer); paged indexes (FromStore) traverse snapshot blocks and
+	// leave mat/kern/tkern nil.
+	store    ann.NodeStore
+	layers   []*graph.Graph // layers[0] is the base layer (nil when paged)
 	levels   []int          // highest layer of each vertex
 	entry    uint32
 	maxLevel int
+	n        int
 }
 
 var _ ann.Index = (*Index)(nil)
@@ -97,6 +103,7 @@ func Build(data []vec.Vector, cfg Config) (*Index, error) {
 		kern:     vec.NewKernel(cfg.Metric, mat),
 		levels:   make([]int, len(data)),
 		maxLevel: -1,
+		n:        len(data),
 	}
 	idx.initTraversal()
 	rng := rand.New(rand.NewSource(cfg.Seed))
@@ -105,6 +112,7 @@ func Build(data []vec.Vector, cfg Config) (*Index, error) {
 		level := int(-math.Log(rng.Float64()+1e-18) * mL)
 		idx.insert(uint32(i), level)
 	}
+	idx.store = ann.NewKernelStore(idx.kern, idx.tkern, idx.layers[0])
 	return idx, nil
 }
 
@@ -142,9 +150,51 @@ func FromParts(cfg Config, mat *vec.Matrix, layers []*graph.Graph, levels []int,
 		levels:   levels,
 		entry:    entry,
 		maxLevel: maxLevel,
+		n:        n,
 	}
 	idx.initTraversal()
+	idx.store = ann.NewKernelStore(idx.kern, idx.tkern, idx.layers[0])
 	return idx, nil
+}
+
+// FromStore assembles a search-only index over an external NodeStore —
+// the paged (beyond-RAM) serving path, where the base layer's
+// adjacency and vectors live in snapshot blocks and only the
+// navigation structure (upper layers, levels, entry) is resident.
+// upper holds layers 1..maxLevel; the base layer is the store's
+// adjacency. The index cannot be re-saved (BaseGraph is nil) and
+// serves searches only.
+func FromStore(cfg Config, store ann.NodeStore, upper []*graph.Graph, levels []int, entry uint32, maxLevel int) (*Index, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := store.Len()
+	if n == 0 {
+		return nil, fmt.Errorf("hnsw: empty store")
+	}
+	if cfg.Quantized != store.Quantized() {
+		return nil, fmt.Errorf("hnsw: config quantized=%v but store quantized=%v", cfg.Quantized, store.Quantized())
+	}
+	if len(levels) != n {
+		return nil, fmt.Errorf("hnsw: %d levels for %d vectors", len(levels), n)
+	}
+	if maxLevel < 0 || len(upper) != maxLevel {
+		return nil, fmt.Errorf("hnsw: %d upper layers with max level %d", len(upper), maxLevel)
+	}
+	layers := make([]*graph.Graph, maxLevel+1) // layers[0] stays nil: base adjacency is the store's
+	for l, g := range upper {
+		if g.Len() != n {
+			return nil, fmt.Errorf("hnsw: layer %d has %d vertices, corpus has %d", l+1, g.Len(), n)
+		}
+		layers[l+1] = g
+	}
+	if int(entry) >= n {
+		return nil, fmt.Errorf("hnsw: entry %d out of range %d", entry, n)
+	}
+	return &Index{
+		cfg: cfg, store: store, layers: layers, levels: levels,
+		entry: entry, maxLevel: maxLevel, n: n,
+	}, nil
 }
 
 // initTraversal picks the search-time kernel. In quantized mode a
@@ -174,10 +224,13 @@ func (x *Index) insert(v uint32, level int) {
 		return
 	}
 	q := x.kern.Prepare(x.mat.Row(int(v)))
+	// Construction always evaluates full precision; adjacency is swapped
+	// per layer below.
+	bs := ann.NewKernelStore(x.kern, x.kern, nil)
 	ep := x.entry
 	// Greedy descent through layers above the insertion level.
 	for l := x.maxLevel; l > level; l-- {
-		ep, _ = x.greedyClosest(x.kern, q, ep, l, nil)
+		ep, _ = greedyClosest(ann.WithGraph(bs, x.layers[l]), q, ep, nil)
 	}
 	// Beam insert from min(level, maxLevel) down to 0.
 	top := level
@@ -185,7 +238,7 @@ func (x *Index) insert(v uint32, level int) {
 		top = x.maxLevel
 	}
 	for l := top; l >= 0; l-- {
-		cands := x.searchLayer(x.kern, q, ep, x.cfg.EfConstruction, l, nil)
+		cands := searchLayer(ann.WithGraph(bs, x.layers[l]), q, ep, x.cfg.EfConstruction, nil)
 		m := x.cfg.M
 		if l == 0 {
 			m = 2 * x.cfg.M
@@ -271,22 +324,24 @@ func (x *Index) selectHeuristic(cands []ann.Neighbor, m int) []ann.Neighbor {
 	return selected
 }
 
-// greedyClosest walks layer l greedily from ep toward q, returning the
-// local minimum, evaluating distances on kern (the float kernel during
-// construction, the traversal kernel during search). When tr is non-nil
-// each expansion is recorded.
-func (x *Index) greedyClosest(kern *vec.Kernel, q vec.PreparedQuery, ep uint32, l int, tr *trace.Query) (uint32, float32) {
+// greedyClosest walks st's adjacency greedily from ep toward q,
+// returning the local minimum. The store carries both the distance
+// representation (float or SQ8 code space) and the adjacency (a pinned
+// upper layer via WithGraph, or the base layer/blocks). When tr is
+// non-nil each expansion is recorded.
+func greedyClosest(st ann.NodeStore, q vec.PreparedQuery, ep uint32, tr *trace.Query) (uint32, float32) {
 	cur := ep
-	curDist := kern.DistTo(q, int(cur))
+	curDist := st.Dist(q, cur)
+	var scratch []uint32
 	for {
 		improved := false
-		nbrs := x.layers[l].Neighbors(cur)
-		if tr != nil && len(nbrs) > 0 {
-			it := trace.Iter{Entry: cur, Neighbors: append([]uint32(nil), nbrs...)}
+		scratch = st.Neighbors(cur, scratch)
+		if tr != nil && len(scratch) > 0 {
+			it := trace.Iter{Entry: cur, Neighbors: append([]uint32(nil), scratch...)}
 			tr.Iters = append(tr.Iters, it)
 		}
-		for _, n := range nbrs {
-			if d := kern.DistTo(q, int(n)); d < curDist {
+		for _, n := range scratch {
+			if d := st.Dist(q, n); d < curDist {
 				cur, curDist = n, d
 				improved = true
 			}
@@ -297,35 +352,10 @@ func (x *Index) greedyClosest(kern *vec.Kernel, q vec.PreparedQuery, ep uint32, 
 	}
 }
 
-// searchLayer is the ef-bounded best-first search on one layer. When tr
-// is non-nil, every vertex expansion appends a trace iteration listing
-// the not-yet-visited neighbors whose distances were computed.
-func (x *Index) searchLayer(kern *vec.Kernel, q vec.PreparedQuery, ep uint32, ef, l int, tr *trace.Query) []ann.Neighbor {
-	visited := map[uint32]bool{ep: true}
-	f := ann.NewFrontier(ef)
-	f.Push(ann.Neighbor{ID: ep, Dist: kern.DistTo(q, int(ep))})
-	for {
-		c, ok := f.PopNearest()
-		if !ok {
-			break
-		}
-		if worst, full := f.WorstDist(); full && c.Dist > worst {
-			break
-		}
-		var computed []uint32
-		for _, n := range x.layers[l].Neighbors(c.ID) {
-			if visited[n] {
-				continue
-			}
-			visited[n] = true
-			computed = append(computed, n)
-			f.Push(ann.Neighbor{ID: n, Dist: kern.DistTo(q, int(n))})
-		}
-		if tr != nil && len(computed) > 0 {
-			tr.Iters = append(tr.Iters, trace.Iter{Entry: c.ID, Neighbors: computed})
-		}
-	}
-	return f.Results()
+// searchLayer is the ef-bounded best-first search over st's adjacency
+// (ann.BeamSearch with the entry distance evaluated here).
+func searchLayer(st ann.NodeStore, q vec.PreparedQuery, ep uint32, ef int, tr *trace.Query) []ann.Neighbor {
+	return ann.BeamSearch(st, q, ann.Neighbor{ID: ep, Dist: st.Dist(q, ep)}, ef, tr)
 }
 
 // Search returns the approximate top-k neighbors of query.
@@ -342,21 +372,25 @@ func (x *Index) SearchTraced(query vec.Vector, k int) ([]ann.Neighbor, trace.Que
 }
 
 func (x *Index) search(query vec.Vector, k int, tr *trace.Query) ([]ann.Neighbor, error) {
-	q := x.tkern.Prepare(query)
+	st := x.store
+	q := st.Prepare(query)
 	ep := x.entry
+	// Upper layers are always resident (the pinned navigation section in
+	// paged mode); only their adjacency is swapped in — distances come
+	// from the store either way.
 	for l := x.maxLevel; l > 0; l-- {
-		ep, _ = x.greedyClosest(x.tkern, q, ep, l, tr)
+		ep, _ = greedyClosest(ann.WithGraph(st, x.layers[l]), q, ep, tr)
 	}
 	ef := x.cfg.EfSearch
 	if ef < k {
 		ef = k
 	}
-	res := x.searchLayer(x.tkern, q, ep, ef, 0, tr)
+	res := searchLayer(st, q, ep, ef, tr)
 	if x.cfg.Quantized {
 		// Code-space distances ordered the candidates; the head is
 		// re-scored exactly so returned distances are in metric units
 		// and the (distance, ID) total order holds.
-		return ann.RerankExact(x.kern, query, res, x.cfg.Rerank, k), nil
+		return ann.RerankExactStore(st, query, res, x.cfg.Rerank, k), nil
 	}
 	if k < len(res) {
 		res = res[:k]
@@ -364,28 +398,41 @@ func (x *Index) search(query vec.Vector, k int, tr *trace.Query) ([]ann.Neighbor
 	return res, nil
 }
 
-// Graph returns the base-layer proximity graph.
-func (x *Index) Graph() ann.GraphView { return x.layers[0] }
+// Graph returns the base-layer proximity graph (a store-backed view
+// when the base layer lives in snapshot blocks).
+func (x *Index) Graph() ann.GraphView {
+	if x.layers[0] != nil {
+		return x.layers[0]
+	}
+	return ann.StoreGraph{S: x.store}
+}
 
-// BaseGraph returns the mutable base layer for placement experiments.
+// BaseGraph returns the mutable base layer for placement experiments
+// and snapshot saving; nil for a paged (FromStore) index.
 func (x *Index) BaseGraph() *graph.Graph { return x.layers[0] }
+
+// Store returns the traversal/storage boundary the index searches
+// through.
+func (x *Index) Store() ann.NodeStore { return x.store }
 
 // Params returns the construction/search configuration of the built
 // index.
 func (x *Index) Params() Config { return x.cfg }
 
-// Matrix returns the corpus store. Callers must not mutate it.
+// Matrix returns the corpus store; nil for a paged (FromStore) index.
+// Callers must not mutate it.
 func (x *Index) Matrix() *vec.Matrix { return x.mat }
 
-// Layers returns all graph layers, base layer first. The slice and the
-// graphs are owned by the index and must not be mutated.
+// Layers returns all graph layers, base layer first (nil base when
+// paged). The slice and the graphs are owned by the index and must not
+// be mutated.
 func (x *Index) Layers() []*graph.Graph { return x.layers }
 
 // Levels returns the per-vertex top layers. Owned by the index.
 func (x *Index) Levels() []int { return x.levels }
 
 // Len returns the number of indexed vectors.
-func (x *Index) Len() int { return x.mat.Rows() }
+func (x *Index) Len() int { return x.n }
 
 // MaxLevel returns the highest populated layer.
 func (x *Index) MaxLevel() int { return x.maxLevel }

@@ -1,0 +1,197 @@
+package snapshot
+
+import (
+	"bytes"
+	"errors"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ndsearch/internal/vec"
+)
+
+// blocksFrame walks a file image's section frames and returns the
+// "blocks" frame's CRC-field offset and payload bounds.
+func blocksFrame(t *testing.T, img []byte) (crcOff, payloadOff, payloadLen int) {
+	t.Helper()
+	off := headerSize
+	for {
+		nameLen := int(img[off])
+		off++
+		if nameLen == 0 {
+			t.Fatal("no blocks section in image")
+		}
+		name := string(img[off : off+nameLen])
+		off += nameLen
+		plen := int(getU64(img[off:]))
+		crc := off + 8
+		payload := crc + 4
+		if name == "blocks" {
+			return crc, payload, plen
+		}
+		off = payload + plen
+	}
+}
+
+// patchBlocksMeta returns a copy of img with the blocks meta mutated.
+// refreshMetaCRC recomputes the meta's own CRC after the mutation; the
+// section frame CRC is always recomputed, so the mutation is what the
+// loader sees (not a checksum failure), unless refreshMetaCRC is false —
+// that mode specifically tests the meta CRC.
+func patchBlocksMeta(t *testing.T, img []byte, refreshMetaCRC bool, mutate func(meta []byte)) []byte {
+	t.Helper()
+	out := append([]byte(nil), img...)
+	crcOff, payloadOff, payloadLen := blocksFrame(t, out)
+	payload := out[payloadOff : payloadOff+payloadLen]
+	mutate(payload[:blockMetaSize])
+	if refreshMetaCRC {
+		putU32(payload[blockMetaSize-4:], crc32.ChecksumIEEE(payload[:blockMetaSize-4]))
+	}
+	crc := crc32.ChecksumIEEE([]byte("blocks"))
+	crc = crc32.Update(crc, crc32.IEEETable, payload)
+	putU32(out[crcOff:], crc)
+	return out
+}
+
+// openPagedBytes writes the image to a temp file and opens it paged,
+// converting any panic into a test failure (same contract as loadBytes:
+// corruption is typed errors, never panics).
+func openPagedBytes(t *testing.T, label string, img []byte) (pi *PagedIndex, err error) {
+	t.Helper()
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("%s: OpenPagedFile panicked: %v", label, r)
+		}
+	}()
+	path := filepath.Join(t.TempDir(), "corrupt.ndss")
+	if werr := os.WriteFile(path, img, 0o644); werr != nil {
+		t.Fatal(werr)
+	}
+	return OpenPagedFile(path, PagedOptions{CachePages: 2})
+}
+
+// Version-3 block-section corruption yields the same distinct typed
+// errors on both serving paths: truncated block section, misaligned
+// image offset, bad meta CRC, and bad navigation-section CRC are each
+// discriminated, and none panics.
+func TestV3BlocksCorruptionTypedErrors(t *testing.T) {
+	for _, algo := range pagedAlgos {
+		t.Run(algo, func(t *testing.T) {
+			good := snapshotOf(t, algo)
+			if _, err := loadBytes(t, "pristine", good); err != nil {
+				t.Fatalf("pristine v3 load: %v", err)
+			}
+			if pi, err := openPagedBytes(t, "pristine", good); err != nil {
+				t.Fatalf("pristine v3 paged open: %v", err)
+			} else {
+				pi.Close()
+			}
+
+			check := func(label string, img []byte, want error) {
+				t.Helper()
+				if _, err := loadBytes(t, label, img); !errors.Is(err, want) {
+					t.Errorf("%s: RAM load err = %v, want %v", label, err, want)
+				}
+				pi, err := openPagedBytes(t, label, img)
+				if err == nil {
+					pi.Close()
+				}
+				if !errors.Is(err, want) {
+					t.Errorf("%s: paged open err = %v, want %v", label, err, want)
+				}
+			}
+
+			// Truncation inside the node image (the terminator and part of
+			// the image are gone).
+			check("truncated blocks", good[:len(good)-basePageSize/2], ErrTruncated)
+
+			// Misaligned image offset. Shifting imageOff off the page
+			// boundary (shrinking imageLen so the payload geometry still
+			// adds up) is caught by the alignment check, not a generic
+			// corruption error.
+			check("misaligned image", patchBlocksMeta(t, good, true, func(meta []byte) {
+				putU32(meta[25:], getU32(meta[25:])+1) // low word of imageOff
+				putU32(meta[33:], getU32(meta[33:])-1) // low word of imageLen
+			}), ErrMisaligned)
+
+			// Meta damage under a stale meta CRC: the self-checksum catches
+			// it even though the section frame CRC was refreshed (the paged
+			// opener never checksums the whole payload).
+			check("bad meta CRC", patchBlocksMeta(t, good, false, func(meta []byte) {
+				putU32(meta[12:], getU32(meta[12:])+1) // n
+			}), ErrChecksum)
+
+			// Navigation-section damage (first byte of the pinned "params"
+			// payload) fails that section's CRC on both paths.
+			bad := append([]byte(nil), good...)
+			off := headerSize
+			for {
+				nameLen := int(bad[off])
+				off++
+				name := string(bad[off : off+nameLen])
+				off += nameLen
+				plen := int(getU64(bad[off:]))
+				off += 12
+				if name == "params" {
+					bad[off] ^= 0xFF
+					break
+				}
+				off += plen
+			}
+			check("bad nav CRC", bad, ErrChecksum)
+		})
+	}
+}
+
+// Image damage past the meta is the one corruption class the paged
+// opener cannot see up front (checksumming the image would defeat
+// beyond-RAM serving): the open succeeds and searches degrade
+// defensively — clamped degrees, skipped out-of-range neighbors — but
+// never panic. The RAM loader, which always checksums whole sections,
+// still reports ErrChecksum for the same bytes.
+func TestV3ImageDamageServesDefensively(t *testing.T) {
+	good := snapshotOf(t, "hnsw")
+	_, payloadOff, payloadLen := blocksFrame(t, good)
+	bad := append([]byte(nil), good...)
+	// Flip a degree field deep in the image: a huge degree must clamp,
+	// not walk out of the record.
+	bad[payloadOff+payloadLen-basePageSize] ^= 0xFF
+
+	if _, err := loadBytes(t, "image flip", bad); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("RAM load of image-damaged file: err = %v, want ErrChecksum", err)
+	}
+	pi, err := openPagedBytes(t, "image flip", bad)
+	if err != nil {
+		t.Fatalf("paged open of image-damaged file: %v", err)
+	}
+	defer pi.Close()
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("search over damaged image panicked: %v", r)
+		}
+	}()
+	for _, q := range testQueries(4, 8, 23) {
+		_ = pi.Search(q, 5)
+	}
+}
+
+// The flat families under version 3 keep their version-2 section shapes
+// (matrix + per-family payloads); a v3 exact/ivfpq file round-trips and
+// the compat matrix in legacy_test.go covers the older versions.
+func TestV3FlatFamiliesRoundTrip(t *testing.T) {
+	for _, algo := range []string{"exact", "ivfpq"} {
+		built := buildFamily(t, algo, metricsOf(algo)[0], testData(60, 8, 9))
+		var buf bytes.Buffer
+		if err := Save(&buf, built, vec.F32); err != nil {
+			t.Fatalf("save %s: %v", algo, err)
+		}
+		loaded, err := Load(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("load %s: %v", algo, err)
+		}
+		for _, q := range testQueries(4, 8, 31) {
+			requireSameResults(t, algo, loaded.Search(q, 7), built.Search(q, 7))
+		}
+	}
+}

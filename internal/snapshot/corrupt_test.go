@@ -119,7 +119,7 @@ func TestCorruptionFlipSweepNeverPanics(t *testing.T) {
 			t.Errorf("offset %d: flipped byte loaded successfully", off)
 		}
 		var typed bool
-		for _, sentinel := range []error{ErrBadMagic, ErrVersion, ErrChecksum, ErrTruncated, ErrCorrupt} {
+		for _, sentinel := range []error{ErrBadMagic, ErrVersion, ErrChecksum, ErrTruncated, ErrCorrupt, ErrMisaligned} {
 			if errors.Is(err, sentinel) {
 				typed = true
 				break

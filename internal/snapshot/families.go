@@ -194,9 +194,9 @@ func readGraph(d *dec, wantN int) (*graph.Graph, error) {
 
 // ---- exact --------------------------------------------------------------
 
-func saveExact(idx Index, _ *builder) (vec.Metric, *vec.Matrix, error) {
+func saveExact(idx Index, _ *builder) (vec.Metric, *vec.Matrix, *graph.Graph, error) {
 	x := idx.(*ann.Exact)
-	return x.Metric(), x.Matrix(), nil
+	return x.Metric(), x.Matrix(), nil, nil
 }
 
 func loadExact(h Header, _ *file, mat *vec.Matrix) (Index, error) {
@@ -205,8 +205,16 @@ func loadExact(h Header, _ *file, mat *vec.Matrix) (Index, error) {
 
 // ---- hnsw ---------------------------------------------------------------
 
-func saveHNSW(idx Index, b *builder) (vec.Metric, *vec.Matrix, error) {
+// errPaged rejects re-saving a paged (FromStore) index: its corpus and
+// adjacency live in snapshot blocks it does not own, so the original
+// snapshot file already is its serialized form.
+var errPaged = fmt.Errorf("paged index cannot be re-saved; copy the snapshot file instead")
+
+func saveHNSW(idx Index, b *builder) (vec.Metric, *vec.Matrix, *graph.Graph, error) {
 	x := idx.(*hnsw.Index)
+	if x.Matrix() == nil || x.BaseGraph() == nil {
+		return 0, nil, nil, errPaged
+	}
 	cfg := x.Params()
 	var p enc
 	p.u32(uint32(cfg.M))
@@ -225,28 +233,35 @@ func saveHNSW(idx Index, b *builder) (vec.Metric, *vec.Matrix, error) {
 	}
 	b.add("levels", lv.b)
 
-	var lg enc
+	// Version 3 pins only the upper layers (the navigation set); the
+	// base layer's adjacency lives in the blocks image.
 	layers := x.Layers()
-	lg.u32(uint32(len(layers)))
-	for _, g := range layers {
+	upper := layers[1:]
+	var lg enc
+	lg.u32(uint32(len(upper)))
+	for _, g := range upper {
 		writeGraph(&lg, g)
 	}
 	b.add("layers", lg.b)
 	if cfg.Quantized {
-		if err := addSQ8(b, x.Matrix(), cfg.Rerank); err != nil {
-			return 0, nil, err
+		if err := addSQ8Scales(b, x.Matrix(), cfg.Rerank); err != nil {
+			return 0, nil, nil, err
 		}
 	}
-	return cfg.Metric, x.Matrix(), nil
+	return cfg.Metric, x.Matrix(), layers[0], nil
 }
 
-func loadHNSW(h Header, f *file, mat *vec.Matrix) (Index, error) {
+// decodeHNSWMeta decodes the pinned hnsw navigation sections: params,
+// per-node levels, and the serialized layer list ("layers" holds every
+// layer in v1/v2, only the upper layers in v3). Shared by the in-RAM
+// loader and the paged opener.
+func decodeHNSWMeta(h Header, f *file, wantN int) (cfg hnsw.Config, entry uint32, maxLevel int, levels []int, layers []*graph.Graph, err error) {
 	p, err := f.section("params")
 	if err != nil {
-		return nil, err
+		return cfg, 0, 0, nil, nil, err
 	}
 	d := &dec{b: p}
-	cfg := hnsw.Config{
+	cfg = hnsw.Config{
 		M:              d.intn(math.MaxInt32, "M"),
 		EfConstruction: d.intn(math.MaxInt32, "efConstruction"),
 		EfSearch:       d.intn(math.MaxInt32, "efSearch"),
@@ -255,39 +270,52 @@ func loadHNSW(h Header, f *file, mat *vec.Matrix) (Index, error) {
 		Rerank:         h.Rerank,
 	}
 	cfg.Seed = d.i64()
-	entry := d.u32()
-	maxLevel := d.intn(math.MaxInt32, "maxLevel")
+	entry = d.u32()
+	maxLevel = d.intn(math.MaxInt32, "maxLevel")
 	if err := d.done(); err != nil {
-		return nil, err
+		return cfg, 0, 0, nil, nil, err
 	}
 
 	lp, err := f.section("levels")
 	if err != nil {
-		return nil, err
+		return cfg, 0, 0, nil, nil, err
 	}
 	d = &dec{b: lp}
-	levels := make([]int, d.intn(len(lp), "level count"))
+	levels = make([]int, d.intn(len(lp), "level count"))
 	for i := range levels {
 		levels[i] = d.intn(math.MaxInt32, "level")
 	}
 	if err := d.done(); err != nil {
-		return nil, err
+		return cfg, 0, 0, nil, nil, err
 	}
 
 	gp, err := f.section("layers")
 	if err != nil {
-		return nil, err
+		return cfg, 0, 0, nil, nil, err
 	}
 	d = &dec{b: gp}
-	layers := make([]*graph.Graph, d.intn(len(gp), "layer count"))
+	layers = make([]*graph.Graph, d.intn(len(gp), "layer count"))
 	for i := range layers {
-		layers[i], err = readGraph(d, mat.Rows())
+		layers[i], err = readGraph(d, wantN)
 		if err != nil {
-			return nil, err
+			return cfg, 0, 0, nil, nil, err
 		}
 	}
 	if err := d.done(); err != nil {
+		return cfg, 0, 0, nil, nil, err
+	}
+	return cfg, entry, maxLevel, levels, layers, nil
+}
+
+func loadHNSW(h Header, f *file, mat *vec.Matrix) (Index, error) {
+	cfg, entry, maxLevel, levels, layers, err := decodeHNSWMeta(h, f, mat.Rows())
+	if err != nil {
 		return nil, err
+	}
+	if h.Version >= 3 {
+		// The section holds only the pinned upper layers; the base layer
+		// was reconstructed from the blocks image.
+		layers = append([]*graph.Graph{f.base}, layers...)
 	}
 
 	x, err := hnsw.FromParts(cfg, mat, layers, levels, entry, maxLevel)
@@ -296,8 +324,11 @@ func loadHNSW(h Header, f *file, mat *vec.Matrix) (Index, error) {
 
 // ---- vamana / diskann ---------------------------------------------------
 
-func saveVamana(idx Index, b *builder) (vec.Metric, *vec.Matrix, error) {
+func saveVamana(idx Index, b *builder) (vec.Metric, *vec.Matrix, *graph.Graph, error) {
 	x := idx.(*vamana.Index)
+	if x.Matrix() == nil || x.BaseGraph() == nil {
+		return 0, nil, nil, errPaged
+	}
 	cfg := x.Params()
 	var p enc
 	p.u32(uint32(cfg.R))
@@ -307,24 +338,22 @@ func saveVamana(idx Index, b *builder) (vec.Metric, *vec.Matrix, error) {
 	p.i64(cfg.Seed)
 	p.u32(x.Medoid())
 	b.add("params", p.b)
-	var g enc
-	writeGraph(&g, x.BaseGraph())
-	b.add("graph", g.b)
 	if cfg.Quantized {
-		if err := addSQ8(b, x.Matrix(), cfg.Rerank); err != nil {
-			return 0, nil, err
+		if err := addSQ8Scales(b, x.Matrix(), cfg.Rerank); err != nil {
+			return 0, nil, nil, err
 		}
 	}
-	return cfg.Metric, x.Matrix(), nil
+	return cfg.Metric, x.Matrix(), x.BaseGraph(), nil
 }
 
-func loadVamana(h Header, f *file, mat *vec.Matrix) (Index, error) {
+// decodeVamanaMeta decodes the vamana params section.
+func decodeVamanaMeta(h Header, f *file) (cfg vamana.Config, medoid uint32, err error) {
 	p, err := f.section("params")
 	if err != nil {
-		return nil, err
+		return cfg, 0, err
 	}
 	d := &dec{b: p}
-	cfg := vamana.Config{
+	cfg = vamana.Config{
 		R:         d.intn(math.MaxInt32, "R"),
 		L:         d.intn(math.MaxInt32, "L"),
 		LSearch:   d.intn(math.MaxInt32, "LSearch"),
@@ -334,11 +363,19 @@ func loadVamana(h Header, f *file, mat *vec.Matrix) (Index, error) {
 	}
 	cfg.Alpha = d.f32()
 	cfg.Seed = d.i64()
-	medoid := d.u32()
+	medoid = d.u32()
 	if err := d.done(); err != nil {
+		return cfg, 0, err
+	}
+	return cfg, medoid, nil
+}
+
+func loadVamana(h Header, f *file, mat *vec.Matrix) (Index, error) {
+	cfg, medoid, err := decodeVamanaMeta(h, f)
+	if err != nil {
 		return nil, err
 	}
-	g, err := readSingleGraph(f, mat.Rows())
+	g, err := baseGraph(h, f, mat.Rows())
 	if err != nil {
 		return nil, err
 	}
@@ -346,8 +383,21 @@ func loadVamana(h Header, f *file, mat *vec.Matrix) (Index, error) {
 	return x, corrupt(err)
 }
 
+// baseGraph returns the flat-graph families' base adjacency: the graph
+// reconstructed from the blocks image in version 3, the "graph" section
+// in older files.
+func baseGraph(h Header, f *file, wantN int) (*graph.Graph, error) {
+	if h.Version >= 3 {
+		if f.base == nil {
+			return nil, fmt.Errorf("%w: version-3 file without a blocks graph", ErrCorrupt)
+		}
+		return f.base, nil
+	}
+	return readSingleGraph(f, wantN)
+}
+
 // readSingleGraph decodes the "graph" section shared by the flat-graph
-// families (vamana, hcnng, togg).
+// families (vamana, hcnng, togg) in version-1/2 files.
 func readSingleGraph(f *file, wantN int) (*graph.Graph, error) {
 	gp, err := f.section("graph")
 	if err != nil {
@@ -366,8 +416,11 @@ func readSingleGraph(f *file, wantN int) (*graph.Graph, error) {
 
 // ---- hcnng --------------------------------------------------------------
 
-func saveHCNNG(idx Index, b *builder) (vec.Metric, *vec.Matrix, error) {
+func saveHCNNG(idx Index, b *builder) (vec.Metric, *vec.Matrix, *graph.Graph, error) {
 	x := idx.(*hcnng.Index)
+	if x.Matrix() == nil || x.BaseGraph() == nil {
+		return 0, nil, nil, errPaged
+	}
 	cfg := x.Params()
 	var p enc
 	p.u32(uint32(cfg.Clusterings))
@@ -377,24 +430,22 @@ func saveHCNNG(idx Index, b *builder) (vec.Metric, *vec.Matrix, error) {
 	p.i64(cfg.Seed)
 	p.u32(x.Entry())
 	b.add("params", p.b)
-	var g enc
-	writeGraph(&g, x.BaseGraph())
-	b.add("graph", g.b)
 	if cfg.Quantized {
-		if err := addSQ8(b, x.Matrix(), cfg.Rerank); err != nil {
-			return 0, nil, err
+		if err := addSQ8Scales(b, x.Matrix(), cfg.Rerank); err != nil {
+			return 0, nil, nil, err
 		}
 	}
-	return cfg.Metric, x.Matrix(), nil
+	return cfg.Metric, x.Matrix(), x.BaseGraph(), nil
 }
 
-func loadHCNNG(h Header, f *file, mat *vec.Matrix) (Index, error) {
+// decodeHCNNGMeta decodes the hcnng params section.
+func decodeHCNNGMeta(h Header, f *file) (cfg hcnng.Config, entry uint32, err error) {
 	p, err := f.section("params")
 	if err != nil {
-		return nil, err
+		return cfg, 0, err
 	}
 	d := &dec{b: p}
-	cfg := hcnng.Config{
+	cfg = hcnng.Config{
 		Clusterings: d.intn(math.MaxInt32, "clusterings"),
 		LeafSize:    d.intn(math.MaxInt32, "leafSize"),
 		MaxDegree:   d.intn(math.MaxInt32, "maxDegree"),
@@ -404,11 +455,19 @@ func loadHCNNG(h Header, f *file, mat *vec.Matrix) (Index, error) {
 		Rerank:      h.Rerank,
 	}
 	cfg.Seed = d.i64()
-	entry := d.u32()
+	entry = d.u32()
 	if err := d.done(); err != nil {
+		return cfg, 0, err
+	}
+	return cfg, entry, nil
+}
+
+func loadHCNNG(h Header, f *file, mat *vec.Matrix) (Index, error) {
+	cfg, entry, err := decodeHCNNGMeta(h, f)
+	if err != nil {
 		return nil, err
 	}
-	g, err := readSingleGraph(f, mat.Rows())
+	g, err := baseGraph(h, f, mat.Rows())
 	if err != nil {
 		return nil, err
 	}
@@ -418,8 +477,11 @@ func loadHCNNG(h Header, f *file, mat *vec.Matrix) (Index, error) {
 
 // ---- togg ---------------------------------------------------------------
 
-func saveTOGG(idx Index, b *builder) (vec.Metric, *vec.Matrix, error) {
+func saveTOGG(idx Index, b *builder) (vec.Metric, *vec.Matrix, *graph.Graph, error) {
 	x := idx.(*togg.Index)
+	if x.Matrix() == nil || x.BaseGraph() == nil {
+		return 0, nil, nil, errPaged
+	}
 	cfg := x.Params()
 	var p enc
 	p.u32(uint32(cfg.K))
@@ -436,24 +498,22 @@ func saveTOGG(idx Index, b *builder) (vec.Metric, *vec.Matrix, error) {
 		gd.u32(uint32(dim))
 	}
 	b.add("guide", gd.b)
-	var g enc
-	writeGraph(&g, x.BaseGraph())
-	b.add("graph", g.b)
 	if cfg.Quantized {
-		if err := addSQ8(b, x.Matrix(), cfg.Rerank); err != nil {
-			return 0, nil, err
+		if err := addSQ8Scales(b, x.Matrix(), cfg.Rerank); err != nil {
+			return 0, nil, nil, err
 		}
 	}
-	return cfg.Metric, x.Matrix(), nil
+	return cfg.Metric, x.Matrix(), x.BaseGraph(), nil
 }
 
-func loadTOGG(h Header, f *file, mat *vec.Matrix) (Index, error) {
+// decodeTOGGMeta decodes the togg params and guide-dimension sections.
+func decodeTOGGMeta(h Header, f *file) (cfg togg.Config, entry uint32, dims []int, err error) {
 	p, err := f.section("params")
 	if err != nil {
-		return nil, err
+		return cfg, 0, nil, err
 	}
 	d := &dec{b: p}
-	cfg := togg.Config{
+	cfg = togg.Config{
 		K:         d.intn(math.MaxInt32, "K"),
 		GuideDims: d.intn(math.MaxInt32, "guideDims"),
 		GuideHops: d.intn(math.MaxInt32, "guideHops"),
@@ -463,23 +523,31 @@ func loadTOGG(h Header, f *file, mat *vec.Matrix) (Index, error) {
 		Rerank:    h.Rerank,
 	}
 	cfg.Seed = d.i64()
-	entry := d.u32()
+	entry = d.u32()
 	if err := d.done(); err != nil {
-		return nil, err
+		return cfg, 0, nil, err
 	}
 	gp, err := f.section("guide")
 	if err != nil {
-		return nil, err
+		return cfg, 0, nil, err
 	}
 	d = &dec{b: gp}
-	dims := make([]int, d.intn(len(gp), "guide dim count"))
+	dims = make([]int, d.intn(len(gp), "guide dim count"))
 	for i := range dims {
 		dims[i] = d.intn(math.MaxInt32, "guide dim")
 	}
 	if err := d.done(); err != nil {
+		return cfg, 0, nil, err
+	}
+	return cfg, entry, dims, nil
+}
+
+func loadTOGG(h Header, f *file, mat *vec.Matrix) (Index, error) {
+	cfg, entry, dims, err := decodeTOGGMeta(h, f)
+	if err != nil {
 		return nil, err
 	}
-	g, err := readSingleGraph(f, mat.Rows())
+	g, err := baseGraph(h, f, mat.Rows())
 	if err != nil {
 		return nil, err
 	}
@@ -489,7 +557,7 @@ func loadTOGG(h Header, f *file, mat *vec.Matrix) (Index, error) {
 
 // ---- ivfpq --------------------------------------------------------------
 
-func saveIVFPQ(idx Index, b *builder) (vec.Metric, *vec.Matrix, error) {
+func saveIVFPQ(idx Index, b *builder) (vec.Metric, *vec.Matrix, *graph.Graph, error) {
 	x := idx.(*ivfpq.Index)
 	cfg := x.Params()
 	var p enc
@@ -525,7 +593,7 @@ func saveIVFPQ(idx Index, b *builder) (vec.Metric, *vec.Matrix, error) {
 		}
 	}
 	b.add("lists", li.b)
-	return cfg.Metric, x.Matrix(), nil
+	return cfg.Metric, x.Matrix(), nil, nil
 }
 
 func loadIVFPQ(h Header, f *file, mat *vec.Matrix) (Index, error) {

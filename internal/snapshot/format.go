@@ -6,6 +6,7 @@ import (
 	"hash/crc32"
 	"math"
 
+	"ndsearch/internal/graph"
 	"ndsearch/internal/vec"
 )
 
@@ -41,12 +42,23 @@ import (
 //	   index as quantized — no per-family params changed, so version-1
 //	   files parse under the same per-family codecs and load as
 //	   full-precision indexes.
+//	3  page-served layout for the graph families (blocks.go): the
+//	   "matrix" section, the base-layer adjacency, and the sq8 code
+//	   buffer move into a page-aligned "blocks" section co-locating
+//	   each node's adjacency and vector in fixed-size records, so a
+//	   paged NodeStore can serve searches without materializing the
+//	   file. The sections that remain ("params", hnsw's "levels" and
+//	   upper "layers", togg's "guide", the scales-only "sq8s") are the
+//	   pinned navigation set — small, resident in every serving mode.
+//	   exact/ivfpq keep their version-2 section shapes under the new
+//	   version number; version-1/2 files keep loading through the old
+//	   per-family paths.
 
 const (
 	// FormatVersion is the container format version this package writes.
 	// Loaders reject files with a greater version (ErrVersion) and
 	// accept every older version back to 1.
-	FormatVersion = 2
+	FormatVersion = 3
 
 	headerSize = 24
 )
@@ -87,6 +99,18 @@ func (b *builder) add(name string, payload []byte) {
 	b.sections = append(b.sections, section{name: name, payload: payload})
 }
 
+// encodedSize returns the byte offset at which the next section frame
+// will begin in the assembled file (header plus every frame added so
+// far, excluding the terminator). The blocks writer uses it to compute
+// the absolute, page-aligned offset of the node-record image.
+func (b *builder) encodedSize() int {
+	size := headerSize
+	for _, s := range b.sections {
+		size += 1 + len(s.name) + 8 + 4 + len(s.payload)
+	}
+	return size
+}
+
 // assemble serialises the header plus all sections into one file image.
 func (b *builder) assemble(h Header) []byte {
 	size := headerSize + 1 // header + terminator
@@ -117,51 +141,71 @@ func (b *builder) assemble(h Header) []byte {
 }
 
 // file is a parsed snapshot: validated header plus CRC-checked sections.
+// offsets records each section payload's absolute byte offset in the
+// original file image, so the blocks loader can verify the recorded
+// image offset against where the payload actually sits.
 type file struct {
 	header   Header
 	sections map[string][]byte
+	offsets  map[string]int
+	// base is the base-layer adjacency reconstructed from a version-3
+	// "blocks" section; Load sets it before the family loader runs.
+	base *graph.Graph
+}
+
+// parseHeader validates the fixed header: magic, version range, header
+// CRC, metric and element encodings. data may be just the header bytes
+// (the paged opener reads exactly headerSize) or the whole file.
+func parseHeader(data []byte) (Header, error) {
+	var h Header
+	if len(data) < len(magic) {
+		return h, fmt.Errorf("%w: %d bytes, need at least the %d-byte magic", ErrTruncated, len(data), len(magic))
+	}
+	if [4]byte(data[0:4]) != magic {
+		return h, fmt.Errorf("%w: got % x, want % x (%q)", ErrBadMagic, data[0:4], magic[:], magic[:])
+	}
+	if len(data) < headerSize {
+		return h, fmt.Errorf("%w: %d bytes, need %d-byte header", ErrTruncated, len(data), headerSize)
+	}
+	version := int(binary.LittleEndian.Uint16(data[4:6]))
+	if version > FormatVersion {
+		return h, fmt.Errorf("%w: file is version %d, this build reads <= %d", ErrVersion, version, FormatVersion)
+	}
+	if version < 1 {
+		return h, fmt.Errorf("%w: version %d", ErrVersion, version)
+	}
+	if got, want := binary.LittleEndian.Uint32(data[20:24]), crc32.ChecksumIEEE(data[:20]); got != want {
+		return h, fmt.Errorf("%w: header CRC %08x, computed %08x", ErrChecksum, got, want)
+	}
+	metric, err := vec.MetricFromEncoding(data[6])
+	if err != nil {
+		return h, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	elem := vec.ElemKind(data[7])
+	if elem > vec.I8 {
+		return h, fmt.Errorf("%w: unknown element kind %d", ErrCorrupt, elem)
+	}
+	return Header{
+		Version: version,
+		Metric:  metric,
+		Elem:    elem,
+		Dim:     int(binary.LittleEndian.Uint32(data[8:12])),
+		Rows:    int(binary.LittleEndian.Uint32(data[12:16])),
+	}, nil
 }
 
 // parseFile validates the container framing: magic, version, header CRC,
 // then every section's CRC. Errors discriminate the failure mode so
 // callers (and operators) can tell a stale format from disk corruption.
 func parseFile(data []byte) (*file, error) {
-	if len(data) < len(magic) {
-		return nil, fmt.Errorf("%w: %d bytes, need at least the %d-byte magic", ErrTruncated, len(data), len(magic))
-	}
-	if [4]byte(data[0:4]) != magic {
-		return nil, fmt.Errorf("%w: got % x, want % x (%q)", ErrBadMagic, data[0:4], magic[:], magic[:])
-	}
-	if len(data) < headerSize {
-		return nil, fmt.Errorf("%w: %d bytes, need %d-byte header", ErrTruncated, len(data), headerSize)
-	}
-	version := int(binary.LittleEndian.Uint16(data[4:6]))
-	if version > FormatVersion {
-		return nil, fmt.Errorf("%w: file is version %d, this build reads <= %d", ErrVersion, version, FormatVersion)
-	}
-	if version < 1 {
-		return nil, fmt.Errorf("%w: version %d", ErrVersion, version)
-	}
-	if got, want := binary.LittleEndian.Uint32(data[20:24]), crc32.ChecksumIEEE(data[:20]); got != want {
-		return nil, fmt.Errorf("%w: header CRC %08x, computed %08x", ErrChecksum, got, want)
-	}
-	metric, err := vec.MetricFromEncoding(data[6])
+	h, err := parseHeader(data)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
-	}
-	elem := vec.ElemKind(data[7])
-	if elem > vec.I8 {
-		return nil, fmt.Errorf("%w: unknown element kind %d", ErrCorrupt, elem)
+		return nil, err
 	}
 	f := &file{
-		header: Header{
-			Version: version,
-			Metric:  metric,
-			Elem:    elem,
-			Dim:     int(binary.LittleEndian.Uint32(data[8:12])),
-			Rows:    int(binary.LittleEndian.Uint32(data[12:16])),
-		},
+		header:   h,
 		sections: map[string][]byte{},
+		offsets:  map[string]int{},
 	}
 	off := headerSize
 	for {
@@ -199,6 +243,7 @@ func parseFile(data []byte) (*file, error) {
 			return nil, fmt.Errorf("%w: duplicate section %q", ErrCorrupt, name)
 		}
 		f.sections[name] = payload
+		f.offsets[name] = off - int(payloadLen)
 	}
 }
 

@@ -9,25 +9,31 @@ import (
 )
 
 // FuzzLoadQuantized drives Load with mutated snapshot bytes, seeded
-// from valid quantized saves of every graph family (so the fuzzer
-// starts inside the sq8-section decoder's input space) plus a
-// full-precision file. The contract under test is the package's error
-// discipline: Load either succeeds or returns one of the five typed
+// from valid saves across the format's whole version range: current
+// version-3 files (page-aligned blocks) for every graph family,
+// quantized and full-precision, plus genuine version-1/2 images (flat
+// matrix + graph sections) so the legacy decoders stay inside the
+// fuzzer's input space. The contract under test is the package's error
+// discipline: Load either succeeds or returns one of the six typed
 // errors — it never panics and never leaks an undiscriminated error.
 func FuzzLoadQuantized(f *testing.F) {
 	data := testData(60, 8, 17)
 	for _, algo := range quantAlgos {
+		// Version-3 quantized seed (blocks + sq8s sections).
 		var buf bytes.Buffer
 		if err := Save(&buf, buildQuantFamily(f, algo, vec.L2, data, 16), vec.F32); err != nil {
 			f.Fatalf("seed save %s: %v", algo, err)
 		}
 		f.Add(buf.Bytes())
+		// Legacy seeds: v1 full-precision and v2 quantized (sq8 section).
+		f.Add(saveLegacy(f, buildFamily(f, algo, vec.L2, data), 1))
+		f.Add(saveLegacy(f, buildQuantFamily(f, algo, vec.L2, data, 16), 2))
 	}
-	f.Add(snapshotOf(f, "hnsw")) // full-precision seed: no sq8 section
+	f.Add(snapshotOf(f, "hnsw")) // full-precision v3 seed: blocks, no sq8s
 	f.Add([]byte{})
 	f.Add([]byte("NDSS"))
 
-	typed := []error{ErrBadMagic, ErrVersion, ErrChecksum, ErrTruncated, ErrCorrupt}
+	typed := []error{ErrBadMagic, ErrVersion, ErrChecksum, ErrTruncated, ErrCorrupt, ErrMisaligned}
 	f.Fuzz(func(t *testing.T, in []byte) {
 		idx, err := Load(bytes.NewReader(in)) // a panic fails the fuzz run
 		if err == nil {

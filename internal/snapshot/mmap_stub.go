@@ -1,0 +1,19 @@
+//go:build !linux && !darwin
+
+package snapshot
+
+import (
+	"errors"
+	"os"
+)
+
+// mmapSupported reports whether this platform maps snapshot files.
+const mmapSupported = false
+
+// mmapFile is unavailable here; openPaged falls back to the
+// positioned-read backend, which serves identical bytes.
+func mmapFile(_ *os.File, _ int64) ([]byte, error) {
+	return nil, errors.New("snapshot: mmap unsupported on this platform")
+}
+
+func munmapFile(_ []byte) error { return nil }

@@ -1,0 +1,37 @@
+//go:build linux || darwin
+
+package snapshot
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mmapSupported reports whether this platform maps snapshot files.
+const mmapSupported = true
+
+// mmapFile maps the whole file read-only. Mapping from offset zero
+// sidesteps OS-page alignment concerns on platforms whose page size
+// exceeds the container's basePageSize quantum.
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("snapshot: cannot map %d-byte file", size)
+	}
+	if size != int64(int(size)) {
+		return nil, fmt.Errorf("snapshot: file too large to map: %d bytes", size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: mmap: %w", err)
+	}
+	return data, nil
+}
+
+// munmapFile releases a mapping created by mmapFile.
+func munmapFile(data []byte) error {
+	if data == nil {
+		return nil
+	}
+	return syscall.Munmap(data)
+}

@@ -1,0 +1,639 @@
+package snapshot
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+
+	"ndsearch/internal/ann"
+	"ndsearch/internal/hcnng"
+	"ndsearch/internal/hnsw"
+	"ndsearch/internal/togg"
+	"ndsearch/internal/vamana"
+	"ndsearch/internal/vec"
+)
+
+// This file is the beyond-RAM serving path: a NodeStore that traverses
+// a version-3 snapshot's page-aligned blocks section directly from the
+// file, keeping only the pinned navigation set (params, upper HNSW
+// layers, entry points, SQ8 scales) and a small bounded page cache
+// resident. Bytes come from an mmap of the file where the platform
+// supports it, with a sectioned-ReadAt backend as the fallback; both
+// feed the same bounded cache, so the software page-touch and
+// page-fault counters are backend-independent and comparable to the
+// searssd cost model's page-read predictions.
+//
+// Byte-identity with in-RAM serving holds because every distance goes
+// through the same matrix-free kernel paths (PreparedQuery.DistanceTo /
+// DistanceToCodes) that are bit-identical to the Kernel over a resident
+// Matrix, and records decode to exactly the bytes Save encoded.
+
+// PagedOptions configures OpenPagedFile.
+type PagedOptions struct {
+	// Backend selects the byte source: "mmap" (falls back to "readat"
+	// where mmap is unavailable) or "readat". Empty means "mmap".
+	Backend string
+	// CachePages bounds the resident page cache. 0 means
+	// DefaultCachePages; the cache never holds fewer than one page.
+	CachePages int
+}
+
+// DefaultCachePages is the pinned-page cache budget when the caller
+// does not set one: 256 pages × 4 KiB base pages = 1 MiB resident.
+const DefaultCachePages = 256
+
+// PagedStats is a snapshot of a paged store's software counters.
+type PagedStats struct {
+	// Touches counts node-record accesses (one per page lookup).
+	Touches uint64
+	// Faults counts cache misses, i.e. page reads from the backend.
+	Faults uint64
+	// IOErrors counts backend read failures (served as zero records).
+	IOErrors uint64
+	// ResidentPages and CachePages are the current and maximum cache
+	// occupancy; PageSize and TotalPages describe the block image.
+	ResidentPages int
+	CachePages    int
+	PageSize      int
+	TotalPages    int64
+}
+
+// pageBackend fetches one page of the node image by page index.
+type pageBackend interface {
+	readPage(i int64) ([]byte, error)
+	Close() error
+}
+
+// mmapBackend serves pages as subslices of a read-only mapping of the
+// whole snapshot file — no copies, the OS pages bytes in on demand.
+type mmapBackend struct {
+	data []byte
+	meta blockMeta
+}
+
+func (b *mmapBackend) readPage(i int64) ([]byte, error) {
+	off := b.meta.imageOff + i*int64(b.meta.pageSize)
+	return b.data[off : off+int64(b.meta.pageSize)], nil
+}
+
+func (b *mmapBackend) Close() error { return munmapFile(b.data) }
+
+// readatBackend reads pages with positioned reads into fresh buffers.
+// Evicted buffers are never reused, so slices handed out by the cache
+// stay valid for concurrent readers (the GC keeps them alive).
+type readatBackend struct {
+	f    *os.File
+	meta blockMeta
+}
+
+func (b *readatBackend) readPage(i int64) ([]byte, error) {
+	buf := make([]byte, b.meta.pageSize)
+	off := b.meta.imageOff + i*int64(b.meta.pageSize)
+	if _, err := b.f.ReadAt(buf, off); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+func (b *readatBackend) Close() error { return nil }
+
+// pageCache is the bounded LRU of resident pages. For the readat
+// backend it is the only copy of the bytes; for mmap it pins mapping
+// subslices, making the fault counter a software model of the working
+// set rather than a hardware measurement.
+type pageCache struct {
+	mu  sync.Mutex
+	cap int
+	m   map[int64]*list.Element
+	lru *list.List
+}
+
+type cachePage struct {
+	id  int64
+	buf []byte
+}
+
+func newPageCache(capPages int) *pageCache {
+	if capPages < 1 {
+		capPages = 1
+	}
+	return &pageCache{cap: capPages, m: make(map[int64]*list.Element), lru: list.New()}
+}
+
+func (c *pageCache) get(id int64) []byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.m[id]; ok {
+		c.lru.MoveToFront(e)
+		return e.Value.(*cachePage).buf
+	}
+	return nil
+}
+
+func (c *pageCache) put(id int64, buf []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.m[id]; ok { // concurrent fill of the same page
+		c.lru.MoveToFront(e)
+		return
+	}
+	c.m[id] = c.lru.PushFront(&cachePage{id: id, buf: buf})
+	for c.lru.Len() > c.cap {
+		last := c.lru.Back()
+		c.lru.Remove(last)
+		delete(c.m, last.Value.(*cachePage).id)
+	}
+}
+
+func (c *pageCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// PagedStore is the ann.NodeStore over a snapshot's blocks section.
+// Safe for concurrent searches; all mutable state is the cache (mutex)
+// and the counters (atomics). Serve-time I/O errors cannot panic a
+// search: the affected record reads as empty and IOErrors increments.
+type PagedStore struct {
+	meta   blockMeta
+	metric vec.Metric
+	elem   vec.ElemKind
+	scales []float32 // nil unless quantized
+	back   pageBackend
+	cache  *pageCache
+
+	touches atomic.Uint64
+	faults  atomic.Uint64
+	ioErrs  atomic.Uint64
+
+	rowPool  sync.Pool // *vec.Vector, len dim
+	codePool sync.Pool // *[]int8, len dim
+
+	vecOff  int
+	vecEnd  int
+	zeroRec []byte // served in place of a record the backend failed to read
+}
+
+var _ ann.NodeStore = (*PagedStore)(nil)
+
+// record returns node v's nodeLen-byte record, faulting its page into
+// the cache if needed. The slice aliases a cache page: valid until
+// Close (mmap) or indefinitely (readat buffers are never reused).
+func (s *PagedStore) record(v uint32) []byte {
+	s.touches.Add(1)
+	page := int64(v) / int64(s.meta.nodesPerPage)
+	buf := s.cache.get(page)
+	if buf == nil {
+		s.faults.Add(1)
+		b, err := s.back.readPage(page)
+		if err != nil {
+			s.ioErrs.Add(1)
+			return s.zeroRec
+		}
+		s.cache.put(page, b)
+		buf = b
+	}
+	off := (int64(v) % int64(s.meta.nodesPerPage)) * int64(s.meta.nodeLen)
+	return buf[off : off+int64(s.meta.nodeLen)]
+}
+
+// Len returns the node count.
+func (s *PagedStore) Len() int { return s.meta.n }
+
+// Dim returns the vector dimensionality.
+func (s *PagedStore) Dim() int { return s.meta.dim }
+
+// Quantized reports whether traversal runs on SQ8 codes.
+func (s *PagedStore) Quantized() bool { return s.meta.quantized }
+
+// NodeLen returns the fixed per-node record length in bytes.
+func (s *PagedStore) NodeLen() int { return s.meta.nodeLen }
+
+// NodesPerPage returns how many records share one page (records never
+// straddle a page boundary).
+func (s *PagedStore) NodesPerPage() int { return s.meta.nodesPerPage }
+
+// Prepare preprocesses a query for traversal: quantized under the
+// resident scales when the store is quantized, plain otherwise.
+func (s *PagedStore) Prepare(query vec.Vector) vec.PreparedQuery {
+	if s.meta.quantized {
+		return vec.PrepareQuantized(s.metric, query, s.scales)
+	}
+	return vec.PrepareQuery(s.metric, query)
+}
+
+// PrepareExact preprocesses a query for full-precision distances.
+func (s *PagedStore) PrepareExact(query vec.Vector) vec.PreparedQuery {
+	return vec.PrepareQuery(s.metric, query)
+}
+
+// Dist evaluates the traversal distance to node v from its record.
+func (s *PagedStore) Dist(q vec.PreparedQuery, v uint32) float32 {
+	rec := s.record(v)
+	if s.meta.quantized {
+		cp := s.codePool.Get().(*[]int8)
+		codes := *cp
+		src := rec[s.vecEnd : s.vecEnd+s.meta.dim]
+		for i, b := range src {
+			codes[i] = int8(b)
+		}
+		d := q.DistanceToCodes(codes)
+		s.codePool.Put(cp)
+		return d
+	}
+	return s.distExactRec(q, rec)
+}
+
+// DistExact evaluates the full-precision distance to node v.
+func (s *PagedStore) DistExact(q vec.PreparedQuery, v uint32) float32 {
+	return s.distExactRec(q, s.record(v))
+}
+
+func (s *PagedStore) distExactRec(q vec.PreparedQuery, rec []byte) float32 {
+	rp := s.rowPool.Get().(*vec.Vector)
+	row := *rp
+	// The record bytes were validated at save; DecodeInto cannot fail on
+	// a full-length slice of a known kind.
+	_ = vec.DecodeInto(s.elem, rec[s.vecOff:s.vecEnd], row)
+	d := q.DistanceTo(row)
+	s.rowPool.Put(rp)
+	return d
+}
+
+// Neighbors copies node v's adjacency into buf. The image carries no
+// per-record CRC in paged mode, so the degree and IDs are range-clamped
+// defensively: damage degrades recall, never memory safety.
+func (s *PagedStore) Neighbors(v uint32, buf []uint32) []uint32 {
+	rec := s.record(v)
+	deg := int(getU32(rec))
+	if deg > s.meta.maxDegree {
+		deg = 0
+	}
+	buf = buf[:0]
+	for i := 0; i < deg; i++ {
+		w := getU32(rec[4+4*i:])
+		if int(w) < s.meta.n {
+			buf = append(buf, w)
+		}
+	}
+	return buf
+}
+
+// Components appends node v's traversal-representation components at
+// the listed dimensions: widened SQ8 codes when quantized, decoded
+// float32 row values otherwise.
+func (s *PagedStore) Components(v uint32, dims []int, buf []float32) []float32 {
+	rec := s.record(v)
+	buf = buf[:0]
+	if s.meta.quantized {
+		src := rec[s.vecEnd : s.vecEnd+s.meta.dim]
+		for _, d := range dims {
+			buf = append(buf, float32(int8(src[d])))
+		}
+		return buf
+	}
+	rp := s.rowPool.Get().(*vec.Vector)
+	row := *rp
+	_ = vec.DecodeInto(s.elem, rec[s.vecOff:s.vecEnd], row)
+	for _, d := range dims {
+		buf = append(buf, row[d])
+	}
+	s.rowPool.Put(rp)
+	return buf
+}
+
+// Stats snapshots the software counters.
+func (s *PagedStore) Stats() PagedStats {
+	return PagedStats{
+		Touches:       s.touches.Load(),
+		Faults:        s.faults.Load(),
+		IOErrors:      s.ioErrs.Load(),
+		ResidentPages: s.cache.len(),
+		CachePages:    s.cache.cap,
+		PageSize:      s.meta.pageSize,
+		TotalPages:    s.meta.pages(),
+	}
+}
+
+// PagedIndex couples a paged family index with the store serving it and
+// the open snapshot file. Search/Len delegate to the family index, so a
+// PagedIndex is itself a snapshot.Index.
+type PagedIndex struct {
+	idx     Index
+	store   *PagedStore
+	f       *os.File
+	algo    string
+	header  Header
+	backend string
+}
+
+// Search delegates to the family index.
+func (p *PagedIndex) Search(query vec.Vector, k int) []ann.Neighbor { return p.idx.Search(query, k) }
+
+// Len returns the node count.
+func (p *PagedIndex) Len() int { return p.idx.Len() }
+
+// Index returns the family index (*hnsw.Index, ...), which implements
+// ann.Index for traced search and tuning.
+func (p *PagedIndex) Index() Index { return p.idx }
+
+// Store returns the paged NodeStore.
+func (p *PagedIndex) Store() *PagedStore { return p.store }
+
+// Algo returns the family name recorded in the snapshot.
+func (p *PagedIndex) Algo() string { return p.algo }
+
+// Header returns the parsed container header.
+func (p *PagedIndex) Header() Header { return p.header }
+
+// Backend reports the byte source actually in use: "mmap" or "readat".
+func (p *PagedIndex) Backend() string { return p.backend }
+
+// Stats snapshots the store's software page counters.
+func (p *PagedIndex) Stats() PagedStats { return p.store.Stats() }
+
+// Close releases the mapping and the file handle. In-flight searches
+// must have drained first.
+func (p *PagedIndex) Close() error {
+	err := p.store.back.Close()
+	if cerr := p.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// readFullAt fills buf from fh at off, classifying short reads as
+// ErrTruncated so the paged opener reports the same typed errors the
+// in-RAM parser does.
+func readFullAt(fh *os.File, buf []byte, off int64, what string) error {
+	if _, err := fh.ReadAt(buf, off); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return fmt.Errorf("%w: %s", ErrTruncated, what)
+		}
+		return fmt.Errorf("snapshot: read %s: %w", what, err)
+	}
+	return nil
+}
+
+// parsePagedFile walks the container with positioned reads: the header
+// and every pinned navigation section are read fully and CRC-checked
+// exactly as parseFile does, while the blocks payload is read only
+// through its self-checksummed 45-byte meta — the multi-gigabyte image
+// is what paging exists to avoid materializing.
+func parsePagedFile(fh *os.File, size int64) (*file, blockMeta, error) {
+	var meta blockMeta
+	hdr := make([]byte, headerSize)
+	if size < int64(len(magic)) {
+		return nil, meta, fmt.Errorf("%w: %d bytes, need at least the %d-byte magic", ErrTruncated, size, len(magic))
+	}
+	if size < headerSize {
+		hdr = hdr[:size]
+	}
+	if err := readFullAt(fh, hdr, 0, "header"); err != nil {
+		return nil, meta, err
+	}
+	h, err := parseHeader(hdr)
+	if err != nil {
+		return nil, meta, err
+	}
+	f := &file{header: h, sections: map[string][]byte{}, offsets: map[string]int{}}
+	haveBlocks := false
+	off := int64(headerSize)
+	for {
+		if off >= size {
+			return nil, meta, fmt.Errorf("%w: missing section terminator", ErrTruncated)
+		}
+		var nb [1]byte
+		if err := readFullAt(fh, nb[:], off, "section frame"); err != nil {
+			return nil, meta, err
+		}
+		nameLen := int(nb[0])
+		off++
+		if nameLen == 0 { // terminator
+			if off != size {
+				return nil, meta, fmt.Errorf("%w: %d trailing bytes after terminator", ErrCorrupt, size-off)
+			}
+			break
+		}
+		if off+int64(nameLen)+12 > size {
+			return nil, meta, fmt.Errorf("%w: section frame at offset %d", ErrTruncated, off-1)
+		}
+		frame := make([]byte, nameLen+12)
+		if err := readFullAt(fh, frame, off, "section frame"); err != nil {
+			return nil, meta, err
+		}
+		name := string(frame[:nameLen])
+		payloadLen := int64(getU64(frame[nameLen:]))
+		wantCRC := getU32(frame[nameLen+8:])
+		off += int64(nameLen) + 12
+		if payloadLen < 0 || payloadLen > size-off {
+			return nil, meta, fmt.Errorf("%w: section %q claims %d payload bytes, %d remain", ErrTruncated, name, payloadLen, size-off)
+		}
+		if _, dup := f.sections[name]; dup {
+			return nil, meta, fmt.Errorf("%w: duplicate section %q", ErrCorrupt, name)
+		}
+		if name == "blocks" {
+			head := make([]byte, blockMetaSize)
+			if payloadLen < blockMetaSize {
+				head = head[:payloadLen]
+			}
+			if err := readFullAt(fh, head, off, "blocks meta"); err != nil {
+				return nil, meta, err
+			}
+			meta, err = parseBlockMeta(head)
+			if err != nil {
+				return nil, meta, err
+			}
+			f.sections[name] = head
+			f.offsets[name] = int(off)
+			// Geometry against the payload frame: meta, alignment pad,
+			// then the image filling the payload exactly.
+			pad := meta.imageOff - off - blockMetaSize
+			if pad < 0 || (meta.pageSize > 0 && pad >= int64(meta.pageSize)) {
+				return nil, meta, fmt.Errorf("%w: image offset %d does not follow the blocks meta at %d", ErrCorrupt, meta.imageOff, off)
+			}
+			if want := blockMetaSize + pad + meta.imageLen; payloadLen != want {
+				if payloadLen < want {
+					return nil, meta, fmt.Errorf("%w: blocks payload is %d bytes, image needs %d", ErrTruncated, payloadLen, want)
+				}
+				return nil, meta, fmt.Errorf("%w: blocks payload is %d bytes, image needs %d", ErrCorrupt, payloadLen, want)
+			}
+			haveBlocks = true
+		} else {
+			payload := make([]byte, payloadLen)
+			if err := readFullAt(fh, payload, off, "section "+name); err != nil {
+				return nil, meta, err
+			}
+			crc := crc32.ChecksumIEEE([]byte(name))
+			crc = crc32.Update(crc, crc32.IEEETable, payload)
+			if crc != wantCRC {
+				return nil, meta, fmt.Errorf("%w: section %q CRC %08x, computed %08x", ErrChecksum, name, wantCRC, crc)
+			}
+			f.sections[name] = payload
+			f.offsets[name] = int(off)
+		}
+		off += payloadLen
+	}
+	if !haveBlocks {
+		return nil, meta, fmt.Errorf("%w: no blocks section; file version %d cannot be page-served (re-save to version %d)",
+			ErrCorrupt, h.Version, FormatVersion)
+	}
+	return f, meta, nil
+}
+
+func getU64(b []byte) uint64 {
+	return uint64(getU32(b)) | uint64(getU32(b[4:]))<<32
+}
+
+// OpenPagedFile opens a version-3 graph-family snapshot for beyond-RAM
+// serving: navigation sections resident, node records traversed through
+// a bounded page cache over mmap (or positioned reads). The returned
+// index serves searches byte-identical to LoadFile of the same file.
+func OpenPagedFile(path string, opts PagedOptions) (*PagedIndex, error) {
+	fh, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: %w", err)
+	}
+	p, err := openPaged(fh, opts)
+	if err != nil {
+		fh.Close()
+		return nil, err
+	}
+	return p, nil
+}
+
+func openPaged(fh *os.File, opts PagedOptions) (*PagedIndex, error) {
+	st, err := fh.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: %w", err)
+	}
+	size := st.Size()
+	f, meta, err := parsePagedFile(fh, size)
+	if err != nil {
+		return nil, err
+	}
+	h := f.header
+	algoBytes, err := f.section("algo")
+	if err != nil {
+		return nil, err
+	}
+	algo := string(algoBytes)
+	if !blockFamilies[algo] {
+		return nil, fmt.Errorf("snapshot: algo %q has no paged serving mode", algo)
+	}
+	if err := meta.validate(h); err != nil {
+		return nil, err
+	}
+	if meta.imageOff+meta.imageLen > size {
+		return nil, fmt.Errorf("%w: image ends at %d, file is %d bytes", ErrTruncated, meta.imageOff+meta.imageLen, size)
+	}
+
+	rerank, scales, hasScales, err := readSQ8Scales(f, h)
+	if err != nil {
+		return nil, err
+	}
+	if hasScales != meta.quantized {
+		return nil, fmt.Errorf("%w: blocks quantized=%v but sq8s section present=%v", ErrCorrupt, meta.quantized, hasScales)
+	}
+	if meta.quantized {
+		h.Quantized = true
+		h.Rerank = rerank
+	}
+	f.header = h
+
+	backend := opts.Backend
+	if backend == "" {
+		backend = "mmap"
+	}
+	var back pageBackend
+	switch backend {
+	case "mmap":
+		data, merr := mmapFile(fh, size)
+		if merr != nil {
+			// Platform without mmap (or mapping failure): serve the same
+			// pages with positioned reads.
+			back, backend = &readatBackend{f: fh, meta: meta}, "readat"
+		} else {
+			back = &mmapBackend{data: data, meta: meta}
+		}
+	case "readat":
+		back = &readatBackend{f: fh, meta: meta}
+	default:
+		return nil, fmt.Errorf("snapshot: unknown paged backend %q (want mmap or readat)", backend)
+	}
+
+	cachePages := opts.CachePages
+	if cachePages == 0 {
+		cachePages = DefaultCachePages
+	}
+	store := &PagedStore{
+		meta:    meta,
+		metric:  h.Metric,
+		elem:    h.Elem,
+		scales:  scales,
+		back:    back,
+		cache:   newPageCache(cachePages),
+		vecOff:  meta.vecOffset(),
+		vecEnd:  meta.codeOffset(h.Elem),
+		zeroRec: make([]byte, meta.nodeLen),
+	}
+	dim := meta.dim
+	store.rowPool.New = func() any {
+		row := make(vec.Vector, dim)
+		return &row
+	}
+	store.codePool.New = func() any {
+		codes := make([]int8, dim)
+		return &codes
+	}
+
+	idx, err := newPagedFamily(algo, h, f, store)
+	if err != nil {
+		back.Close()
+		return nil, err
+	}
+	return &PagedIndex{idx: idx, store: store, f: fh, algo: algo, header: h, backend: backend}, nil
+}
+
+// newPagedFamily assembles the search-only family index over the paged
+// store from the resident navigation sections.
+func newPagedFamily(algo string, h Header, f *file, store *PagedStore) (Index, error) {
+	switch algo {
+	case "hnsw":
+		cfg, entry, maxLevel, levels, upper, err := decodeHNSWMeta(h, f, h.Rows)
+		if err != nil {
+			return nil, err
+		}
+		x, err := hnsw.FromStore(cfg, store, upper, levels, entry, maxLevel)
+		return x, corrupt(err)
+	case "diskann":
+		cfg, medoid, err := decodeVamanaMeta(h, f)
+		if err != nil {
+			return nil, err
+		}
+		x, err := vamana.FromStore(cfg, store, medoid)
+		return x, corrupt(err)
+	case "hcnng":
+		cfg, entry, err := decodeHCNNGMeta(h, f)
+		if err != nil {
+			return nil, err
+		}
+		x, err := hcnng.FromStore(cfg, store, entry)
+		return x, corrupt(err)
+	case "togg":
+		cfg, entry, dims, err := decodeTOGGMeta(h, f)
+		if err != nil {
+			return nil, err
+		}
+		x, err := togg.FromStore(cfg, store, entry, dims)
+		return x, corrupt(err)
+	default:
+		return nil, fmt.Errorf("snapshot: algo %q has no paged serving mode", algo)
+	}
+}

@@ -1,0 +1,176 @@
+package snapshot
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"ndsearch/internal/ann"
+	"ndsearch/internal/vec"
+)
+
+func writeFileForTest(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}
+
+// pagedAlgos is the family set with a paged serving mode, in a fixed
+// order for deterministic subtest names.
+var pagedAlgos = []string{"hnsw", "diskann", "hcnng", "togg"}
+
+func savedSnapshot(t testing.TB, idx Index) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "index.ndss")
+	if _, err := SaveFile(path, idx, vec.F32); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	return path
+}
+
+// The acceptance property: a paged (beyond-RAM) index returns results
+// byte-identical to the in-RAM load of the same snapshot, across all
+// four graph families, every metric each supports, full-precision and
+// quantized, multiple k, and both byte backends — with a cache far
+// smaller than the image so eviction is actually exercised.
+func TestPagedByteIdentity(t *testing.T) {
+	const n, dim = 260, 12
+	queries := testQueries(8, dim, 99)
+	for _, algo := range pagedAlgos {
+		for _, m := range metricsOf(algo) {
+			for _, quantized := range []bool{false, true} {
+				name := algo + "/" + m.String()
+				if quantized {
+					name += "/sq8"
+				}
+				t.Run(name, func(t *testing.T) {
+					var built Index
+					if quantized {
+						built = buildQuantFamily(t, algo, m, testData(n, dim, 7), 24)
+					} else {
+						built = buildFamily(t, algo, m, testData(n, dim, 7))
+					}
+					path := savedSnapshot(t, built)
+					ram, err := LoadFile(path)
+					if err != nil {
+						t.Fatalf("load: %v", err)
+					}
+					for _, backend := range []string{"mmap", "readat"} {
+						paged, err := OpenPagedFile(path, PagedOptions{Backend: backend, CachePages: 2})
+						if err != nil {
+							t.Fatalf("open paged (%s): %v", backend, err)
+						}
+						defer paged.Close()
+						if !mmapSupported && backend == "mmap" && paged.Backend() != "readat" {
+							t.Fatalf("mmap unsupported but backend = %q", paged.Backend())
+						}
+						for _, q := range queries {
+							for _, k := range []int{1, 5, 17, n + 50} {
+								requireSameResults(t, name+"/"+backend,
+									paged.Search(q, k), ram.Search(q, k))
+							}
+						}
+						st := paged.Stats()
+						if st.Touches == 0 || st.Faults == 0 {
+							t.Errorf("%s: counters not advancing: %+v", backend, st)
+						}
+						if st.ResidentPages > st.CachePages {
+							t.Errorf("%s: resident %d exceeds cache budget %d", backend, st.ResidentPages, st.CachePages)
+						}
+						if st.IOErrors != 0 {
+							t.Errorf("%s: %d I/O errors", backend, st.IOErrors)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// Concurrent searches over one paged store stay byte-identical to the
+// RAM index — the test the CI race pass runs with -race to check the
+// page cache's locking.
+func TestPagedConcurrentSearches(t *testing.T) {
+	const n, dim, workers = 200, 10, 8
+	built := buildQuantFamily(t, "hnsw", vec.L2, testData(n, dim, 5), 16)
+	path := savedSnapshot(t, built)
+	ram, err := LoadFile(path)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	paged, err := OpenPagedFile(path, PagedOptions{CachePages: 2})
+	if err != nil {
+		t.Fatalf("open paged: %v", err)
+	}
+	defer paged.Close()
+	queries := testQueries(24, dim, 77)
+	want := make([][]ann.Neighbor, len(queries))
+	for i, q := range queries {
+		want[i] = ram.Search(q, 9)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for rep := 0; rep < 4; rep++ {
+				for i, q := range queries {
+					got := paged.Search(q, 9)
+					if len(got) != len(want[i]) {
+						t.Errorf("worker %d query %d: %d results, want %d", w, i, len(got), len(want[i]))
+						return
+					}
+					for j := range got {
+						if got[j] != want[i][j] {
+							t.Errorf("worker %d query %d rank %d: %+v, want %+v", w, i, j, got[j], want[i][j])
+							return
+						}
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// A paged index cannot be re-saved (its corpus lives in blocks it does
+// not own); Save must say so instead of panicking on nil internals.
+func TestPagedIndexResaveRejected(t *testing.T) {
+	built := buildFamily(t, "hnsw", vec.L2, testData(120, 8, 3))
+	path := savedSnapshot(t, built)
+	paged, err := OpenPagedFile(path, PagedOptions{})
+	if err != nil {
+		t.Fatalf("open paged: %v", err)
+	}
+	defer paged.Close()
+	if _, err := SaveFile(filepath.Join(t.TempDir(), "resave.ndss"), paged.Index(), vec.F32); err == nil {
+		t.Fatalf("re-saving a paged index succeeded")
+	}
+}
+
+// Flat families have no blocks section; the paged opener refuses them
+// with a clear error rather than a structural parse failure.
+func TestPagedOpenRejectsFlatFamilies(t *testing.T) {
+	built := buildFamily(t, "exact", vec.L2, testData(60, 8, 3))
+	path := savedSnapshot(t, built)
+	if _, err := OpenPagedFile(path, PagedOptions{}); err == nil {
+		t.Fatalf("paged open of an exact snapshot succeeded")
+	}
+}
+
+// Legacy (v1/v2) files have no blocks section either; paged open fails
+// typed, in-RAM load still works.
+func TestPagedOpenRejectsLegacyFiles(t *testing.T) {
+	built := buildFamily(t, "diskann", vec.L2, testData(80, 8, 17))
+	img := saveLegacy(t, built, 2)
+	path := filepath.Join(t.TempDir(), "legacy.ndss")
+	if err := writeFileForTest(path, img); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if _, err := OpenPagedFile(path, PagedOptions{}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("paged open of a v2 file: err = %v, want ErrCorrupt", err)
+	}
+	if _, err := LoadFile(path); err != nil {
+		t.Fatalf("RAM load of a v2 file: %v", err)
+	}
+}

@@ -161,8 +161,8 @@ func TestQuantizedSnapshotByteIdenticalResave(t *testing.T) {
 			if err != nil {
 				t.Fatalf("parse own save: %v", err)
 			}
-			if _, ok := f.sections["sq8"]; !ok {
-				t.Fatalf("quantized save has no sq8 section")
+			if _, ok := f.sections["sq8s"]; !ok {
+				t.Fatalf("quantized save has no sq8s section")
 			}
 			loaded, err := Load(bytes.NewReader(first.Bytes()))
 			if err != nil {
@@ -187,29 +187,22 @@ func TestQuantizedSnapshotByteIdenticalResave(t *testing.T) {
 			if err != nil {
 				t.Fatalf("parse plain save: %v", err)
 			}
-			if _, ok := pf.sections["sq8"]; ok {
-				t.Fatalf("full-precision save grew an sq8 section")
+			if _, ok := pf.sections["sq8s"]; ok {
+				t.Fatalf("full-precision save grew an sq8s section")
 			}
 		})
 	}
 }
 
 // Version-1 files (written before the sq8 section existed) must keep
-// loading as full-precision indexes. A full-precision version-2 file
-// has the exact byte layout a version-1 writer produced apart from the
-// version field, so patching it down reconstructs a genuine v1 file.
+// loading as full-precision indexes. saveLegacy reproduces the exact
+// byte layout the version-1 writer emitted.
 func TestVersion1SnapshotStillLoads(t *testing.T) {
 	for _, algo := range Algos() {
 		t.Run(algo, func(t *testing.T) {
 			data := testData(80, 8, 17)
 			built := buildFamily(t, algo, metricsOf(algo)[0], data)
-			var buf bytes.Buffer
-			if err := Save(&buf, built, vec.F32); err != nil {
-				t.Fatalf("save: %v", err)
-			}
-			v1 := append([]byte(nil), buf.Bytes()...)
-			binary.LittleEndian.PutUint16(v1[4:6], 1)
-			binary.LittleEndian.PutUint32(v1[20:24], crc32.ChecksumIEEE(v1[:20]))
+			v1 := saveLegacy(t, built, 1)
 			loaded, err := Load(bytes.NewReader(v1))
 			if err != nil {
 				t.Fatalf("load v1 file: %v", err)
@@ -259,16 +252,13 @@ func resealSection(data []byte, name string, crcOff, payloadOff, payloadLen int)
 	binary.LittleEndian.PutUint32(data[crcOff:crcOff+4], crc)
 }
 
-// Damage inside the sq8 section surfaces as the right typed error:
-// bit rot under the checksum is ErrChecksum; structurally invalid
-// payloads behind a valid checksum are ErrCorrupt. Never a panic.
+// Damage inside a legacy (version-2) file's sq8 section surfaces as
+// the right typed error: bit rot under the checksum is ErrChecksum;
+// structurally invalid payloads behind a valid checksum are ErrCorrupt.
+// Never a panic.
 func TestSQ8SectionCorruption(t *testing.T) {
 	built := buildQuantFamily(t, "hnsw", vec.L2, testData(100, 8, 23), 8)
-	var buf bytes.Buffer
-	if err := Save(&buf, built, vec.F32); err != nil {
-		t.Fatalf("save: %v", err)
-	}
-	good := buf.Bytes()
+	good := saveLegacy(t, built, 2)
 	crcOff, payloadOff, payloadLen := findSection(t, good, "sq8")
 
 	// Payload layout offsets (see quant.go): rerank u32, rows u32,

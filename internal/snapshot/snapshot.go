@@ -29,6 +29,7 @@ import (
 	"path/filepath"
 
 	"ndsearch/internal/ann"
+	"ndsearch/internal/graph"
 	"ndsearch/internal/hcnng"
 	"ndsearch/internal/hnsw"
 	"ndsearch/internal/ivfpq"
@@ -56,6 +57,9 @@ var (
 	// ErrCorrupt means the framing and checksums held but the decoded
 	// structure is invalid (missing section, out-of-range vertex, ...).
 	ErrCorrupt = errors.New("snapshot: corrupt snapshot")
+	// ErrMisaligned means a version-3 blocks section records a node image
+	// offset that is not page-aligned, so the file cannot be page-served.
+	ErrMisaligned = errors.New("snapshot: misaligned block image")
 )
 
 // Index is the minimal interface a snapshot restores: enough to serve
@@ -67,9 +71,12 @@ type Index interface {
 }
 
 // Saver appends a family's structure sections to the file under
-// construction and reports the header fields (metric + corpus matrix).
-// The "algo" and "matrix" sections are written by Save itself.
-type Saver func(idx Index, b *builder) (vec.Metric, *vec.Matrix, error)
+// construction and reports the header fields (metric + corpus matrix)
+// plus, for the graph families, the base-layer adjacency that Save
+// packs into the page-aligned "blocks" section. A nil graph means the
+// family is flat (exact, ivfpq) and Save writes the classic "matrix"
+// section instead. The "algo" section is written by Save itself.
+type Saver func(idx Index, b *builder) (vec.Metric, *vec.Matrix, *graph.Graph, error)
 
 // Loader rebuilds a family index from a parsed file. mat is the already
 // decoded corpus matrix.
@@ -91,6 +98,17 @@ var families = map[string]family{
 	"hcnng":   {save: saveHCNNG, load: loadHCNNG},
 	"togg":    {save: saveTOGG, load: loadTOGG},
 	"ivfpq":   {save: saveIVFPQ, load: loadIVFPQ},
+}
+
+// blockFamilies marks the graph-traversal families whose version-3
+// snapshots pack corpus rows, SQ8 codes, and base adjacency into the
+// page-aligned "blocks" section (exact and ivfpq keep the flat v2
+// section shapes under the v3 header).
+var blockFamilies = map[string]bool{
+	"hnsw":    true,
+	"diskann": true,
+	"hcnng":   true,
+	"togg":    true,
 }
 
 // Algos returns the registered family names.
@@ -134,18 +152,28 @@ func Save(w io.Writer, idx Index, elem vec.ElemKind) error {
 	fam := families[algo]
 	b := &builder{}
 	b.add("algo", []byte(algo))
-	metric, mat, err := fam.save(idx, b)
+	metric, mat, base, err := fam.save(idx, b)
 	if err != nil {
 		return fmt.Errorf("snapshot: save %s: %w", algo, err)
 	}
-	matrixPayload, err := encodeMatrix(mat, elem)
-	if err != nil {
-		return fmt.Errorf("snapshot: save %s: %w", algo, err)
-	}
-	// Prepend the two common sections so every file reads the same way:
-	// algo first, corpus second, family structure after.
-	b.sections = append([]section{b.sections[0], {name: "matrix", payload: matrixPayload}}, b.sections[1:]...)
 	h := Header{Version: FormatVersion, Metric: metric, Elem: elem, Dim: mat.Dim(), Rows: mat.Rows()}
+	if base != nil {
+		// Graph family: corpus rows, codes, and base adjacency co-locate
+		// in the page-aligned "blocks" section, written last so its node
+		// image can sit at a page boundary computed from everything that
+		// precedes it.
+		if err := addBlocks(b, h, mat, base, elem); err != nil {
+			return fmt.Errorf("snapshot: save %s: %w", algo, err)
+		}
+	} else {
+		matrixPayload, err := encodeMatrix(mat, elem)
+		if err != nil {
+			return fmt.Errorf("snapshot: save %s: %w", algo, err)
+		}
+		// Prepend the corpus so flat files read the same way they always
+		// have: algo first, corpus second, family structure after.
+		b.sections = append([]section{b.sections[0], {name: "matrix", payload: matrixPayload}}, b.sections[1:]...)
+	}
 	if _, err := w.Write(b.assemble(h)); err != nil {
 		return fmt.Errorf("snapshot: write: %w", err)
 	}
@@ -173,22 +201,36 @@ func Load(r io.Reader) (Index, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: unknown algo %q", ErrCorrupt, algo)
 	}
-	matPayload, err := f.section("matrix")
-	if err != nil {
-		return nil, err
+	var mat *vec.Matrix
+	if f.header.Version >= 3 && blockFamilies[algo] {
+		// Version-3 graph family: rows, codes, and base adjacency live in
+		// the page-aligned "blocks" section. decodeBlocks reconstructs
+		// the matrix (norms recomputed with the same accumulation the
+		// build used), attaches the SQ8 tier from the scales-only "sq8s"
+		// section, and stashes the base graph on f for the family loader.
+		mat, err = decodeBlocks(f)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		matPayload, err := f.section("matrix")
+		if err != nil {
+			return nil, err
+		}
+		mat, err = decodeMatrix(f.header, matPayload)
+		if err != nil {
+			return nil, err
+		}
+		// Attach the compressed tier (if saved) before the family loader
+		// runs, so FromParts finds the stored codes instead of
+		// requantizing.
+		rerank, quantized, err := readSQ8(f, mat)
+		if err != nil {
+			return nil, err
+		}
+		f.header.Quantized = quantized
+		f.header.Rerank = rerank
 	}
-	mat, err := decodeMatrix(f.header, matPayload)
-	if err != nil {
-		return nil, err
-	}
-	// Attach the compressed tier (if saved) before the family loader
-	// runs, so FromParts finds the stored codes instead of requantizing.
-	rerank, quantized, err := readSQ8(f, mat)
-	if err != nil {
-		return nil, err
-	}
-	f.header.Quantized = quantized
-	f.header.Rerank = rerank
 	idx, err := fam.load(f.header, f, mat)
 	if err != nil {
 		return nil, err

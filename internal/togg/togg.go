@@ -74,10 +74,15 @@ type Index struct {
 	// tkern is the traversal kernel: the SQ8 code-space kernel in
 	// quantized mode, otherwise kern itself. Construction and exact
 	// rerank always use kern.
-	tkern     *vec.Kernel
+	tkern *vec.Kernel
+	// store is the traversal/storage boundary all search-time node
+	// access goes through; paged indexes (FromStore) traverse snapshot
+	// blocks and leave mat/kern/tkern/g nil.
+	store     ann.NodeStore
 	g         *graph.Graph
 	entry     uint32
 	guideDims []int // top-variance dimensions used by stage one
+	n         int
 }
 
 var _ ann.Index = (*Index)(nil)
@@ -100,7 +105,45 @@ func Build(data []vec.Vector, cfg Config) (*Index, error) {
 	x.pickGuideDims()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	x.entry = uint32(rng.Intn(len(data)))
+	x.initStore()
 	return x, nil
+}
+
+// initStore wires the in-RAM NodeStore once graph and kernels exist.
+func (x *Index) initStore() {
+	x.n = x.mat.Rows()
+	x.store = ann.NewKernelStore(x.kern, x.tkern, x.g)
+}
+
+// FromStore assembles a search-only index over an external NodeStore —
+// the paged (beyond-RAM) serving path, where adjacency and vectors
+// live in snapshot blocks and only the entry point and guide
+// dimensions are resident. The index cannot be re-saved (BaseGraph is
+// nil) and serves searches only.
+func FromStore(cfg Config, store ann.NodeStore, entry uint32, guideDims []int) (*Index, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := store.Len()
+	if n == 0 {
+		return nil, fmt.Errorf("togg: empty store")
+	}
+	if cfg.Quantized != store.Quantized() {
+		return nil, fmt.Errorf("togg: config quantized=%v but store quantized=%v", cfg.Quantized, store.Quantized())
+	}
+	if int(entry) >= n {
+		return nil, fmt.Errorf("togg: entry %d out of range %d", entry, n)
+	}
+	dim := store.Dim()
+	if len(guideDims) == 0 || len(guideDims) > dim {
+		return nil, fmt.Errorf("togg: %d guide dims for dim %d", len(guideDims), dim)
+	}
+	for _, d := range guideDims {
+		if d < 0 || d >= dim {
+			return nil, fmt.Errorf("togg: guide dim %d out of range %d", d, dim)
+		}
+	}
+	return &Index{cfg: cfg, store: store, entry: entry, guideDims: guideDims, n: n}, nil
 }
 
 // FromParts reassembles a built index from its serialized parts — the
@@ -135,6 +178,7 @@ func FromParts(cfg Config, mat *vec.Matrix, g *graph.Graph, entry uint32, guideD
 		g: g, entry: entry, guideDims: guideDims,
 	}
 	x.initTraversal()
+	x.initStore()
 	return x, nil
 }
 
@@ -217,59 +261,64 @@ func (x *Index) pickGuideDims() {
 	x.guideDims = idxs[:g]
 }
 
+// guideScratch is per-search reusable buffers for the guided stage:
+// neighbor IDs plus the current vertex's and each neighbor's guide
+// components (paged stores decode into them; in-RAM stores overwrite
+// them with copies of resident values).
+type guideScratch struct {
+	nbrs     []uint32
+	cur, nbr []float32
+}
+
+// queryComponents extracts the query's guide-dimension components in
+// the store's traversal representation: widened int8 codes when
+// quantized (the same values the distance kernel sees; code values and
+// their pairwise differences are exact in float32, so the sign votes
+// match the previous integer arithmetic bit for bit), float32
+// components otherwise.
+func (x *Index) queryComponents(st ann.NodeStore, q vec.PreparedQuery) []float32 {
+	out := make([]float32, len(x.guideDims))
+	if st.Quantized() {
+		qc := q.Codes()
+		for i, d := range x.guideDims {
+			out[i] = float32(qc[d])
+		}
+		return out
+	}
+	query := q.Vec()
+	for i, d := range x.guideDims {
+		out[i] = query[d]
+	}
+	return out
+}
+
 // guidedStep selects among cur's neighbors the closest one lying in the
 // query's direction octant (sign agreement over the guide dimensions).
-// Returns false if no neighbor qualifies or improves. In quantized mode
-// the sign votes read the int8 codes — the same representation the
-// distance kernel sees — widened to int before differencing (a code
-// difference can reach ±254, which would wrap in int8).
-func (x *Index) guidedStep(q vec.PreparedQuery, cur uint32, curDist float32, tr *trace.Query) (uint32, float32, bool) {
-	nbrs := x.g.Neighbors(cur)
+// Returns false if no neighbor qualifies or improves. qc holds the
+// query's guide components from queryComponents.
+func (x *Index) guidedStep(st ann.NodeStore, q vec.PreparedQuery, cur uint32, curDist float32, qc []float32, s *guideScratch, tr *trace.Query) (uint32, float32, bool) {
+	s.nbrs = st.Neighbors(cur, s.nbrs)
 	best := cur
 	bestDist := curDist
 	var computed []uint32
-	if sq := x.mat.SQ8(); x.cfg.Quantized && sq != nil {
-		qc := q.Codes()
-		curRow := sq.Row(int(cur))
-		for _, n := range nbrs {
-			agree := 0
-			nRow := sq.Row(int(n))
-			for _, d := range x.guideDims {
-				dq := int(qc[d]) - int(curRow[d])
-				dn := int(nRow[d]) - int(curRow[d])
-				if (dq >= 0) == (dn >= 0) {
-					agree++
-				}
-			}
-			if agree*2 < len(x.guideDims) {
-				continue
-			}
-			computed = append(computed, n)
-			if d := x.tkern.DistTo(q, int(n)); d < bestDist {
-				best, bestDist = n, d
+	s.cur = st.Components(cur, x.guideDims, s.cur)
+	for _, n := range s.nbrs {
+		agree := 0
+		s.nbr = st.Components(n, x.guideDims, s.nbr)
+		for i := range x.guideDims {
+			dq := qc[i] - s.cur[i]
+			dn := s.nbr[i] - s.cur[i]
+			if (dq >= 0) == (dn >= 0) {
+				agree++
 			}
 		}
-	} else {
-		query := q.Vec()
-		curRow := x.mat.Row(int(cur))
-		for _, n := range nbrs {
-			agree := 0
-			nRow := x.mat.Row(int(n))
-			for _, d := range x.guideDims {
-				dq := query[d] - curRow[d]
-				dn := nRow[d] - curRow[d]
-				if (dq >= 0) == (dn >= 0) {
-					agree++
-				}
-			}
-			// Expand only neighbors pointing mostly toward the query.
-			if agree*2 < len(x.guideDims) {
-				continue
-			}
-			computed = append(computed, n)
-			if d := x.tkern.DistTo(q, int(n)); d < bestDist {
-				best, bestDist = n, d
-			}
+		// Expand only neighbors pointing mostly toward the query.
+		if agree*2 < len(x.guideDims) {
+			continue
+		}
+		computed = append(computed, n)
+		if d := st.Dist(q, n); d < bestDist {
+			best, bestDist = n, d
 		}
 	}
 	if tr != nil && len(computed) > 0 {
@@ -292,12 +341,15 @@ func (x *Index) SearchTraced(query vec.Vector, k int) ([]ann.Neighbor, trace.Que
 }
 
 func (x *Index) searchInternal(query vec.Vector, k int, tr *trace.Query) ([]ann.Neighbor, error) {
-	q := x.tkern.Prepare(query)
+	st := x.store
+	q := st.Prepare(query)
 	// Stage one: guided routing toward the query's region.
 	cur := x.entry
-	curDist := x.tkern.DistTo(q, int(cur))
+	curDist := st.Dist(q, cur)
+	qc := x.queryComponents(st, q)
+	var scratch guideScratch
 	for hop := 0; hop < x.cfg.GuideHops; hop++ {
-		next, nextDist, moved := x.guidedStep(q, cur, curDist, tr)
+		next, nextDist, moved := x.guidedStep(st, q, cur, curDist, qc, &scratch, tr)
 		if !moved {
 			break
 		}
@@ -308,33 +360,9 @@ func (x *Index) searchInternal(query vec.Vector, k int, tr *trace.Query) ([]ann.
 	if l < k {
 		l = k
 	}
-	visited := map[uint32]bool{cur: true}
-	f := ann.NewFrontier(l)
-	f.Push(ann.Neighbor{ID: cur, Dist: curDist})
-	for {
-		c, ok := f.PopNearest()
-		if !ok {
-			break
-		}
-		if worst, full := f.WorstDist(); full && c.Dist > worst {
-			break
-		}
-		var computed []uint32
-		for _, n := range x.g.Neighbors(c.ID) {
-			if visited[n] {
-				continue
-			}
-			visited[n] = true
-			computed = append(computed, n)
-			f.Push(ann.Neighbor{ID: n, Dist: x.tkern.DistTo(q, int(n))})
-		}
-		if tr != nil && len(computed) > 0 {
-			tr.Iters = append(tr.Iters, trace.Iter{Entry: c.ID, Neighbors: computed})
-		}
-	}
-	res := f.Results()
+	res := ann.BeamSearch(st, q, ann.Neighbor{ID: cur, Dist: curDist}, l, tr)
 	if x.cfg.Quantized {
-		return ann.RerankExact(x.kern, query, res, x.cfg.Rerank, k), nil
+		return ann.RerankExactStore(st, query, res, x.cfg.Rerank, k), nil
 	}
 	if k < len(res) {
 		res = res[:k]
@@ -342,14 +370,25 @@ func (x *Index) searchInternal(query vec.Vector, k int, tr *trace.Query) ([]ann.
 	return res, nil
 }
 
-// Graph returns the proximity graph.
-func (x *Index) Graph() ann.GraphView { return x.g }
+// Graph returns the proximity graph (a store-backed view when the
+// adjacency lives in snapshot blocks).
+func (x *Index) Graph() ann.GraphView {
+	if x.g != nil {
+		return x.g
+	}
+	return ann.StoreGraph{S: x.store}
+}
 
-// BaseGraph returns the mutable graph for placement experiments.
+// BaseGraph returns the mutable graph for placement experiments and
+// snapshot saving; nil for a paged (FromStore) index.
 func (x *Index) BaseGraph() *graph.Graph { return x.g }
 
+// Store returns the traversal/storage boundary the index searches
+// through.
+func (x *Index) Store() ann.NodeStore { return x.store }
+
 // Len returns the number of indexed vectors.
-func (x *Index) Len() int { return x.mat.Rows() }
+func (x *Index) Len() int { return x.n }
 
 // Entry returns the stage-one entry point.
 func (x *Index) Entry() uint32 { return x.entry }
@@ -362,7 +401,8 @@ func (x *Index) GuideDims() []int { return x.guideDims }
 // index.
 func (x *Index) Params() Config { return x.cfg }
 
-// Matrix returns the corpus store. Callers must not mutate it.
+// Matrix returns the corpus store; nil for a paged (FromStore) index.
+// Callers must not mutate it.
 func (x *Index) Matrix() *vec.Matrix { return x.mat }
 
 // SetBeamWidth implements ann.Tunable (stage two's beam).

@@ -74,9 +74,14 @@ type Index struct {
 	// tkern is the traversal kernel: the SQ8 code-space kernel in
 	// quantized mode, otherwise kern itself. Construction and exact
 	// rerank always use kern.
-	tkern  *vec.Kernel
+	tkern *vec.Kernel
+	// store is the traversal/storage boundary all search-time node
+	// access goes through; paged indexes (FromStore) traverse snapshot
+	// blocks and leave mat/kern/tkern/g nil.
+	store  ann.NodeStore
 	g      *graph.Graph
 	medoid uint32
+	n      int
 }
 
 var _ ann.Index = (*Index)(nil)
@@ -123,7 +128,35 @@ func Build(data []vec.Vector, cfg Config) (*Index, error) {
 			}
 		}
 	}
+	idx.initStore()
 	return idx, nil
+}
+
+// initStore wires the in-RAM NodeStore once graph and kernels exist.
+func (x *Index) initStore() {
+	x.n = x.mat.Rows()
+	x.store = ann.NewKernelStore(x.kern, x.tkern, x.g)
+}
+
+// FromStore assembles a search-only index over an external NodeStore —
+// the paged (beyond-RAM) serving path, where adjacency and vectors
+// live in snapshot blocks and only the medoid is resident. The index
+// cannot be re-saved (BaseGraph is nil) and serves searches only.
+func FromStore(cfg Config, store ann.NodeStore, medoid uint32) (*Index, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := store.Len()
+	if n == 0 {
+		return nil, fmt.Errorf("vamana: empty store")
+	}
+	if cfg.Quantized != store.Quantized() {
+		return nil, fmt.Errorf("vamana: config quantized=%v but store quantized=%v", cfg.Quantized, store.Quantized())
+	}
+	if int(medoid) >= n {
+		return nil, fmt.Errorf("vamana: medoid %d out of range %d", medoid, n)
+	}
+	return &Index{cfg: cfg, store: store, medoid: medoid, n: n}, nil
 }
 
 // FromParts reassembles a built index from its serialized parts — the
@@ -146,6 +179,7 @@ func FromParts(cfg Config, mat *vec.Matrix, g *graph.Graph, medoid uint32) (*Ind
 	}
 	idx := &Index{cfg: cfg, mat: mat, kern: vec.NewKernel(cfg.Metric, mat), g: g, medoid: medoid}
 	idx.initTraversal()
+	idx.initStore()
 	return idx, nil
 }
 
@@ -284,34 +318,11 @@ func (x *Index) searchInternal(query vec.Vector, k int, tr *trace.Query) ([]ann.
 	if l < k {
 		l = k
 	}
-	q := x.tkern.Prepare(query)
-	visited := map[uint32]bool{x.medoid: true}
-	f := ann.NewFrontier(l)
-	f.Push(ann.Neighbor{ID: x.medoid, Dist: x.tkern.DistTo(q, int(x.medoid))})
-	for {
-		c, ok := f.PopNearest()
-		if !ok {
-			break
-		}
-		if worst, full := f.WorstDist(); full && c.Dist > worst {
-			break
-		}
-		var computed []uint32
-		for _, n := range x.g.Neighbors(c.ID) {
-			if visited[n] {
-				continue
-			}
-			visited[n] = true
-			computed = append(computed, n)
-			f.Push(ann.Neighbor{ID: n, Dist: x.tkern.DistTo(q, int(n))})
-		}
-		if tr != nil && len(computed) > 0 {
-			tr.Iters = append(tr.Iters, trace.Iter{Entry: c.ID, Neighbors: computed})
-		}
-	}
-	res := f.Results()
+	st := x.store
+	q := st.Prepare(query)
+	res := ann.BeamSearch(st, q, ann.Neighbor{ID: x.medoid, Dist: st.Dist(q, x.medoid)}, l, tr)
 	if x.cfg.Quantized {
-		return ann.RerankExact(x.kern, query, res, x.cfg.Rerank, k), nil
+		return ann.RerankExactStore(st, query, res, x.cfg.Rerank, k), nil
 	}
 	if k < len(res) {
 		res = res[:k]
@@ -319,14 +330,25 @@ func (x *Index) searchInternal(query vec.Vector, k int, tr *trace.Query) ([]ann.
 	return res, nil
 }
 
-// Graph returns the proximity graph.
-func (x *Index) Graph() ann.GraphView { return x.g }
+// Graph returns the proximity graph (a store-backed view when the
+// adjacency lives in snapshot blocks).
+func (x *Index) Graph() ann.GraphView {
+	if x.g != nil {
+		return x.g
+	}
+	return ann.StoreGraph{S: x.store}
+}
 
-// BaseGraph returns the mutable graph for placement experiments.
+// BaseGraph returns the mutable graph for placement experiments and
+// snapshot saving; nil for a paged (FromStore) index.
 func (x *Index) BaseGraph() *graph.Graph { return x.g }
 
+// Store returns the traversal/storage boundary the index searches
+// through.
+func (x *Index) Store() ann.NodeStore { return x.store }
+
 // Len returns the number of indexed vectors.
-func (x *Index) Len() int { return x.mat.Rows() }
+func (x *Index) Len() int { return x.n }
 
 // Medoid returns the search entry point.
 func (x *Index) Medoid() uint32 { return x.medoid }
@@ -335,7 +357,8 @@ func (x *Index) Medoid() uint32 { return x.medoid }
 // index.
 func (x *Index) Params() Config { return x.cfg }
 
-// Matrix returns the corpus store. Callers must not mutate it.
+// Matrix returns the corpus store; nil for a paged (FromStore) index.
+// Callers must not mutate it.
 func (x *Index) Matrix() *vec.Matrix { return x.mat }
 
 // SetLSearch adjusts the search beam width.

@@ -41,11 +41,23 @@ func Encode(k ElemKind, v Vector, dst []byte) (int, error) {
 
 // Decode reads a vector of dimension dim and element kind k from src.
 func Decode(k ElemKind, dim int, src []byte) (Vector, error) {
+	out := make(Vector, dim)
+	if err := DecodeInto(k, src, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// DecodeInto decodes len(out) components of element kind k from src
+// into out — the allocation-free path paged stores run per distance
+// evaluation, decoding node records into pooled buffers. Semantics are
+// identical to Decode.
+func DecodeInto(k ElemKind, src []byte, out Vector) error {
+	dim := len(out)
 	need := StoredBytes(k, dim)
 	if len(src) < need {
-		return nil, fmt.Errorf("vec: decode needs %d bytes, have %d", need, len(src))
+		return fmt.Errorf("vec: decode needs %d bytes, have %d", need, len(src))
 	}
-	out := make(Vector, dim)
 	switch k {
 	case F32:
 		for i := range out {
@@ -60,9 +72,9 @@ func Decode(k ElemKind, dim int, src []byte) (Vector, error) {
 			out[i] = float32(int8(src[i]))
 		}
 	default:
-		return nil, fmt.Errorf("vec: unknown element kind %d", k)
+		return fmt.Errorf("vec: unknown element kind %d", k)
 	}
-	return out, nil
+	return nil
 }
 
 func clamp(x, lo, hi float32) float32 {
