@@ -1,0 +1,100 @@
+// Command ndvet runs the module's invariant lints (internal/lint) over
+// a set of packages and reports violations.
+//
+// Usage:
+//
+//	go run ./cmd/ndvet [-json] [-list] [patterns...]
+//
+// Patterns default to ./... and follow go-tool conventions: ./... walks
+// the module, ./internal/foo names one package; testdata, vendor, and
+// hidden directories are skipped. In-package and external test files
+// are analyzed (closecheck exists for them).
+//
+// Exit status: 0 when clean, 1 when any finding is reported, 2 when the
+// packages fail to load or type-check.
+//
+// A finding can be suppressed at the reporting line (or the line above)
+// with
+//
+//	//ndvet:ignore <analyzer> <reason>
+//
+// where the reason is mandatory — a bare directive is itself a finding.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"ndsearch/internal/lint"
+	"ndsearch/internal/lint/analysis"
+	"ndsearch/internal/lint/loader"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("ndvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array of {file,line,col,analyzer,message}")
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	dir := fs.String("C", ".", "module directory to analyze")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers := lint.Suite()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	l, err := loader.New(*dir)
+	if err != nil {
+		fmt.Fprintln(stderr, "ndvet:", err)
+		return 2
+	}
+	pkgs, err := l.Load(patterns...)
+	if err != nil {
+		fmt.Fprintln(stderr, "ndvet:", err)
+		return 2
+	}
+	findings, err := analysis.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(stderr, "ndvet:", err)
+		return 2
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []analysis.Finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(stderr, "ndvet:", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintln(stdout, f)
+		}
+	}
+	if len(findings) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(stderr, "ndvet: %d finding(s)\n", len(findings))
+		}
+		return 1
+	}
+	return 0
+}

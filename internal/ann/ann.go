@@ -264,22 +264,22 @@ func Validate(ns []Neighbor, n int) error {
 	seen := make(map[uint32]bool, len(ns))
 	for i, x := range ns {
 		if int(x.ID) >= n {
-			return fmt.Errorf("ann: result ID %d out of range %d", x.ID, n)
+			return fmt.Errorf("%w: result ID %d out of range %d", ErrInvalidResults, x.ID, n)
 		}
 		if x.Dist != x.Dist {
-			return fmt.Errorf("ann: result %d (ID %d) has NaN distance", i, x.ID)
+			return fmt.Errorf("%w: result %d (ID %d) has NaN distance", ErrInvalidResults, i, x.ID)
 		}
 		if seen[x.ID] {
-			return fmt.Errorf("ann: duplicate result ID %d", x.ID)
+			return fmt.Errorf("%w: duplicate result ID %d", ErrInvalidResults, x.ID)
 		}
 		seen[x.ID] = true
 		if i > 0 {
 			prev := ns[i-1]
 			if x.Dist < prev.Dist {
-				return fmt.Errorf("ann: results not sorted at index %d", i)
+				return fmt.Errorf("%w: results not sorted at index %d", ErrInvalidResults, i)
 			}
 			if x.Dist == prev.Dist && x.ID < prev.ID {
-				return fmt.Errorf("ann: tie at index %d not in ascending ID order (%d after %d)", i, x.ID, prev.ID)
+				return fmt.Errorf("%w: tie at index %d not in ascending ID order (%d after %d)", ErrInvalidResults, i, x.ID, prev.ID)
 			}
 		}
 	}

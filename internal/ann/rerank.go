@@ -1,6 +1,8 @@
 package ann
 
 import (
+	"fmt"
+
 	"ndsearch/internal/vec"
 )
 
@@ -23,10 +25,12 @@ import (
 // list) and at most len(cands); width <= 0 means rerank the entire
 // candidate list, the recall-optimal default. cands must be sorted by
 // code-space distance (best first) and is not mutated; kern must be a
-// full-precision kernel.
-func RerankExact(kern *vec.Kernel, query vec.Vector, cands []Neighbor, width, k int) []Neighbor {
+// full-precision kernel — a quantized kernel is rejected with
+// ErrKernelMismatch (serve paths must degrade through typed errors,
+// never panic).
+func RerankExact(kern *vec.Kernel, query vec.Vector, cands []Neighbor, width, k int) ([]Neighbor, error) {
 	if kern.Quantized() {
-		panic("ann: RerankExact needs a full-precision kernel")
+		return nil, fmt.Errorf("%w: RerankExact needs a full-precision kernel", ErrKernelMismatch)
 	}
 	w := width
 	if w <= 0 || w > len(cands) {
@@ -48,5 +52,5 @@ func RerankExact(kern *vec.Kernel, query vec.Vector, cands []Neighbor, width, k 
 	if k < 0 {
 		k = 0
 	}
-	return head[:k]
+	return head[:k], nil
 }

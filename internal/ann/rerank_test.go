@@ -1,6 +1,7 @@
 package ann
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -39,7 +40,10 @@ func TestRerankExactMatchesBruteForce(t *testing.T) {
 		for i := range cands {
 			cands[i] = Neighbor{ID: uint32(rows - 1 - i), Dist: -1}
 		}
-		got := RerankExact(kern, query, cands, 0, k)
+		got, err := RerankExact(kern, query, cands, 0, k)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
 		want := BruteForce(m, data, query, k)
 		if len(got) != len(want) {
 			t.Fatalf("%v: got %d results, want %d", m, len(got), len(want))
@@ -66,25 +70,28 @@ func TestRerankExactWidthClamping(t *testing.T) {
 	}
 
 	// width below k is raised to k: the result list must not shrink.
-	if got := RerankExact(kern, query, cands, 3, 10); len(got) != 10 {
+	if got, err := RerankExact(kern, query, cands, 3, 10); err != nil || len(got) != 10 {
 		t.Fatalf("width 3, k 10: got %d results, want 10", len(got))
 	}
 	// width above the candidate count is clamped.
-	if got := RerankExact(kern, query, cands, 1000, 5); len(got) != 5 {
+	if got, err := RerankExact(kern, query, cands, 1000, 5); err != nil || len(got) != 5 {
 		t.Fatalf("width 1000: got %d results, want 5", len(got))
 	}
 	// Fewer candidates than k: min(k, candidates) results, same contract
 	// as the traversals.
-	if got := RerankExact(kern, query, cands[:4], 0, 10); len(got) != 4 {
+	if got, err := RerankExact(kern, query, cands[:4], 0, 10); err != nil || len(got) != 4 {
 		t.Fatalf("4 candidates, k 10: got %d results, want 4", len(got))
 	}
-	if got := RerankExact(kern, query, nil, 0, 10); len(got) != 0 {
+	if got, err := RerankExact(kern, query, nil, 0, 10); err != nil || len(got) != 0 {
 		t.Fatalf("no candidates: got %d results, want 0", len(got))
 	}
 
 	// A narrow width restricts the pool: only the head is re-scored, so
 	// every returned ID must come from cands[:width].
-	got := RerankExact(kern, query, cands, 8, 5)
+	got, err := RerankExact(kern, query, cands, 8, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, x := range got {
 		if x.ID >= 8 {
 			t.Fatalf("width 8 returned ID %d from outside the head", x.ID)
@@ -101,12 +108,10 @@ func TestRerankExactWidthClamping(t *testing.T) {
 func TestRerankExactRejectsQuantizedKernel(t *testing.T) {
 	_, mat := rerankCorpus(t, 8, 4, 31)
 	mat.EnableSQ8()
-	defer func() {
-		if recover() == nil {
-			t.Fatal("RerankExact accepted a quantized kernel")
-		}
-	}()
-	RerankExact(vec.NewQuantizedKernel(vec.L2, mat), make(vec.Vector, 4), nil, 0, 1)
+	_, err := RerankExact(vec.NewQuantizedKernel(vec.L2, mat), make(vec.Vector, 4), nil, 0, 1)
+	if !errors.Is(err, ErrKernelMismatch) {
+		t.Fatalf("quantized kernel: err = %v, want ErrKernelMismatch", err)
+	}
 }
 
 func TestValidateRejectsNaN(t *testing.T) {

@@ -33,16 +33,16 @@ type TuneResult struct {
 // noise). The index is left configured at the returned width.
 func TuneBeam(idx Tunable, m vec.Metric, data, queries []vec.Vector, k int, target float64, maxBeam int) (TuneResult, error) {
 	if k < 1 {
-		return TuneResult{}, fmt.Errorf("ann: k must be >= 1")
+		return TuneResult{}, fmt.Errorf("%w: k must be >= 1", ErrBadConfig)
 	}
 	if target <= 0 || target > 1 {
-		return TuneResult{}, fmt.Errorf("ann: target recall %v outside (0, 1]", target)
+		return TuneResult{}, fmt.Errorf("%w: target recall %v outside (0, 1]", ErrBadConfig, target)
 	}
 	if maxBeam < k {
 		maxBeam = k
 	}
 	if len(queries) == 0 {
-		return TuneResult{}, fmt.Errorf("ann: no tuning queries")
+		return TuneResult{}, fmt.Errorf("%w: no tuning queries", ErrBadConfig)
 	}
 	// Ground truth once per query.
 	exact := make([][]Neighbor, len(queries))

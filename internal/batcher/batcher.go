@@ -162,6 +162,7 @@ func (b *Batcher) Submit(queries []vec.Vector, k int) ([][]ann.Neighbor, BatchIn
 	if k < 1 {
 		return nil, BatchInfo{}, fmt.Errorf("batcher: k must be >= 1, got %d", k)
 	}
+	//ndvet:ignore determinism enqueue time feeds only queue-latency stats, never results
 	w := &waiter{queries: queries, k: k, enq: time.Now(), ready: make(chan struct{})}
 	b.closeMu.RLock()
 	if b.closed {
@@ -260,6 +261,7 @@ func (b *Batcher) dispatch() {
 // waiter is released, so a caller that has returned from Submit is
 // always already counted in Stats().
 func (b *Batcher) run(batch []*waiter, n int) {
+	//ndvet:ignore determinism dispatch time feeds only latency stats, never results
 	dispatched := time.Now()
 	b.depth.Add(-int64(n))
 	groups := make(map[int][]*waiter)

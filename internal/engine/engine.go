@@ -342,6 +342,7 @@ type BatchStats struct {
 // merged results (global IDs, ascending by distance) plus batch stats.
 // It is safe for concurrent use.
 func (e *Engine) SearchBatch(queries []vec.Vector, k int) ([][]ann.Neighbor, *BatchStats) {
+	//ndvet:ignore determinism wall time feeds only WallNanos in BatchStats, never results
 	start := time.Now()
 	st := &BatchStats{
 		BatchSize: len(queries),

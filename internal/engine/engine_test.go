@@ -77,6 +77,7 @@ func TestShardedHNSWHoldsRecall(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer e.Close()
 	res, _ := e.SearchBatch(d.Queries, k)
 	var shardSum, singleSum float64
 	for qi, q := range d.Queries {
@@ -191,6 +192,7 @@ func TestWorkersBoundHoldsAcrossConcurrentBatches(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer e.Close()
 	var wg sync.WaitGroup
 	for g := 0; g < 6; g++ {
 		wg.Add(1)
@@ -296,6 +298,7 @@ func TestConfigValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer e.Close()
 	if e.Shards() != len(d.Vectors) {
 		t.Fatalf("Shards() = %d, want clamp to %d", e.Shards(), len(d.Vectors))
 	}

@@ -234,9 +234,7 @@ func kMeans(points []vec.Vector, k, iters int, rng *rand.Rand) []vec.Vector {
 		for i, p := range points {
 			c := assign[i]
 			counts[c]++
-			for d, v := range p {
-				sums[c][d] += float64(v)
-			}
+			vec.AccumulateF64(sums[c], p)
 		}
 		for c := 0; c < k; c++ {
 			if counts[c] == 0 {
@@ -319,11 +317,7 @@ func (x *Index) SearchStats(query vec.Vector, k int) ([]ann.Neighbor, ScanStats)
 		}
 		tables := x.adcTables(residual)
 		for _, e := range x.lists[li] {
-			var d float32
-			for s, code := range e.Code {
-				d += tables[s][code]
-			}
-			cands = append(cands, ann.Neighbor{ID: e.ID, Dist: d})
+			cands = append(cands, ann.Neighbor{ID: e.ID, Dist: vec.ADCSum(tables, e.Code)})
 			st.CodesScanned++
 		}
 		st.BytesStreamed += int64(len(x.lists[li])) * int64(x.CodeBytes())

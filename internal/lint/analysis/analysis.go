@@ -1,0 +1,82 @@
+// Package analysis is ndvet's miniature go/analysis: the Analyzer/Pass
+// contract the lint checks are written against, and a runner that
+// executes analyzers over loaded packages and applies the
+// //ndvet:ignore suppression protocol.
+//
+// It intentionally mirrors the golang.org/x/tools/go/analysis API shape
+// (an Analyzer owns a Run func that inspects one package through a
+// Pass) so the checks could migrate to the real framework if the module
+// ever takes on that dependency, but it is self-contained: the only
+// inputs are the stdlib-loaded packages from internal/lint/loader.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"ndsearch/internal/lint/loader"
+)
+
+// An Analyzer is one named invariant check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //ndvet:ignore directives. Lower-case, no spaces.
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced,
+	// shown by `ndvet -help`.
+	Doc string
+	// Run inspects one package and reports diagnostics through the
+	// pass. A non-nil error aborts the whole run (reserved for
+	// analyzer bugs, not findings).
+	Run func(*Pass) error
+}
+
+// A Pass carries one package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files are the package's parsed files, in-package test files
+	// included.
+	Files []*ast.File
+	// Pkg and Info are the type-check results for Files.
+	Pkg  *types.Package
+	Info *types.Info
+	// PkgPath is the import path under analysis. External test
+	// packages carry a "_test" suffix.
+	PkgPath string
+
+	pkg         *loader.Package
+	diagnostics []Diagnostic
+}
+
+// IsTestFile reports whether f came from a _test.go file.
+func (p *Pass) IsTestFile(f *ast.File) bool { return p.pkg.IsTestFile(f) }
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diagnostics = append(p.diagnostics, Diagnostic{
+		Pos:     pos,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one finding before suppression filtering.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// A Finding is one reportable violation, resolved to a position.
+type Finding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+}

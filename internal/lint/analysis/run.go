@@ -1,0 +1,155 @@
+package analysis
+
+import (
+	"go/token"
+	"sort"
+	"strings"
+
+	"ndsearch/internal/lint/loader"
+)
+
+// DirectiveAnalyzer is the pseudo-analyzer name under which the runner
+// reports malformed //ndvet:ignore directives. It cannot itself be
+// suppressed.
+const DirectiveAnalyzer = "ndvet"
+
+const directivePrefix = "//ndvet:ignore"
+
+// Run executes every analyzer over every package and returns the
+// surviving findings sorted by position.
+//
+// A diagnostic is suppressed when the line it is reported on, or the
+// line immediately above it, carries a comment of the form
+//
+//	//ndvet:ignore <name>[,<name>...] <reason>
+//
+// naming the diagnostic's analyzer. The reason is mandatory: a
+// directive without one does not suppress anything and is itself
+// reported as a finding, so silencing a check always leaves a written
+// justification next to the code.
+func Run(pkgs []*loader.Package, analyzers []*Analyzer) ([]Finding, error) {
+	var findings []Finding
+	// One file can be shared by two passes (a package and its external
+	// tests never share files, but defensive dedup keeps directive
+	// findings single).
+	directivesDone := map[string]bool{}
+
+	for _, pkg := range pkgs {
+		dirs := collectDirectives(pkg)
+		for _, d := range dirs {
+			if d.reason == "" && !directivesDone[d.key()] {
+				directivesDone[d.key()] = true
+				findings = append(findings, Finding{
+					Analyzer: DirectiveAnalyzer,
+					File:     d.file,
+					Line:     d.line,
+					Col:      d.col,
+					Message:  "//ndvet:ignore needs a reason: //ndvet:ignore <analyzer> <why this is safe>",
+				})
+			}
+		}
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				PkgPath:  pkg.PkgPath,
+				pkg:      pkg,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, err
+			}
+			for _, diag := range pass.diagnostics {
+				pos := pkg.Fset.Position(diag.Pos)
+				if suppressed(dirs, a.Name, pos) {
+					continue
+				}
+				findings = append(findings, Finding{
+					Analyzer: a.Name,
+					File:     pos.Filename,
+					Line:     pos.Line,
+					Col:      pos.Column,
+					Message:  diag.Message,
+				})
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return findings, nil
+}
+
+type directive struct {
+	file   string
+	line   int
+	col    int
+	names  []string
+	reason string
+}
+
+func (d directive) key() string {
+	return d.file + ":" + strings.Join(d.names, ",")
+}
+
+func collectDirectives(pkg *loader.Package) []directive {
+	var out []directive
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, directivePrefix)
+				if !ok {
+					continue
+				}
+				// Require the exact directive word: don't match
+				// //ndvet:ignoreXYZ.
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				fields := strings.Fields(rest)
+				d := directive{file: pos.Filename, line: pos.Line, col: pos.Column}
+				if len(fields) > 0 {
+					d.names = strings.Split(fields[0], ",")
+					d.reason = strings.TrimSpace(strings.Join(fields[1:], " "))
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// suppressed reports whether a valid directive for analyzer name covers
+// pos: same file, same line or the line immediately above.
+func suppressed(dirs []directive, name string, pos token.Position) bool {
+	for _, d := range dirs {
+		if d.reason == "" || d.file != pos.Filename {
+			continue
+		}
+		if d.line != pos.Line && d.line != pos.Line-1 {
+			continue
+		}
+		for _, n := range d.names {
+			if n == name {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,147 @@
+// Package analysistest runs ndvet analyzers over golden fixture
+// packages and checks their diagnostics against // want annotations,
+// mirroring golang.org/x/tools/go/analysis/analysistest on top of the
+// repo's own loader so the lint suite stays dependency-free.
+//
+// A fixture line that should trigger a diagnostic carries a comment of
+// the form
+//
+//	code() // want "regexp"
+//
+// with one quoted regexp per expected diagnostic on that line. Every
+// diagnostic must be claimed by exactly one annotation and every
+// annotation must claim exactly one diagnostic, so fixtures fail both
+// when an analyzer goes quiet and when it over-reports.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"ndsearch/internal/lint/analysis"
+	"ndsearch/internal/lint/loader"
+)
+
+// want is one expectation parsed from a fixture comment.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run loads the fixture package rooted at dir (import path pkgPath),
+// runs the analyzers over it, and reports any mismatch between the
+// diagnostics and the fixture's // want annotations as test errors.
+func Run(t *testing.T, l *loader.Loader, dir, pkgPath string, analyzers ...*analysis.Analyzer) {
+	t.Helper()
+	pkgs, err := l.LoadDir(dir, pkgPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	findings, err := analysis.Run(pkgs, analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers over %s: %v", dir, err)
+	}
+
+	var wants []*want
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			ws, err := collectWants(pkg, f)
+			if err != nil {
+				t.Fatalf("parsing want annotations: %v", err)
+			}
+			wants = append(wants, ws...)
+		}
+	}
+
+	for _, f := range findings {
+		if !claim(wants, f) {
+			t.Errorf("unexpected diagnostic at %s:%d: [%s] %s", f.File, f.Line, f.Analyzer, f.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+// claim marks the first unmatched annotation covering f and reports
+// whether one existed.
+func claim(wants []*want, f analysis.Finding) bool {
+	for _, w := range wants {
+		if w.matched || w.file != f.File || w.line != f.Line {
+			continue
+		}
+		if w.re.MatchString(f.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectWants extracts the // want annotations from one parsed file.
+// The annotation's line is the line the comment starts on, which is the
+// line of the code it trails.
+func collectWants(pkg *loader.Package, f *ast.File) ([]*want, error) {
+	var out []*want
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			rest, ok := strings.CutPrefix(c.Text, "// want ")
+			if !ok {
+				continue
+			}
+			pos := pkg.Fset.Position(c.Pos())
+			patterns, err := splitQuoted(rest)
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: %v", pos.Filename, pos.Line, err)
+			}
+			for _, p := range patterns {
+				re, err := regexp.Compile(p)
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: bad want pattern: %v", pos.Filename, pos.Line, err)
+				}
+				out = append(out, &want{file: pos.Filename, line: pos.Line, re: re})
+			}
+		}
+	}
+	return out, nil
+}
+
+// splitQuoted parses a sequence of double-quoted Go string literals.
+func splitQuoted(s string) ([]string, error) {
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		if s[0] != '"' {
+			return nil, fmt.Errorf("want annotation must be quoted strings, found %q", s)
+		}
+		end := -1
+		for i := 1; i < len(s); i++ {
+			if s[i] == '\\' {
+				i++
+				continue
+			}
+			if s[i] == '"' {
+				end = i
+				break
+			}
+		}
+		if end < 0 {
+			return nil, fmt.Errorf("unterminated want pattern in %q", s)
+		}
+		lit, err := strconv.Unquote(s[:end+1])
+		if err != nil {
+			return nil, fmt.Errorf("bad want pattern %q: %v", s[:end+1], err)
+		}
+		out = append(out, lit)
+		s = strings.TrimSpace(s[end+1:])
+	}
+	return out, nil
+}

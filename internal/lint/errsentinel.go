@@ -1,0 +1,160 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strconv"
+	"strings"
+
+	"ndsearch/internal/lint/analysis"
+)
+
+// ErrSentinelConfig scopes the errsentinel analyzer to packages that
+// expose sentinel error values.
+type ErrSentinelConfig struct {
+	// Packages is the exact set of import paths checked.
+	Packages []string
+}
+
+// ErrSentinel returns the analyzer enforcing uniform errors.Is
+// behaviour in packages that declare sentinel errors (ErrBadMagic,
+// ErrChecksum, ...). In those packages it flags fmt.Errorf calls that
+//
+//   - format an error value without a matching %w verb, which hides
+//     the underlying error from errors.Is/As, or
+//   - build an untyped error (no %w at all) even though the package
+//     declares sentinels callers are expected to match on.
+//
+// Package-level `var Err... = fmt.Errorf(...)` declarations are the
+// sentinels themselves and are exempt from the second rule.
+func ErrSentinel(cfg ErrSentinelConfig) *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name: "errsentinel",
+		Doc: "flag fmt.Errorf without %w in sentinel-bearing packages " +
+			"(typed-error invariant, DESIGN.md §8)",
+		Run: func(pass *analysis.Pass) error {
+			runErrSentinel(cfg, pass)
+			return nil
+		},
+	}
+}
+
+func runErrSentinel(cfg ErrSentinelConfig, pass *analysis.Pass) {
+	if !member(cfg.Packages, pass.PkgPath) {
+		return
+	}
+	sentinels := sentinelNames(pass.Pkg)
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Body == nil {
+					continue
+				}
+				ast.Inspect(d.Body, func(n ast.Node) bool {
+					if call, ok := n.(*ast.CallExpr); ok {
+						checkErrorf(pass, call, sentinels, false)
+					}
+					return true
+				})
+			case *ast.GenDecl:
+				ast.Inspect(d, func(n ast.Node) bool {
+					if call, ok := n.(*ast.CallExpr); ok {
+						checkErrorf(pass, call, sentinels, sentinelDecl(d))
+					}
+					return true
+				})
+			}
+		}
+	}
+}
+
+// sentinelNames lists the package-scope error variables named Err*/err*
+// — the values callers are expected to errors.Is against.
+func sentinelNames(pkg *types.Package) []string {
+	var names []string
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		if !strings.HasPrefix(name, "Err") && !strings.HasPrefix(name, "err") {
+			continue
+		}
+		v, ok := scope.Lookup(name).(*types.Var)
+		if ok && isErrorValue(v.Type()) {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// sentinelDecl reports whether the GenDecl declares at least one
+// Err*/err* variable, i.e. is itself a sentinel definition.
+func sentinelDecl(d *ast.GenDecl) bool {
+	for _, spec := range d.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		for _, name := range vs.Names {
+			if strings.HasPrefix(name.Name, "Err") || strings.HasPrefix(name.Name, "err") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func checkErrorf(pass *analysis.Pass, call *ast.CallExpr, sentinels []string, inSentinelDecl bool) {
+	fn := callee(pass, call)
+	if !isPkgFunc(fn, "fmt", "Errorf") || len(call.Args) == 0 {
+		return
+	}
+	lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+	if !ok {
+		return // dynamic format string: nothing reliable to check
+	}
+	format, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return
+	}
+	wraps := countWrapVerbs(format)
+	errArgs := 0
+	for _, arg := range call.Args[1:] {
+		if isErrorValue(pass.Info.TypeOf(arg)) {
+			errArgs++
+		}
+	}
+	switch {
+	case errArgs > wraps:
+		pass.Reportf(call.Pos(), "fmt.Errorf formats an error value without %%w; "+
+			"errors.Is/As cannot see through it — wrap every error argument with %%w")
+	case wraps == 0 && !inSentinelDecl && len(sentinels) > 0:
+		pass.Reportf(call.Pos(), "untyped error in a sentinel-bearing package; wrap one of "+
+			"the package sentinels (%s) with %%w so callers can errors.Is it",
+			strings.Join(sentinels, ", "))
+	}
+}
+
+// countWrapVerbs counts %w verbs in a fmt format string, skipping %%
+// and tolerating flag/width characters between % and the verb.
+func countWrapVerbs(format string) int {
+	n := 0
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		// Skip flags, width, precision, and argument indexes.
+		for i < len(format) && strings.ContainsRune("+-# 0123456789.*[]", rune(format[i])) {
+			i++
+		}
+		if i < len(format) && format[i] == 'w' {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,109 @@
+// Package lint implements ndvet's analyzers: machine checks for the
+// invariants the rest of the module enforces by convention — result
+// determinism, panic-free serve/decode paths, sentinel-wrapped typed
+// errors, centralized float accumulation, and resource cleanup in
+// tests. See DESIGN.md §11 for the mapping from analyzer to invariant.
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"ndsearch/internal/lint/analysis"
+)
+
+// callee resolves the function or method object a call invokes, or nil
+// for builtins, conversions, and indirect calls through variables.
+func callee(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pass.Info.Uses[id].(*types.Func)
+	return fn
+}
+
+// isPkgFunc reports whether fn is the package-level function (or any
+// method, when recvOK) pkgPath.name.
+func isPkgFunc(fn *types.Func, pkgPath, name string) bool {
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == pkgPath && fn.Name() == name
+}
+
+// isBuiltin reports whether the call invokes the builtin of that name.
+func isBuiltin(pass *analysis.Pass, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = pass.Info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// isFloat reports whether t's underlying type is float32 or float64.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Float32 || b.Kind() == types.Float64)
+}
+
+// isFloatSlice reports whether t's underlying type is a slice (or
+// array) of float32/float64 — the shape of vector data.
+func isFloatSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Slice:
+		return isFloat(u.Elem())
+	case *types.Array:
+		return isFloat(u.Elem())
+	}
+	return false
+}
+
+func member(list []string, s string) bool {
+	for _, x := range list {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+// forEachFuncBody calls fn once for every function body in the file:
+// declarations and function literals alike.
+func forEachFuncBody(file *ast.File, fn func(body *ast.BlockStmt)) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch d := n.(type) {
+		case *ast.FuncDecl:
+			if d.Body != nil {
+				fn(d.Body)
+			}
+		case *ast.FuncLit:
+			fn(d.Body)
+		}
+		return true
+	})
+}
+
+// errorType is the universe error interface.
+var errorType = types.Universe.Lookup("error").Type()
+
+// isErrorValue reports whether t is a non-nil value assignable to
+// error.
+func isErrorValue(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if b, ok := t.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return false
+	}
+	return types.AssignableTo(t, errorType)
+}

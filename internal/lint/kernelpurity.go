@@ -1,0 +1,126 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"ndsearch/internal/lint/analysis"
+)
+
+// KernelPurityConfig scopes the kernelpurity analyzer.
+type KernelPurityConfig struct {
+	// AllowPackages are the import paths allowed to accumulate floats
+	// over vector elements — the kernel home (internal/vec).
+	AllowPackages []string
+}
+
+// KernelPurity returns the analyzer enforcing the accumulation-order
+// caveat of DESIGN.md §7: float32/float64 accumulation over vector
+// elements happens only inside internal/vec, so every path — serial,
+// batched, quantized, paged — adds in the same order and distances stay
+// byte-identical. Outside the allowed packages it flags loops that
+// accumulate into a float from indexed float-slice elements or from the
+// value variable of a range over a float slice.
+//
+// Scalar float accumulation that does not touch vector elements
+// (summing recalls, shares, model outputs) is order-fixed by its own
+// loop and passes.
+func KernelPurity(cfg KernelPurityConfig) *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name: "kernelpurity",
+		Doc: "flag float accumulation over vector elements outside internal/vec " +
+			"(accumulation-order invariant, DESIGN.md §7)",
+		Run: func(pass *analysis.Pass) error {
+			runKernelPurity(cfg, pass)
+			return nil
+		},
+	}
+}
+
+func runKernelPurity(cfg KernelPurityConfig, pass *analysis.Pass) {
+	if member(cfg.AllowPackages, pass.PkgPath) {
+		return
+	}
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file) {
+			continue
+		}
+		checkKernelPurity(pass, file)
+	}
+}
+
+func checkKernelPurity(pass *analysis.Pass, file *ast.File) {
+	// Loop bodies by position: an assignment inside any of these
+	// intervals runs repeatedly.
+	type span struct{ lo, hi token.Pos }
+	var loops []span
+	// Value variables of ranges over float slices: using one in an
+	// accumulation means walking vector elements.
+	rangeVals := map[types.Object]bool{}
+
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.ForStmt:
+			loops = append(loops, span{s.Body.Pos(), s.Body.End()})
+		case *ast.RangeStmt:
+			loops = append(loops, span{s.Body.Pos(), s.Body.End()})
+			if isFloatSlice(pass.Info.TypeOf(s.X)) {
+				if id, ok := s.Value.(*ast.Ident); ok && id.Name != "_" {
+					if obj := pass.Info.Defs[id]; obj != nil {
+						rangeVals[obj] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	inLoop := func(pos token.Pos) bool {
+		for _, l := range loops {
+			if l.lo <= pos && pos < l.hi {
+				return true
+			}
+		}
+		return false
+	}
+
+	ast.Inspect(file, func(n ast.Node) bool {
+		s, ok := n.(*ast.AssignStmt)
+		if !ok || !inLoop(s.Pos()) || !isFloatAccumulation(pass, s) {
+			return true
+		}
+		if elem := vectorElemRef(pass, s.Rhs[0], rangeVals); elem != "" {
+			pass.Reportf(s.Pos(), "float accumulation over vector element %s outside internal/vec: "+
+				"accumulation order determines the result bits, so distance-style reductions must go "+
+				"through vec kernels (DESIGN.md §7)", elem)
+		}
+		return true
+	})
+}
+
+// vectorElemRef returns the printed expression of a vector-element read
+// inside e, or "" if e never touches one. A vector-element read is an
+// index into a float slice or a use of a float-slice range value.
+func vectorElemRef(pass *analysis.Pass, e ast.Expr, rangeVals map[types.Object]bool) string {
+	found := ""
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found != "" {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.IndexExpr:
+			if isFloatSlice(pass.Info.TypeOf(x.X)) {
+				found = types.ExprString(x)
+				return false
+			}
+		case *ast.Ident:
+			if obj := pass.Info.Uses[x]; obj != nil && rangeVals[obj] {
+				found = x.Name
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

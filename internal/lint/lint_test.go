@@ -1,0 +1,128 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ndsearch/internal/lint"
+	"ndsearch/internal/lint/analysis"
+	"ndsearch/internal/lint/analysistest"
+	"ndsearch/internal/lint/loader"
+)
+
+func newLoader(t *testing.T) *loader.Loader {
+	t.Helper()
+	l, err := loader.New(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func fixture(name string) string {
+	return filepath.Join("testdata", "src", name)
+}
+
+// Each fixture encodes the violations its analyzer exists to catch
+// (the // want lines) next to the sanctioned shapes that must stay
+// silent, so an analyzer that goes quiet or over-reports fails here.
+
+func TestDeterminismFixture(t *testing.T) {
+	a := lint.Determinism(lint.DeterminismConfig{
+		AllowWallClock: func(_, filename string) bool {
+			return strings.HasSuffix(filename, "clockok.go")
+		},
+	})
+	analysistest.Run(t, newLoader(t), fixture("determinism"), "determinism", a)
+}
+
+func TestPanicFreeFixture(t *testing.T) {
+	a := lint.PanicFree(lint.PanicFreeConfig{Packages: []string{"panicfree"}})
+	analysistest.Run(t, newLoader(t), fixture("panicfree"), "panicfree", a)
+}
+
+func TestErrSentinelFixture(t *testing.T) {
+	a := lint.ErrSentinel(lint.ErrSentinelConfig{Packages: []string{"errsentinel"}})
+	analysistest.Run(t, newLoader(t), fixture("errsentinel"), "errsentinel", a)
+}
+
+func TestKernelPurityFixture(t *testing.T) {
+	a := lint.KernelPurity(lint.KernelPurityConfig{})
+	analysistest.Run(t, newLoader(t), fixture("kernelpurity"), "kernelpurity", a)
+}
+
+func TestCloseCheckFixture(t *testing.T) {
+	a := lint.CloseCheck(lint.CloseCheckConfig{
+		Types:       []string{"closecheck.Engine"},
+		AllPackages: []string{"closecheck"},
+	})
+	analysistest.Run(t, newLoader(t), fixture("closecheck"), "closecheck", a)
+}
+
+// TestSuppression pins the //ndvet:ignore contract: a reasoned
+// directive silences its diagnostic, a bare one silences nothing and is
+// itself reported. The fixture has two time.Now calls — one justified,
+// one under a bare directive — so exactly two findings must survive:
+// the reason-required report and the unsuppressed wall-clock one.
+func TestSuppression(t *testing.T) {
+	l := newLoader(t)
+	pkgs, err := l.LoadDir(fixture("suppress"), "suppress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := analysis.Run(pkgs, []*analysis.Analyzer{
+		lint.Determinism(lint.DeterminismConfig{}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Logf("finding: %s", f)
+	}
+	if len(findings) != 2 {
+		t.Fatalf("got %d findings, want 2 (bare directive + unsuppressed time.Now)", len(findings))
+	}
+	var gotReason, gotClock bool
+	for _, f := range findings {
+		switch f.Analyzer {
+		case analysis.DirectiveAnalyzer:
+			if !strings.Contains(f.Message, "needs a reason") {
+				t.Errorf("directive finding has message %q", f.Message)
+			}
+			gotReason = true
+		case "determinism":
+			if !strings.Contains(f.Message, "wall-clock") {
+				t.Errorf("determinism finding has message %q", f.Message)
+			}
+			gotClock = true
+		default:
+			t.Errorf("unexpected analyzer %q", f.Analyzer)
+		}
+	}
+	if !gotReason || !gotClock {
+		t.Fatalf("missing finding: reason-required=%v wall-clock=%v", gotReason, gotClock)
+	}
+}
+
+// TestSuiteCleanOverRepo runs the production suite over the whole
+// module, pinning the ndvet-exits-0 invariant inside go test so CI and
+// tier-1 both enforce it. Skipped in -short runs: type-checking the
+// module through the source importer takes a few seconds.
+func TestSuiteCleanOverRepo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("repo-wide type-check is slow; run without -short")
+	}
+	l := newLoader(t)
+	pkgs, err := l.Load("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := analysis.Run(pkgs, lint.Suite())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("ndvet finding: %s", f)
+	}
+}

@@ -1,0 +1,24 @@
+package loader
+
+import (
+	"go/build"
+	"go/importer"
+	"go/token"
+	"go/types"
+)
+
+// newSourceImporter returns the compiler "source" importer, which
+// type-checks imported packages (in practice: the standard library)
+// from GOROOT sources.
+//
+// The public importer API offers no way to hand the source importer a
+// custom build.Context — it always captures &build.Default — so the
+// cgo-off policy in ctxt has to be applied to build.Default itself.
+// That global is process-wide, but every consumer of this package wants
+// the same setting: with cgo enabled the source importer would shell
+// out to a C compiler for packages like net, and with it disabled the
+// standard library's pure-Go fallbacks type-check hermetically.
+func newSourceImporter(ctxt *build.Context, fset *token.FileSet) types.ImporterFrom {
+	build.Default.CgoEnabled = ctxt.CgoEnabled
+	return importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+}

@@ -1,0 +1,71 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+
+	"ndsearch/internal/lint/analysis"
+)
+
+// PanicFreeConfig scopes the panicfree analyzer to the packages whose
+// serve/decode paths must degrade through typed errors.
+type PanicFreeConfig struct {
+	// Packages is the exact set of import paths checked.
+	Packages []string
+}
+
+// PanicFree returns the analyzer enforcing the corruption-is-an-error
+// invariant (DESIGN.md §8): in serve and decode packages, malformed
+// input must surface as a typed error, never terminate the process.
+// It flags panic, log.Fatal*/log.Panic* (package functions and Logger
+// methods), and os.Exit outside _test.go files.
+func PanicFree(cfg PanicFreeConfig) *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name: "panicfree",
+		Doc: "flag panic/log.Fatal/os.Exit reachable in serve and decode " +
+			"packages (typed-error invariant, DESIGN.md §8)",
+		Run: func(pass *analysis.Pass) error {
+			runPanicFree(cfg, pass)
+			return nil
+		},
+	}
+}
+
+func runPanicFree(cfg PanicFreeConfig, pass *analysis.Pass) {
+	if !member(cfg.Packages, pass.PkgPath) {
+		return
+	}
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if isBuiltin(pass, call, "panic") {
+				pass.Reportf(call.Pos(), "panic in a serve/decode package: corruption and "+
+					"misuse must surface as typed errors, not process death (DESIGN.md §8)")
+				return true
+			}
+			fn := callee(pass, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "log":
+				if strings.HasPrefix(fn.Name(), "Fatal") || strings.HasPrefix(fn.Name(), "Panic") {
+					pass.Reportf(call.Pos(), "log.%s terminates the process from a serve/decode "+
+						"package; return a typed error instead (DESIGN.md §8)", fn.Name())
+				}
+			case "os":
+				if fn.Name() == "Exit" {
+					pass.Reportf(call.Pos(), "os.Exit in a serve/decode package kills in-flight "+
+						"requests; return a typed error instead (DESIGN.md §8)")
+				}
+			}
+			return true
+		})
+	}
+}

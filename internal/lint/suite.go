@@ -1,0 +1,63 @@
+package lint
+
+import (
+	"strings"
+
+	"ndsearch/internal/lint/analysis"
+)
+
+// Production scope for the suite. The analyzers are configurable so
+// tests can point them at fixture packages; this file is the single
+// place the real tree's scope lives.
+const modPath = "ndsearch"
+
+// servePackages are the serve/decode packages whose failure mode is a
+// typed error, never a panic: the snapshot codec, the search plumbing,
+// the engine, and the six index families' graph packages.
+var servePackages = []string{
+	modPath + "/internal/snapshot",
+	modPath + "/internal/ann",
+	modPath + "/internal/engine",
+	modPath + "/internal/hnsw",
+	modPath + "/internal/vamana",
+	modPath + "/internal/hcnng",
+	modPath + "/internal/togg",
+	modPath + "/internal/ivfpq",
+}
+
+// sentinelPackages declare Err* sentinels and must wrap them uniformly.
+var sentinelPackages = []string{
+	modPath + "/internal/snapshot",
+	modPath + "/internal/ann",
+}
+
+// closableTypes own goroutine pools, mmaps, or file handles.
+var closableTypes = []string{
+	modPath + "/internal/engine.Engine",
+	modPath + "/internal/batcher.Batcher",
+	modPath + "/internal/snapshot.PagedIndex",
+}
+
+// allowWallClock: commands and examples print real timings and enforce
+// real deadlines; everything else must be reproducible (benchmarks and
+// tests are exempted by the analyzer itself, one-off timing stats carry
+// //ndvet:ignore directives).
+func allowWallClock(pkgPath, filename string) bool {
+	return strings.HasPrefix(pkgPath, modPath+"/cmd/") ||
+		strings.HasPrefix(pkgPath, modPath+"/examples/")
+}
+
+// Suite returns the five production-configured analyzers, the set
+// `ndvet ./...` runs.
+func Suite() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		Determinism(DeterminismConfig{AllowWallClock: allowWallClock}),
+		PanicFree(PanicFreeConfig{Packages: servePackages}),
+		ErrSentinel(ErrSentinelConfig{Packages: sentinelPackages}),
+		KernelPurity(KernelPurityConfig{AllowPackages: []string{modPath + "/internal/vec"}}),
+		CloseCheck(CloseCheckConfig{
+			Types:       closableTypes,
+			AllPackages: []string{modPath + "/examples"},
+		}),
+	}
+}

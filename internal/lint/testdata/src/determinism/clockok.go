@@ -1,0 +1,10 @@
+package determinism
+
+import "time"
+
+// deadline lives in a file the test's AllowWallClock callback
+// allowlists (matching how the suite exempts cmd/ and examples/):
+// wall-clock reads pass here.
+func deadline() time.Time {
+	return time.Now().Add(time.Second)
+}

@@ -1,0 +1,85 @@
+// Package determinism is the golden fixture for the determinism
+// analyzer: map-iteration order leaking into results, wall-clock reads,
+// and unseeded rand draws.
+package determinism
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func clock() time.Time {
+	return time.Now() // want "wall-clock dependent"
+}
+
+func unseeded() int {
+	return rand.Intn(10) // want "unseeded process-global source"
+}
+
+// seeded draws from an explicitly seeded generator: reproducible, passes.
+func seeded() int {
+	r := rand.New(rand.NewSource(7))
+	return r.Intn(10)
+}
+
+func leakOrder(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want "never sorted in this function"
+	}
+	return out
+}
+
+// sortedLater appends in map order but sorts before anyone can observe
+// the order: passes.
+func sortedLater(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// loopLocal appends to a slice created fresh each iteration: no order
+// crosses iterations, passes.
+func loopLocal(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		batch := make([]int, 0, len(vs))
+		batch = append(batch, vs...)
+		n += len(batch)
+	}
+	return n
+}
+
+func floatSum(m map[string]float64) float64 {
+	var s float64
+	for _, v := range m {
+		s += v // want "float addition is order-sensitive"
+	}
+	return s
+}
+
+// intSum is order-insensitive: integer addition commutes exactly, passes.
+func intSum(m map[string]int) int {
+	s := 0
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+
+func send(m map[string]int, ch chan<- string) {
+	for k := range m {
+		ch <- k // want "channel send inside iteration over map"
+	}
+}
+
+func echo(m map[string]int) {
+	for k := range m {
+		fmt.Println(k) // want "emits output in nondeterministic order"
+	}
+}

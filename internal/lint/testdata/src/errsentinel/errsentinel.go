@@ -1,0 +1,32 @@
+// Package errsentinel is the golden fixture for the errsentinel
+// analyzer: fmt.Errorf discipline in a package that declares error
+// sentinels.
+package errsentinel
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBad is the package's sentinel; declaring it puts every other
+// fmt.Errorf in the package under the wrap-or-classify rule.
+var ErrBad = errors.New("errsentinel: bad input")
+
+// wrapped is the sanctioned shape: classified by sentinel, cause
+// chained with %w, passes.
+func wrapped(err error) error {
+	return fmt.Errorf("%w: while decoding: %w", ErrBad, err)
+}
+
+func lostCause(err error) error {
+	return fmt.Errorf("decode failed: %v", err) // want "formats an error value without %w"
+}
+
+func untyped(n int) error {
+	return fmt.Errorf("bad count %d", n) // want "untyped error in a sentinel-bearing package"
+}
+
+// escaped literal %% and width flags must not count as wrap verbs.
+func fussyFormat(pct float64) error {
+	return fmt.Errorf("%w: utilisation %6.2f%% too high", ErrBad, pct)
+}

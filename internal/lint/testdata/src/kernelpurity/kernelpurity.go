@@ -1,0 +1,39 @@
+// Package kernelpurity is the golden fixture for the kernelpurity
+// analyzer: float accumulation over vector elements outside the kernel
+// package.
+package kernelpurity
+
+func dot(a, b []float32) float32 {
+	var s float32
+	for i := range a {
+		s += a[i] * b[i] // want "float accumulation over vector element"
+	}
+	return s
+}
+
+func sum(v []float32) float64 {
+	var s float64
+	for _, c := range v {
+		s += float64(c) // want "float accumulation over vector element"
+	}
+	return s
+}
+
+// count never touches element values: passes.
+func count(v []float32) int {
+	n := 0
+	for range v {
+		n++
+	}
+	return n
+}
+
+// scalarMean accumulates floats that are not vector elements (per-query
+// recall shares): order is fixed by the loop itself, passes.
+func scalarMean(recalls []int, queries int) float64 {
+	var s float64
+	for _, r := range recalls {
+		s += float64(r) / float64(queries)
+	}
+	return s / float64(len(recalls))
+}

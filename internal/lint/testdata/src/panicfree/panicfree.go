@@ -1,0 +1,33 @@
+// Package panicfree is the golden fixture for the panicfree analyzer:
+// process-killing calls in a package configured as a serve/decode
+// package.
+package panicfree
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"os"
+)
+
+func decode(b []byte) error {
+	if len(b) == 0 {
+		panic("empty input") // want "panic in a serve/decode package"
+	}
+	if b[0] != 'N' {
+		log.Fatalf("bad magic %q", b[0]) // want "terminates the process"
+	}
+	if len(b) < 8 {
+		os.Exit(1) // want "os.Exit in a serve/decode package"
+	}
+	return errors.New("short header")
+}
+
+// typed is the sanctioned shape: corrupt input degrades through a typed
+// error, passes.
+func typed(b []byte) error {
+	if len(b) == 0 {
+		return fmt.Errorf("empty input")
+	}
+	return nil
+}

@@ -1,0 +1,14 @@
+package panicfree
+
+import "testing"
+
+// Test files are exempt: must-helpers and recover-based assertions may
+// panic freely.
+func TestPanicAllowedInTests(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	panic("fine in tests")
+}

@@ -1,0 +1,19 @@
+// Package suppress exercises the //ndvet:ignore protocol: a directive
+// with a reason silences the diagnostic on the next line, a bare
+// directive suppresses nothing and is itself reported. Checked by
+// direct assertion in lint_test.go rather than // want annotations,
+// because the reason-required finding lands on the directive's own
+// line.
+package suppress
+
+import "time"
+
+func justified() time.Time {
+	//ndvet:ignore determinism fixture demonstrating a justified suppression
+	return time.Now()
+}
+
+func bare() time.Time {
+	//ndvet:ignore determinism
+	return time.Now()
+}

@@ -201,8 +201,8 @@ func encodeRowChecked(elem vec.ElemKind, i int, row vec.Vector, dst []byte) erro
 	}
 	for j := range row {
 		if math.Float32bits(row[j]) != math.Float32bits(back[j]) {
-			return fmt.Errorf("row %d component %d (%v) is not representable as %v; save with vec.F32",
-				i, j, row[j], elem)
+			return fmt.Errorf("%w: row %d component %d (%v) is not representable as %v; save with vec.F32",
+				ErrBadInput, i, j, row[j], elem)
 		}
 	}
 	return nil
@@ -215,10 +215,10 @@ func encodeRowChecked(elem vec.ElemKind, i int, row vec.Vector, dst []byte) erro
 func addBlocks(b *builder, h Header, mat *vec.Matrix, base *graph.Graph, elem vec.ElemKind) error {
 	n, dim := mat.Rows(), mat.Dim()
 	if n == 0 {
-		return fmt.Errorf("empty corpus matrix")
+		return fmt.Errorf("%w: empty corpus matrix", ErrBadInput)
 	}
 	if base.Len() != n {
-		return fmt.Errorf("base graph has %d vertices, corpus has %d", base.Len(), n)
+		return fmt.Errorf("%w: base graph has %d vertices, corpus has %d", ErrBadInput, base.Len(), n)
 	}
 	sq := mat.SQ8()
 	quantized := sq != nil

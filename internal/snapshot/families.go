@@ -25,7 +25,7 @@ func corrupt(err error) error {
 	if err == nil {
 		return nil
 	}
-	return fmt.Errorf("%w: %v", ErrCorrupt, err)
+	return fmt.Errorf("%w: %w", ErrCorrupt, err)
 }
 
 // ---- corpus matrix ------------------------------------------------------
@@ -38,7 +38,7 @@ func corrupt(err error) error {
 func encodeMatrix(mat *vec.Matrix, elem vec.ElemKind) ([]byte, error) {
 	rows, dim := mat.Rows(), mat.Dim()
 	if rows == 0 {
-		return nil, fmt.Errorf("empty corpus matrix")
+		return nil, fmt.Errorf("%w: empty corpus matrix", ErrBadInput)
 	}
 	var e enc
 	e.u8(uint8(elem))
@@ -58,8 +58,8 @@ func encodeMatrix(mat *vec.Matrix, elem vec.ElemKind) ([]byte, error) {
 			}
 			for j := range row {
 				if math.Float32bits(row[j]) != math.Float32bits(back[j]) {
-					return nil, fmt.Errorf("row %d component %d (%v) is not representable as %v; save with vec.F32",
-						i, j, row[j], elem)
+					return nil, fmt.Errorf("%w: row %d component %d (%v) is not representable as %v; save with vec.F32",
+						ErrBadInput, i, j, row[j], elem)
 				}
 			}
 		}
@@ -208,7 +208,7 @@ func loadExact(h Header, _ *file, mat *vec.Matrix) (Index, error) {
 // errPaged rejects re-saving a paged (FromStore) index: its corpus and
 // adjacency live in snapshot blocks it does not own, so the original
 // snapshot file already is its serialized form.
-var errPaged = fmt.Errorf("paged index cannot be re-saved; copy the snapshot file instead")
+var errPaged = fmt.Errorf("%w: paged index cannot be re-saved; copy the snapshot file instead", ErrUnsupported)
 
 func saveHNSW(idx Index, b *builder) (vec.Metric, *vec.Matrix, *graph.Graph, error) {
 	x := idx.(*hnsw.Index)

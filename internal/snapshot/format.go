@@ -179,7 +179,7 @@ func parseHeader(data []byte) (Header, error) {
 	}
 	metric, err := vec.MetricFromEncoding(data[6])
 	if err != nil {
-		return h, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		return h, fmt.Errorf("%w: %w", ErrCorrupt, err)
 	}
 	elem := vec.ElemKind(data[7])
 	if elem > vec.I8 {

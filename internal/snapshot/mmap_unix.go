@@ -16,10 +16,10 @@ const mmapSupported = true
 // exceeds the container's basePageSize quantum.
 func mmapFile(f *os.File, size int64) ([]byte, error) {
 	if size <= 0 {
-		return nil, fmt.Errorf("snapshot: cannot map %d-byte file", size)
+		return nil, fmt.Errorf("%w: cannot map %d-byte file", ErrTruncated, size)
 	}
 	if size != int64(int(size)) {
-		return nil, fmt.Errorf("snapshot: file too large to map: %d bytes", size)
+		return nil, fmt.Errorf("%w: file too large to map: %d bytes", ErrUnsupported, size)
 	}
 	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
 	if err != nil {

@@ -525,7 +525,7 @@ func openPaged(fh *os.File, opts PagedOptions) (*PagedIndex, error) {
 	}
 	algo := string(algoBytes)
 	if !blockFamilies[algo] {
-		return nil, fmt.Errorf("snapshot: algo %q has no paged serving mode", algo)
+		return nil, fmt.Errorf("%w: algo %q has no paged serving mode", ErrUnsupported, algo)
 	}
 	if err := meta.validate(h); err != nil {
 		return nil, err
@@ -565,7 +565,7 @@ func openPaged(fh *os.File, opts PagedOptions) (*PagedIndex, error) {
 	case "readat":
 		back = &readatBackend{f: fh, meta: meta}
 	default:
-		return nil, fmt.Errorf("snapshot: unknown paged backend %q (want mmap or readat)", backend)
+		return nil, fmt.Errorf("%w: unknown paged backend %q (want mmap or readat)", ErrUnsupported, backend)
 	}
 
 	cachePages := opts.CachePages
@@ -634,6 +634,6 @@ func newPagedFamily(algo string, h Header, f *file, store *PagedStore) (Index, e
 		x, err := togg.FromStore(cfg, store, entry, dims)
 		return x, corrupt(err)
 	default:
-		return nil, fmt.Errorf("snapshot: algo %q has no paged serving mode", algo)
+		return nil, fmt.Errorf("%w: algo %q has no paged serving mode", ErrUnsupported, algo)
 	}
 }

@@ -27,7 +27,7 @@ import (
 func addSQ8(b *builder, mat *vec.Matrix, rerank int) error {
 	sq := mat.SQ8()
 	if sq == nil {
-		return fmt.Errorf("quantized index has no SQ8 tier")
+		return fmt.Errorf("%w: quantized index has no SQ8 tier", ErrUnsupported)
 	}
 	var e enc
 	e.u32(uint32(rerank))
@@ -60,7 +60,7 @@ func addSQ8(b *builder, mat *vec.Matrix, rerank int) error {
 func addSQ8Scales(b *builder, mat *vec.Matrix, rerank int) error {
 	sq := mat.SQ8()
 	if sq == nil {
-		return fmt.Errorf("quantized index has no SQ8 tier")
+		return fmt.Errorf("%w: quantized index has no SQ8 tier", ErrUnsupported)
 	}
 	var e enc
 	e.u32(uint32(rerank))

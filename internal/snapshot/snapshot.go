@@ -27,6 +27,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 
 	"ndsearch/internal/ann"
 	"ndsearch/internal/graph"
@@ -60,6 +61,16 @@ var (
 	// ErrMisaligned means a version-3 blocks section records a node image
 	// offset that is not page-aligned, so the file cannot be page-served.
 	ErrMisaligned = errors.New("snapshot: misaligned block image")
+	// ErrUnsupported means the operation is valid for some snapshots
+	// but not this one: re-saving a paged index, paged-serving a flat
+	// family, an unknown serving backend, a quantized section on an
+	// index whose matrix has no SQ8 tier.
+	ErrUnsupported = errors.New("snapshot: unsupported operation")
+	// ErrBadInput means the in-memory index handed to Save cannot be
+	// encoded as requested: empty corpus, graph/corpus length
+	// mismatch, or components not representable in the requested
+	// at-rest element kind.
+	ErrBadInput = errors.New("snapshot: invalid input")
 )
 
 // Index is the minimal interface a snapshot restores: enough to serve
@@ -117,6 +128,7 @@ func Algos() []string {
 	for name := range families {
 		out = append(out, name)
 	}
+	sort.Strings(out)
 	return out
 }
 
@@ -136,7 +148,7 @@ func Detect(idx Index) (string, error) {
 	case *ivfpq.Index:
 		return "ivfpq", nil
 	default:
-		return "", fmt.Errorf("snapshot: no codec for index type %T", idx)
+		return "", fmt.Errorf("%w: no codec for index type %T", ErrUnsupported, idx)
 	}
 }
 

@@ -235,19 +235,14 @@ func (x *Index) pickGuideDims() {
 	rows := x.mat.Rows()
 	mean := make([]float64, dim)
 	for r := 0; r < rows; r++ {
-		for i, c := range x.mat.Row(r) {
-			mean[i] += float64(c)
-		}
+		vec.AccumulateF64(mean, x.mat.Row(r))
 	}
 	for i := range mean {
 		mean[i] /= float64(rows)
 	}
 	variance := make([]float64, dim)
 	for r := 0; r < rows; r++ {
-		for i, c := range x.mat.Row(r) {
-			d := float64(c) - mean[i]
-			variance[i] += d * d
-		}
+		vec.AccumulateVarianceF64(variance, mean, x.mat.Row(r))
 	}
 	idxs := make([]int, dim)
 	for i := range idxs {

@@ -1,0 +1,40 @@
+package vec
+
+// Accumulation helpers for index-build and scan paths. Float summation
+// order is part of the byte-identical-results contract (DESIGN.md §7),
+// so every loop that folds vector components into a float lives here,
+// in the kernel package, where the reduction order is fixed and
+// auditable — the kernelpurity lint (internal/lint) flags ad-hoc copies
+// elsewhere.
+
+// AccumulateF64 adds v's components into dst element-wise, widening to
+// float64. Used by k-means centroid updates and per-dimension mean
+// estimation; the widening keeps large-corpus sums from losing low-order
+// bits before the final divide.
+func AccumulateF64(dst []float64, v Vector) {
+	for i, c := range v {
+		dst[i] += float64(c)
+	}
+}
+
+// AccumulateVarianceF64 adds the squared deviation of v from mean into
+// dst element-wise: dst[i] += (v[i]-mean[i])². Second pass of the
+// two-pass variance estimate used to pick high-spread guide dimensions.
+func AccumulateVarianceF64(dst, mean []float64, v Vector) {
+	for i, c := range v {
+		d := float64(c) - mean[i]
+		dst[i] += d * d
+	}
+}
+
+// ADCSum folds a PQ code through its per-subspace lookup tables:
+// the asymmetric-distance estimate sum(tables[s][code[s]]). Left-to-right
+// over subspaces, matching the order codes are laid out on disk, so the
+// estimate is bit-stable for a given table set.
+func ADCSum(tables [][]float32, code []uint8) float32 {
+	var d float32
+	for s, c := range code {
+		d += tables[s][c]
+	}
+	return d
+}
