@@ -9,14 +9,19 @@
 // Endpoints:
 //
 //	POST /search   {"query":[...], "k":10} or {"queries":[[...],...], "k":10}
+//	POST /upsert   {"id":7, "vector":[...]} or {"items":[{"id":7,"vector":[...]},...]}
+//	POST /delete   {"id":7} or {"ids":[7, 8, ...]}
+//	POST /compact  drain the delta tier into a new base generation now
 //	GET  /healthz  liveness + engine configuration
-//	GET  /stats    cumulative serving counters
+//	GET  /stats    cumulative serving counters (incl. mutation/compaction)
 //
 // Flags:
 //
 //	-addr           listen address (default :8080)
 //	-dataset        dataset profile (default sift-1b)
-//	-algo           shard index: exact, hnsw, diskann (default hnsw)
+//	-algo           shard index family, any registered algorithm
+//	                (engine.Algos: exact, hnsw, diskann, hcnng, togg,
+//	                ivfpq; default hnsw)
 //	-n              corpus size (default 20000)
 //	-shards         shard count (default 4)
 //	-workers        worker-pool size (default GOMAXPROCS)
@@ -25,12 +30,21 @@
 //	-rerank         exact-rerank width when quantized, 0 = full list (default 0)
 //	-coalesce-max   coalesced batch size threshold, 0 disables (default 256)
 //	-coalesce-wait  coalescing deadline (default 500us)
+//	-compact-threshold  delta shadow-set size that triggers background
+//	                compaction, 0 disables (manual /compact only;
+//	                default engine.DefaultCompactThreshold)
 //	-save-index     build the engine, persist it to this directory, exit
 //	-load-index     restore the engine from this directory instead of building
 //	-serve          shard serving mode with -load-index: ram (default,
 //	                fully resident), mmap, or readat (beyond-RAM paged)
 //	-cache-pages    paged serving: per-shard page-cache budget in 4 KiB
 //	                pages (0 = snapshot default)
+//
+// /upsert and /delete land writes in the engine's mutable delta tier;
+// searches see them immediately, exactly merged against the immutable
+// base shards under tombstone filtering (DESIGN.md §12). Compaction —
+// background past -compact-threshold, or on demand via POST /compact —
+// drains the delta into a freshly built base generation.
 //
 // With coalescing enabled (the default), concurrent single-query
 // /search requests are admitted through a micro-batcher that forms
@@ -60,6 +74,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -74,7 +89,8 @@ const shutdownGrace = 15 * time.Second
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	profName := flag.String("dataset", "sift-1b", "dataset profile name")
-	algo := flag.String("algo", "hnsw", "shard index algorithm (exact, hnsw, diskann)")
+	algo := flag.String("algo", "hnsw",
+		fmt.Sprintf("shard index algorithm (%s)", strings.Join(engine.Algos(), ", ")))
 	n := flag.Int("n", 20000, "corpus size")
 	shards := flag.Int("shards", 4, "shard count")
 	workers := flag.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS)")
@@ -93,10 +109,12 @@ func main() {
 		"shard serving mode with -load-index: ram, mmap, or readat (paged beyond-RAM serving)")
 	cachePages := flag.Int("cache-pages", 0,
 		"paged serving: per-shard page-cache budget in 4 KiB pages (0 = snapshot default)")
+	compactThreshold := flag.Int("compact-threshold", engine.DefaultCompactThreshold,
+		"delta shadow-set size that triggers background compaction (0 disables; POST /compact still works)")
 	flag.Parse()
 
 	if err := validateFlags(*n, *shards, *workers, *rerank, *coalesceMax, *coalesceWait,
-		*saveIndex, *loadIndex, *serveMode, *cachePages); err != nil {
+		*saveIndex, *loadIndex, *serveMode, *cachePages, *compactThreshold); err != nil {
 		fmt.Fprintf(os.Stderr, "ndserve: %v\n", err)
 		flag.Usage()
 		os.Exit(2)
@@ -116,6 +134,10 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ndserve: %v\n", err)
 		os.Exit(1)
+	}
+	if *compactThreshold > 0 && !srv.engine.ReadOnly() {
+		srv.EnableCompaction(*compactThreshold)
+		log.Printf("ndserve: background compaction at delta shadow-set size %d", *compactThreshold)
 	}
 
 	if *saveIndex != "" {
@@ -149,9 +171,11 @@ func main() {
 // negative; n and shards must be positive; rerank and coalesce-wait
 // must be non-negative; -save-index and -load-index are mutually
 // exclusive (save persists a fresh build); paged -serve modes need a
-// snapshot directory to page from, so they require -load-index.
+// snapshot directory to page from, so they require -load-index;
+// compact-threshold may be zero (background compaction disabled) but
+// never negative.
 func validateFlags(n, shards, workers, rerank, coalesceMax int, coalesceWait time.Duration,
-	saveIndex, loadIndex, serveMode string, cachePages int) error {
+	saveIndex, loadIndex, serveMode string, cachePages, compactThreshold int) error {
 	if loadIndex == "" { // corpus/build flags are unused on the load path
 		if n < 1 {
 			return fmt.Errorf("-n must be >= 1, got %d", n)
@@ -187,6 +211,9 @@ func validateFlags(n, shards, workers, rerank, coalesceMax int, coalesceWait tim
 	}
 	if saveIndex != "" && loadIndex != "" {
 		return fmt.Errorf("-save-index and -load-index are mutually exclusive")
+	}
+	if compactThreshold < 0 {
+		return fmt.Errorf("-compact-threshold must be >= 0 (0 disables background compaction), got %d", compactThreshold)
 	}
 	return nil
 }

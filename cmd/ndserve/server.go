@@ -27,6 +27,9 @@ type Server struct {
 	// coalescer, when non-nil, serves single-query requests; explicit
 	// batch requests already amortise a dispatch and go direct.
 	coalescer *batcher.Batcher
+	// compactor, when non-nil, drains the engine's delta tier in the
+	// background once it crosses the configured threshold.
+	compactor *engine.Compactor
 	// defaultK applies when a request omits k.
 	defaultK int
 	// maxBatch rejects oversized batch requests.
@@ -51,10 +54,15 @@ func (s *Server) EnableCoalescing(cfg batcher.Config) {
 	s.coalescer = batcher.New(s.engine, cfg)
 }
 
-// Close stops the coalescer (if enabled) and the engine's worker pool.
+// Close stops the coalescer and background compactor (if enabled) and
+// the engine's worker pool, in that order — the compactor must finish
+// any in-flight drain before the engine goes away.
 func (s *Server) Close() {
 	if s.coalescer != nil {
 		s.coalescer.Close()
+	}
+	if s.compactor != nil {
+		s.compactor.Close()
 	}
 	s.engine.Close()
 }
@@ -63,6 +71,9 @@ func (s *Server) Close() {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/search", s.handleSearch)
+	mux.HandleFunc("/upsert", s.handleUpsert)
+	mux.HandleFunc("/delete", s.handleDelete)
+	mux.HandleFunc("/compact", s.handleCompact)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/stats", s.handleStats)
 	return mux
@@ -195,20 +206,30 @@ func (s *Server) batchOf(req *SearchRequest) ([]vec.Vector, error) {
 	}
 	batch := make([]vec.Vector, len(raw))
 	for i, q := range raw {
-		if len(q) != s.dim {
-			return nil, fmt.Errorf("query %d has dim %d, corpus dim is %d", i, len(q), s.dim)
-		}
-		// NaN components poison every (distance, ID) comparison and Inf
-		// saturates distances, silently wrecking heap order and recall —
-		// reject them at admission instead.
-		for j, c := range q {
-			if f := float64(c); math.IsNaN(f) || math.IsInf(f, 0) {
-				return nil, fmt.Errorf("query %d component %d is not finite (%v)", i, j, c)
-			}
+		if err := s.checkVector(i, q); err != nil {
+			return nil, fmt.Errorf("query %v", err)
 		}
 		batch[i] = vec.Vector(q)
 	}
 	return batch, nil
+}
+
+// checkVector is the admission gate every request vector passes —
+// /search queries and /upsert values alike: the corpus dimensionality,
+// and finite components. NaN components poison every (distance, ID)
+// comparison and Inf saturates distances, silently wrecking heap order
+// and recall — reject them at the boundary instead. i labels the vector
+// within its batch for the error message.
+func (s *Server) checkVector(i int, q []float32) error {
+	if len(q) != s.dim {
+		return fmt.Errorf("%d has dim %d, corpus dim is %d", i, len(q), s.dim)
+	}
+	for j, c := range q {
+		if f := float64(c); math.IsNaN(f) || math.IsInf(f, 0) {
+			return fmt.Errorf("%d component %d is not finite (%v)", i, j, c)
+		}
+	}
+	return nil
 }
 
 func toWire(ns []ann.Neighbor) []SearchResult {
@@ -280,6 +301,9 @@ type StatsResponse struct {
 	Serve              string          `json:"serve"`
 	Pages              *PageStats      `json:"pages,omitempty"`
 	Coalescer          *CoalescerStats `json:"coalescer,omitempty"`
+	// Mutation carries the live-mutability counters (absent on a
+	// read-only engine).
+	Mutation *MutationStats `json:"mutation,omitempty"`
 }
 
 // PageStats is the paged-serving section of /stats: engine-wide sums of
@@ -320,6 +344,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		MeanQueryLatencyUS: float64(st.MeanQueryLatency()) / float64(time.Microsecond),
 		MaxBatchLatencyUS:  float64(st.MaxBatchLatency) / float64(time.Microsecond),
 		Serve:              s.engine.ServeMode(),
+		Mutation:           s.mutationStats(),
 	}
 	if ps, ok := s.engine.PageStats(); ok {
 		resp.Pages = &PageStats{

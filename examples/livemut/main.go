@@ -1,0 +1,184 @@
+// Livemut measures what live mutability costs the read path: QPS of
+// the same engine in three states — pure-read (delta empty, byte-exact
+// fast path), read-under-write (a background writer churning the delta
+// tier while queries run), and post-compaction (delta drained back
+// into an immutable base generation). Its JSON output (stdout) is the
+// source of BENCH_mutate.json at the repo root.
+//
+// Usage:
+//
+//	go run ./examples/livemut [-n 10000] [-queries 64] [-seed 1] [-passes 3] [-algo hnsw]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"ndsearch/internal/dataset"
+	"ndsearch/internal/engine"
+)
+
+// Result is one dataset profile's measurements.
+type Result struct {
+	Dataset string `json:"dataset"`
+	Algo    string `json:"algo"`
+	N       int    `json:"n"`
+	Dim     int    `json:"dim"`
+	Metric  string `json:"metric"`
+
+	// PureReadQPS is SearchBatch throughput with an empty delta (the
+	// byte-identical fast path).
+	PureReadQPS float64 `json:"pure_read_qps"`
+	// UnderWriteQPS is throughput while one background writer upserts
+	// and deletes as fast as the engine accepts.
+	UnderWriteQPS float64 `json:"under_write_qps"`
+	// QPSRatio is UnderWriteQPS / PureReadQPS.
+	QPSRatio float64 `json:"qps_ratio"`
+	// WritesApplied is how many mutations the writer landed during the
+	// timed read passes; DeltaShadows the delta shadow-set size after.
+	WritesApplied int64 `json:"writes_applied"`
+	DeltaShadows  int   `json:"delta_shadows"`
+	// CompactMS is the wall time of the compaction that drained that
+	// delta; CompactVectors the size of the generation it built.
+	CompactMS      float64 `json:"compact_ms"`
+	CompactVectors int     `json:"compact_vectors"`
+	// PostCompactQPS is throughput after the swap, back on the fast path.
+	PostCompactQPS float64 `json:"post_compact_qps"`
+}
+
+// Output is the full report, shaped like BENCH_quant.json.
+type Output struct {
+	Generated string            `json:"generated"`
+	Commands  []string          `json:"commands"`
+	Host      map[string]string `json:"host"`
+	Notes     string            `json:"notes"`
+	Results   []Result          `json:"results"`
+}
+
+func main() {
+	n := flag.Int("n", 10000, "corpus size per dataset")
+	queries := flag.Int("queries", 64, "query batch size")
+	seed := flag.Int64("seed", 1, "generation/build seed")
+	passes := flag.Int("passes", 3, "timed passes over the query set")
+	algo := flag.String("algo", "hnsw", "shard index algorithm")
+	flag.Parse()
+
+	out := Output{
+		Generated: time.Now().Format("2006-01-02"),
+		Commands:  []string{"go run ./examples/livemut"},
+		Host: map[string]string{
+			"go":     runtime.Version(),
+			"goos":   runtime.GOOS,
+			"goarch": runtime.GOARCH,
+		},
+		Notes: "Same engine measured in three states: pure-read (empty delta, byte-exact " +
+			"fast path), read-under-write (one goroutine upserting/deleting at full speed " +
+			"through the delta tier), and post-compaction (delta drained into a new base " +
+			"generation). QPS is SearchBatch over the query batch, k=10.",
+	}
+	for _, profName := range []string{"sift-1b", "glove-100"} {
+		r, err := runProfile(profName, *algo, *n, *queries, *seed, *passes)
+		if err != nil {
+			log.Fatalf("livemut: %s: %v", profName, err)
+		}
+		out.Results = append(out.Results, r)
+		fmt.Fprintf(os.Stderr, "%s: qps %.0f -> %.0f under write (%.2fx, %d writes, %d shadows), compact %.0fms -> %.0f qps\n",
+			profName, r.PureReadQPS, r.UnderWriteQPS, r.QPSRatio,
+			r.WritesApplied, r.DeltaShadows, r.CompactMS, r.PostCompactQPS)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		log.Fatalf("livemut: %v", err)
+	}
+}
+
+func runProfile(profName, algo string, n, queries int, seed int64, passes int) (Result, error) {
+	prof, err := dataset.ProfileByName(profName)
+	if err != nil {
+		return Result{}, err
+	}
+	// Generate extra vectors to feed the writer.
+	d, err := dataset.Generate(prof, dataset.GenConfig{N: n + n/4, Queries: queries, Seed: seed})
+	if err != nil {
+		return Result{}, err
+	}
+	corpus, spare := d.Vectors[:n], d.Vectors[n:]
+
+	builder, err := engine.BuilderByName(algo, prof.Metric, seed)
+	if err != nil {
+		return Result{}, err
+	}
+	e, err := engine.New(corpus, engine.Config{Shards: 4, Builder: builder})
+	if err != nil {
+		return Result{}, err
+	}
+	defer e.Close()
+
+	res := Result{
+		Dataset: prof.Name, Algo: algo, N: n, Dim: prof.Dim,
+		Metric: fmt.Sprint(prof.Metric),
+	}
+	const k = 10
+	measure := func() float64 {
+		var total time.Duration
+		for p := 0; p < passes; p++ {
+			start := time.Now()
+			if r, _ := e.SearchBatch(d.Queries, k); len(r) != queries {
+				log.Fatalf("livemut: short batch: %d", len(r))
+			}
+			total += time.Since(start)
+		}
+		return float64(passes*queries) / total.Seconds()
+	}
+
+	res.PureReadQPS = measure()
+
+	// One writer churns as fast as the engine accepts: two upserts then
+	// a delete, over IDs above the base corpus.
+	var stop atomic.Bool
+	var writes atomic.Int64
+	done := make(chan error, 1)
+	go func() {
+		i := 0
+		for !stop.Load() {
+			id := uint32(n + i%len(spare))
+			if i%3 == 2 {
+				if _, err := e.Delete(id); err != nil {
+					done <- err
+					return
+				}
+			} else if err := e.Upsert(id, spare[i%len(spare)]); err != nil {
+				done <- err
+				return
+			}
+			writes.Add(1)
+			i++
+		}
+		done <- nil
+	}()
+	res.UnderWriteQPS = measure()
+	stop.Store(true)
+	if err := <-done; err != nil {
+		return Result{}, err
+	}
+	res.QPSRatio = res.UnderWriteQPS / res.PureReadQPS
+	res.WritesApplied = writes.Load()
+	st := e.MutStats()
+	res.DeltaShadows = st.DeltaLive + st.DeltaTombstones
+
+	start := time.Now()
+	if err := e.Compact(); err != nil {
+		return Result{}, err
+	}
+	res.CompactMS = float64(time.Since(start)) / float64(time.Millisecond)
+	res.CompactVectors = e.MutStats().LastCompactVectors
+	res.PostCompactQPS = measure()
+	return res, nil
+}

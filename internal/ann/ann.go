@@ -252,6 +252,58 @@ func (f *Frontier) TopK(k int) []Neighbor {
 	return rs[:k]
 }
 
+// MergeTopK folds per-tier result lists through a bounded Frontier into
+// the exact top-k under the package's (distance, ID) total order. live,
+// when non-nil, is the tombstone filter of the generational shard set:
+// entries for which it returns false (deleted or superseded by a newer
+// tier) are dropped before admission, during the fold rather than after
+// it, so a list whose head is entirely tombstoned still yields its best
+// surviving entries. With a nil filter the fold is the plain exact
+// merge the sharded engine has always used, byte-identical to it.
+func MergeTopK(lists [][]Neighbor, k int, live func(uint32) bool) []Neighbor {
+	f := NewFrontier(k)
+	for _, list := range lists {
+		for _, n := range list {
+			if live != nil && !live(n.ID) {
+				continue
+			}
+			f.PushResult(n)
+		}
+	}
+	return f.Results()
+}
+
+// ValidateIn is Validate for result lists whose IDs are not dense
+// [0, n) positions: the generational engine's merged results carry
+// arbitrary external IDs, so range-checking against a corpus length is
+// meaningless. contains must report membership in the live corpus; the
+// order, finiteness, and uniqueness checks match Validate.
+func ValidateIn(ns []Neighbor, contains func(uint32) bool) error {
+	seen := make(map[uint32]bool, len(ns))
+	for i, x := range ns {
+		if contains != nil && !contains(x.ID) {
+			return fmt.Errorf("%w: result ID %d is not a live corpus member", ErrInvalidResults, x.ID)
+		}
+		if x.Dist != x.Dist {
+			return fmt.Errorf("%w: result %d (ID %d) has NaN distance", ErrInvalidResults, i, x.ID)
+		}
+		if seen[x.ID] {
+			return fmt.Errorf("%w: duplicate result ID %d", ErrInvalidResults, x.ID)
+		}
+		seen[x.ID] = true
+		if i > 0 {
+			prev := ns[i-1]
+			if x.Dist < prev.Dist {
+				return fmt.Errorf("%w: results not sorted at index %d", ErrInvalidResults, i)
+			}
+			if x.Dist == prev.Dist && x.ID < prev.ID {
+				return fmt.Errorf("%w: tie at index %d not in ascending ID order (%d after %d)", ErrInvalidResults, i, x.ID, prev.ID)
+			}
+		}
+	}
+	return nil
+}
+
 // Validate sanity-checks a result list: ascending (distance, ID) order
 // — the package's total order, including ID-ascending tie-breaks —
 // finite distances, unique IDs, IDs within range. Used by tests and the

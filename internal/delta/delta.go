@@ -1,0 +1,282 @@
+// Package delta is the mutable tier of the generational shard set: a
+// small brute-force index that absorbs Upsert/Delete traffic under an
+// RWMutex while the immutable snapshot-backed base shards keep serving
+// reads. A delta layer answers searches by scanning its live vectors on
+// the same prepared-query arithmetic ann.BruteForce uses, so its
+// distances are bit-identical to the exact baseline and the engine's
+// (distance, ID) merge stays a total order across tiers.
+//
+// A layer tracks two disjoint sets keyed by external vector ID:
+//
+//   - live: vectors upserted into this layer (authoritative values);
+//   - deleted: IDs deleted through this layer that still exist in a
+//     lower tier (the base generation or a frozen delta) and must be
+//     shadowed there.
+//
+// Shadows(id) — membership in either set — is the tombstone predicate
+// the engine's merge fold applies to lower tiers: a live entry shadows
+// the stale lower copy it replaced, a deleted entry shadows the copy it
+// removed. Within one engine generation the shadow set only grows
+// (Delete moves an ID from live to deleted, never erases it), which is
+// what makes the lock-staggered merge in engine.SearchBatch dup-free;
+// shadows are dropped only wholesale, when a compaction folds the layer
+// into a new base generation.
+package delta
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"ndsearch/internal/ann"
+	"ndsearch/internal/vec"
+)
+
+// Index is one mutable delta layer. The zero value is not usable; call
+// New. All methods are safe for concurrent use.
+type Index struct {
+	mu      sync.RWMutex
+	metric  vec.Metric
+	dim     int
+	live    map[uint32]vec.Vector
+	deleted map[uint32]struct{}
+}
+
+// New returns an empty delta layer over metric m for dim-dimensional
+// vectors.
+func New(m vec.Metric, dim int) *Index {
+	return &Index{
+		metric:  m,
+		dim:     dim,
+		live:    make(map[uint32]vec.Vector),
+		deleted: make(map[uint32]struct{}),
+	}
+}
+
+// Metric returns the layer's distance metric.
+func (d *Index) Metric() vec.Metric { return d.metric }
+
+// Dim returns the layer's dimensionality.
+func (d *Index) Dim() int { return d.dim }
+
+// CheckVector validates a vector for insertion: the layer's exact
+// dimensionality and finite components. NaN components poison every
+// (distance, ID) comparison and Inf saturates distances, so both are
+// rejected at the write path rather than detected in search results.
+func (d *Index) CheckVector(v vec.Vector) error {
+	if len(v) != d.dim {
+		return fmt.Errorf("delta: vector has dim %d, index dim is %d", len(v), d.dim)
+	}
+	for i, c := range v {
+		if f := float64(c); math.IsNaN(f) || math.IsInf(f, 0) {
+			return fmt.Errorf("delta: component %d is not finite (%v)", i, c)
+		}
+	}
+	return nil
+}
+
+// Upsert inserts or replaces id's vector in the live set (copying v, so
+// the caller may reuse the slice) and clears any deleted mark — a
+// delete-then-reinsert resurrects the ID with the new value while the
+// shadow over lower tiers persists. It reports whether id was already
+// live in this layer.
+func (d *Index) Upsert(id uint32, v vec.Vector) (wasLive bool, err error) {
+	if err := d.CheckVector(v); err != nil {
+		return false, err
+	}
+	cp := make(vec.Vector, len(v))
+	copy(cp, v)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	_, wasLive = d.live[id]
+	d.live[id] = cp
+	delete(d.deleted, id)
+	return wasLive, nil
+}
+
+// Delete removes id from the live set. shadow reports whether a lower
+// tier still holds id (so the deletion must be remembered as a
+// tombstone); an ID that only ever lived in this layer is simply
+// forgotten. It reports whether id was live in this layer.
+func (d *Index) Delete(id uint32, shadow bool) (wasLive bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	_, wasLive = d.live[id]
+	delete(d.live, id)
+	if shadow {
+		d.deleted[id] = struct{}{}
+	}
+	return wasLive
+}
+
+// Get returns id's live vector in this layer (a reference; callers must
+// not mutate it).
+func (d *Index) Get(id uint32) (vec.Vector, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	v, ok := d.live[id]
+	return v, ok
+}
+
+// Has reports whether id is live in this layer.
+func (d *Index) Has(id uint32) bool {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	_, ok := d.live[id]
+	return ok
+}
+
+// Shadows reports whether id is shadowed by this layer: live here (the
+// lower copy is stale) or deleted through here (the lower copy is
+// dead). This is the tombstone predicate merges apply to lower tiers.
+func (d *Index) Shadows(id uint32) bool {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if _, ok := d.live[id]; ok {
+		return true
+	}
+	_, ok := d.deleted[id]
+	return ok
+}
+
+// Len returns the live vector count.
+func (d *Index) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.live)
+}
+
+// Tombstones returns the deleted-mark count.
+func (d *Index) Tombstones() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.deleted)
+}
+
+// ShadowCount returns the total shadow-set size (live + deleted) — the
+// widening the engine applies to base top-k requests so tombstone
+// filtering cannot starve the merge below k live results.
+func (d *Index) ShadowCount() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.live) + len(d.deleted)
+}
+
+// Empty reports whether the layer holds no live vectors and no deleted
+// marks (nothing to compact, nothing shadowed).
+func (d *Index) Empty() bool { return d.ShadowCount() == 0 }
+
+// Search scans the live set and returns the top-k neighbors of query
+// under the layer's metric, ascending by the ann (distance, ID) total
+// order. skip, when non-nil, drops entries before admission — the
+// engine passes a higher layer's Shadows so a frozen delta never
+// resurfaces vectors the live delta replaced. Distances run on the same
+// prepared-query path as ann.BruteForce, so they are bit-identical to
+// the exact tier for identical vectors. A dimension-mismatched query
+// returns nil rather than panicking (engine and server validate dims at
+// admission; this is the defensive backstop).
+func (d *Index) Search(query vec.Vector, k int, skip func(uint32) bool) []ann.Neighbor {
+	if k < 1 || len(query) != d.dim {
+		return nil
+	}
+	q := vec.PrepareQuery(d.metric, query)
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if len(d.live) == 0 {
+		return nil
+	}
+	// Map iteration order is random, but Frontier admission follows the
+	// (distance, ID) total order, so the retained top-k is canonical
+	// regardless of scan order.
+	f := ann.NewFrontier(k)
+	for id, v := range d.live {
+		if skip != nil && skip(id) {
+			continue
+		}
+		f.PushResult(ann.Neighbor{ID: id, Dist: q.DistanceTo(v)})
+	}
+	return f.Results()
+}
+
+// Live returns the live entries sorted ascending by ID, with vectors
+// aliased (not copied) — the compaction drain reads them after the
+// layer is frozen, when no writer can touch it.
+func (d *Index) Live() (ids []uint32, vecs []vec.Vector) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	ids = make([]uint32, 0, len(d.live))
+	for id := range d.live {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	vecs = make([]vec.Vector, len(ids))
+	for i, id := range ids {
+		vecs[i] = d.live[id]
+	}
+	return ids, vecs
+}
+
+// ShadowIDs returns every shadowed ID (live and deleted), sorted
+// ascending — the set a compaction swap intersects with the new base to
+// recompute its tombstone counter.
+func (d *Index) ShadowIDs() []uint32 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	ids := make([]uint32, 0, len(d.live)+len(d.deleted))
+	for id := range d.live {
+		ids = append(ids, id)
+	}
+	for id := range d.deleted {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Absorb folds a lower layer into this one: lower live entries and
+// deleted marks apply only where this layer does not already shadow the
+// ID (this layer is newer, so its state wins). It is the compaction
+// failure path — a frozen delta that could not be drained into a new
+// generation is folded back under the writes that accumulated above it,
+// restoring the single-delta invariant with no update lost.
+//
+// Absorb snapshots lower first and then applies under this layer's
+// write lock, so it never holds both locks at once; the engine calls it
+// with all searches and writers excluded (the generation write lock).
+func (d *Index) Absorb(lower *Index) {
+	lower.mu.RLock()
+	liveIDs := make([]uint32, 0, len(lower.live))
+	for id := range lower.live {
+		liveIDs = append(liveIDs, id)
+	}
+	sort.Slice(liveIDs, func(i, j int) bool { return liveIDs[i] < liveIDs[j] })
+	liveVecs := make([]vec.Vector, len(liveIDs))
+	for i, id := range liveIDs {
+		liveVecs[i] = lower.live[id]
+	}
+	deadIDs := make([]uint32, 0, len(lower.deleted))
+	for id := range lower.deleted {
+		deadIDs = append(deadIDs, id)
+	}
+	sort.Slice(deadIDs, func(i, j int) bool { return deadIDs[i] < deadIDs[j] })
+	lower.mu.RUnlock()
+
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for i, id := range liveIDs {
+		if _, ok := d.live[id]; ok {
+			continue
+		}
+		if _, ok := d.deleted[id]; ok {
+			continue
+		}
+		d.live[id] = liveVecs[i]
+	}
+	for _, id := range deadIDs {
+		if _, ok := d.live[id]; ok {
+			continue
+		}
+		d.deleted[id] = struct{}{}
+	}
+}

@@ -1,0 +1,233 @@
+package delta
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"ndsearch/internal/ann"
+	"ndsearch/internal/dataset"
+	"ndsearch/internal/vec"
+)
+
+func testVectors(t *testing.T, n int) []vec.Vector {
+	t.Helper()
+	d, err := dataset.Generate(dataset.Sift1B(), dataset.GenConfig{N: n, Queries: 1, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d.Vectors
+}
+
+func TestUpsertDeleteMembership(t *testing.T) {
+	vs := testVectors(t, 4)
+	d := New(vec.L2, len(vs[0]))
+	if !d.Empty() {
+		t.Fatal("fresh layer not empty")
+	}
+	if was, err := d.Upsert(7, vs[0]); err != nil || was {
+		t.Fatalf("first upsert: was=%v err=%v", was, err)
+	}
+	if was, err := d.Upsert(7, vs[1]); err != nil || !was {
+		t.Fatalf("second upsert: was=%v err=%v", was, err)
+	}
+	if d.Len() != 1 || !d.Has(7) || !d.Shadows(7) {
+		t.Fatalf("live state wrong: len=%d has=%v shadows=%v", d.Len(), d.Has(7), d.Shadows(7))
+	}
+	got, ok := d.Get(7)
+	if !ok || !reflect.DeepEqual(got, vs[1]) {
+		t.Fatal("Get did not return the latest value")
+	}
+
+	// Delete with shadow: live entry goes, tombstone stays.
+	if !d.Delete(7, true) {
+		t.Fatal("delete of live id reported not-live")
+	}
+	if d.Has(7) || !d.Shadows(7) || d.Tombstones() != 1 {
+		t.Fatalf("tombstone state wrong: has=%v shadows=%v tombs=%d", d.Has(7), d.Shadows(7), d.Tombstones())
+	}
+
+	// Reinsert resurrects the ID: live again, deleted mark cleared.
+	if _, err := d.Upsert(7, vs[2]); err != nil {
+		t.Fatal(err)
+	}
+	if !d.Has(7) || d.Tombstones() != 0 {
+		t.Fatalf("resurrection state wrong: has=%v tombs=%d", d.Has(7), d.Tombstones())
+	}
+
+	// Delete without shadow: the ID is simply forgotten.
+	if !d.Delete(7, false) {
+		t.Fatal("delete reported not-live")
+	}
+	if d.Shadows(7) || !d.Empty() {
+		t.Fatalf("forgotten id still shadowed: shadows=%v empty=%v", d.Shadows(7), d.Empty())
+	}
+	if d.Delete(7, false) {
+		t.Fatal("delete of absent id reported live")
+	}
+}
+
+func TestCheckVectorRejectsBadInput(t *testing.T) {
+	d := New(vec.L2, 4)
+	cases := map[string]vec.Vector{
+		"short":  {1, 2, 3},
+		"long":   {1, 2, 3, 4, 5},
+		"nan":    {1, 2, float32(math.NaN()), 4},
+		"posinf": {1, 2, float32(math.Inf(1)), 4},
+		"neginf": {float32(math.Inf(-1)), 2, 3, 4},
+	}
+	for name, v := range cases {
+		if _, err := d.Upsert(1, v); err == nil {
+			t.Errorf("%s vector accepted", name)
+		}
+	}
+	if !d.Empty() {
+		t.Fatal("rejected upserts left state behind")
+	}
+}
+
+func TestUpsertCopiesVector(t *testing.T) {
+	d := New(vec.L2, 2)
+	v := vec.Vector{1, 2}
+	if _, err := d.Upsert(1, v); err != nil {
+		t.Fatal(err)
+	}
+	v[0] = 99
+	got, _ := d.Get(1)
+	if got[0] != 1 {
+		t.Fatal("Upsert aliased the caller's slice")
+	}
+}
+
+// Search must match ann.BruteForce over the same live set bit-for-bit:
+// the delta tier sits in the same (distance, ID) total order as every
+// other tier.
+func TestSearchMatchesBruteForce(t *testing.T) {
+	vs := testVectors(t, 64)
+	queries := testVectors(t, 8)
+	for _, m := range []vec.Metric{vec.L2, vec.Angular, vec.InnerProduct} {
+		d := New(m, len(vs[0]))
+		for i, v := range vs {
+			if _, err := d.Upsert(uint32(i), v); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, q := range queries {
+			got := d.Search(q, 10, nil)
+			want := ann.BruteForce(m, vs, q, 10)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("metric %v: delta search diverges from brute force", m)
+			}
+		}
+	}
+}
+
+func TestSearchSkipFilter(t *testing.T) {
+	vs := testVectors(t, 32)
+	d := New(vec.L2, len(vs[0]))
+	for i, v := range vs {
+		if _, err := d.Upsert(uint32(i), v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := vs[0]
+	full := d.Search(q, 5, nil)
+	banned := full[0].ID
+	filtered := d.Search(q, 5, func(id uint32) bool { return id == banned })
+	for _, n := range filtered {
+		if n.ID == banned {
+			t.Fatal("skip filter ignored")
+		}
+	}
+	if len(filtered) != 5 {
+		t.Fatalf("filtered search returned %d results, want 5", len(filtered))
+	}
+}
+
+func TestSearchEdgeCases(t *testing.T) {
+	d := New(vec.L2, 4)
+	if got := d.Search(vec.Vector{1, 2, 3, 4}, 5, nil); got != nil {
+		t.Fatal("empty layer returned results")
+	}
+	if _, err := d.Upsert(1, vec.Vector{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Search(vec.Vector{1, 2}, 5, nil); got != nil {
+		t.Fatal("dim-mismatched query returned results")
+	}
+	if got := d.Search(vec.Vector{1, 2, 3, 4}, 0, nil); got != nil {
+		t.Fatal("k=0 returned results")
+	}
+}
+
+func TestLiveAndShadowIDsSorted(t *testing.T) {
+	d := New(vec.L2, 1)
+	for _, id := range []uint32{9, 3, 27, 1} {
+		if _, err := d.Upsert(id, vec.Vector{float32(id)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.Delete(3, true)
+	ids, vecs := d.Live()
+	if !reflect.DeepEqual(ids, []uint32{1, 9, 27}) {
+		t.Fatalf("Live ids = %v", ids)
+	}
+	for i, id := range ids {
+		if vecs[i][0] != float32(id) {
+			t.Fatalf("Live vecs misaligned at %d", i)
+		}
+	}
+	if got := d.ShadowIDs(); !reflect.DeepEqual(got, []uint32{1, 3, 9, 27}) {
+		t.Fatalf("ShadowIDs = %v", got)
+	}
+	if d.ShadowCount() != 4 {
+		t.Fatalf("ShadowCount = %d", d.ShadowCount())
+	}
+}
+
+// Absorb folds a lower (older) layer under this one with newer-wins
+// semantics.
+func TestAbsorb(t *testing.T) {
+	upper := New(vec.L2, 1)
+	lower := New(vec.L2, 1)
+	// Lower: live 1, 2, 3; deleted 4.
+	for _, id := range []uint32{1, 2, 3} {
+		if _, err := lower.Upsert(id, vec.Vector{float32(100 + id)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lower.Delete(4, true)
+	// Upper: re-upserted 1, deleted 2, and an unrelated live 5 plus a
+	// resurrected 4.
+	if _, err := upper.Upsert(1, vec.Vector{1}); err != nil {
+		t.Fatal(err)
+	}
+	upper.Delete(2, true)
+	if _, err := upper.Upsert(5, vec.Vector{5}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := upper.Upsert(4, vec.Vector{4}); err != nil {
+		t.Fatal(err)
+	}
+
+	upper.Absorb(lower)
+
+	if v, _ := upper.Get(1); v[0] != 1 {
+		t.Fatal("upper's value for 1 lost")
+	}
+	if upper.Has(2) || !upper.Shadows(2) {
+		t.Fatal("upper's delete of 2 lost")
+	}
+	if v, ok := upper.Get(3); !ok || v[0] != 103 {
+		t.Fatal("lower's live 3 not absorbed")
+	}
+	if v, ok := upper.Get(4); !ok || v[0] != 4 {
+		t.Fatal("upper's resurrected 4 clobbered by lower's tombstone")
+	}
+	if !upper.Shadows(4) {
+		t.Fatal("4 not shadowed")
+	}
+	if upper.Len() != 4 {
+		t.Fatalf("absorbed len = %d, want 4", upper.Len())
+	}
+}

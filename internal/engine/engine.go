@@ -4,8 +4,21 @@
 // (started in New, stopped by Close), merges the per-shard top-k lists
 // with the ann candidate-list machinery, and reports per-batch
 // latency/throughput statistics in the same shape as core.Result.
-// Sharding is contiguous, so a shard's local vertex i is global vertex
-// base+i; every merged Neighbor carries global IDs.
+//
+// The shard set is generational (DESIGN.md §12): an immutable base
+// generation — built in-process or restored from a snapshot — serves
+// reads, while a small mutable delta tier (internal/delta) absorbs
+// Upsert/Delete traffic. The merge fold filters base results through
+// the delta's tombstone set during the fold, so top-k stays exact over
+// the merged corpus, and a pure-read engine (no writes ever) returns
+// results byte-identical to the pre-generational engine. Compact drains
+// the delta into a freshly built generation and swaps it in behind the
+// search path (atomic CURRENT rename on disk, write-lock swap in
+// memory), retiring the old generation after in-flight searches drain.
+//
+// Sharding is contiguous, so a shard's local vertex i is global
+// position base+i; generation 0 positions are the global IDs, and
+// compacted generations carry an explicit position→external-ID table.
 //
 // The engine is the architectural seam the ROADMAP's scaling work builds
 // on: cmd/ndserve serves HTTP traffic from it, examples/serving drives
@@ -16,13 +29,18 @@ package engine
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"ndsearch/internal/ann"
+	"ndsearch/internal/delta"
+	"ndsearch/internal/hcnng"
 	"ndsearch/internal/hnsw"
+	"ndsearch/internal/ivfpq"
 	"ndsearch/internal/snapshot"
+	"ndsearch/internal/togg"
 	"ndsearch/internal/vamana"
 	"ndsearch/internal/vec"
 )
@@ -41,7 +59,8 @@ type Config struct {
 	// all concurrent SearchBatch callers) and concurrent shard builds.
 	// Defaults to GOMAXPROCS.
 	Workers int
-	// Builder constructs each shard's index. Required.
+	// Builder constructs each shard's index. Required. Compact reuses it
+	// to rebuild the base generation over the merged corpus.
 	Builder Builder
 	// Meta is optional provenance recorded by Save in the snapshot
 	// manifest; it does not affect construction or search.
@@ -84,39 +103,122 @@ func (c *Config) normalize(n int) error {
 	return nil
 }
 
-// shard is one partition: a built index plus its global-ID base offset.
+// shard is one partition: a built index plus its global-position base
+// offset within its generation.
 type shard struct {
 	index ann.Index
 	base  uint32
 }
 
-// Engine is a sharded, concurrency-safe batch-search engine. Its worker
-// pool is persistent: New starts Workers goroutines that drain a shared
-// task channel until Close, so SearchBatch pays no per-call goroutine
-// setup and the Workers bound holds engine-wide across concurrent
-// callers by construction.
+// generation is one immutable base of the generational shard set: built
+// shards, the position→external-ID translation (nil when positions are
+// the IDs, as in generation 0 of a fresh build), and — on the paged
+// serving path — the open per-shard snapshot handles. A generation is
+// never mutated after the engine starts serving it; compaction replaces
+// the whole value.
+type generation struct {
+	// num is the generation number: 0 for the initial build or a legacy
+	// (pre-generational) snapshot load, then incremented per compaction.
+	num    int
+	shards []shard
+	// ids maps global position to external vector ID, strictly
+	// ascending; nil means identity (position == ID), which is also the
+	// fast path the pure-read engine stays on.
+	ids []uint32
+	// vectors is the base row count (sum of shard lengths).
+	vectors int
+	// paged holds the open per-shard handles on the paged serving path,
+	// for counters and for Close/retirement.
+	paged []*snapshot.PagedIndex
+	// dir is the generation's subdirectory name under the engine's
+	// generation root ("" for in-memory generations and the legacy
+	// top-level layout, which is never retired).
+	dir string
+	// perShard counts executed tasks per shard (load-skew telemetry);
+	// it lives on the generation because the shard count can change
+	// across compactions.
+	perShard []atomic.Int64
+}
+
+// extID translates a global position to its external ID.
+func (g *generation) extID(pos uint32) uint32 {
+	if g.ids == nil {
+		return pos
+	}
+	return g.ids[pos]
+}
+
+// has reports whether external ID id exists in the base generation.
+func (g *generation) has(id uint32) bool {
+	if g.ids == nil {
+		return int(id) < g.vectors
+	}
+	i := sort.Search(len(g.ids), func(i int) bool { return g.ids[i] >= id })
+	return i < len(g.ids) && g.ids[i] == id
+}
+
+// Engine is a sharded, concurrency-safe batch-search engine with live
+// mutability. Its worker pool is persistent: New starts Workers
+// goroutines that drain a shared task channel until Close, so
+// SearchBatch pays no per-call goroutine setup and the Workers bound
+// holds engine-wide across concurrent callers by construction.
+//
+// Concurrency contract: SearchBatch/Search hold genMu read-locked for
+// the whole batch, Upsert/Delete serialize on writeMu and then read-lock
+// genMu (they mutate only the delta tier, behind its own lock), and
+// Compact's freeze and swap take genMu write-locked — so a generation
+// swap waits for in-flight searches to drain, and no search ever
+// observes a half-swapped shard set.
 type Engine struct {
-	shards  []shard
 	workers int
-	len     int
 	dim     int
 	meta    Meta
+
+	// genMu guards the generational state triple (gen, delta, frozen)
+	// and brackets in-flight searches; see the contract above.
+	genMu sync.RWMutex
+	gen   *generation
+	// delta absorbs writes; frozen is the draining delta while a
+	// compaction is in flight (nil otherwise). delta is nil only on
+	// engines whose shard metric could not be detected (custom index
+	// types), which serve read-only.
+	delta  *delta.Index
+	frozen *delta.Index
+
+	// writeMu serializes mutators (Upsert/Delete) and compaction's
+	// freeze/swap sections, so the live-count and tombstone counters
+	// stay consistent with the layered membership they summarize.
+	writeMu sync.Mutex
+
+	// liveLen is the current live vector count across base and delta;
+	// baseTombs counts base entries shadowed by the delta tiers.
+	liveLen   atomic.Int64
+	baseTombs atomic.Int64
+
+	// metric is the shard distance metric (valid when delta != nil);
+	// builder rebuilds shards at compaction (nil disables Compact);
+	// reqShards is the configured shard count compaction re-partitions
+	// to; genDir is the on-disk generation root ("" = in-memory).
+	metric    vec.Metric
+	builder   Builder
+	reqShards int
+	genDir    string
+
+	// compacting is the single-flight guard for Compact.
+	compacting atomic.Bool
+
 	// tasks feeds the persistent worker pool; SearchBatch callers
 	// enqueue one task per (query, shard) pair.
 	tasks chan task
 	// wg tracks the pool goroutines so Close can wait for them.
 	wg        sync.WaitGroup
 	closeOnce sync.Once
-	// perShard counts executed tasks per shard (load-skew telemetry).
-	perShard []atomic.Int64
 
 	// serveMode is the shard serving mode ("" means ServeRAM): builds
 	// and plain loads decode shards fully resident; paged loads
 	// (LoadOptions.Serve) traverse node records through a bounded page
-	// cache over the snapshot files. paged holds the open per-shard
-	// handles on the paged path, for counters and for Close.
+	// cache over the snapshot files.
 	serveMode string
-	paged     []*snapshot.PagedIndex
 	// formatVersion is the snapshot container version backing the
 	// engine: the manifest's version on the load path, zero for
 	// in-process builds (FormatVersion reports the version Save would
@@ -125,13 +227,20 @@ type Engine struct {
 
 	mu    sync.Mutex
 	stats Stats
+	mut   MutStats
+	// notifyC, when set (setNotify), is poked non-blockingly after every
+	// accepted mutation — the compactor's wakeup signal.
+	notifyC chan<- struct{}
 }
 
 // task is one (query, shard) search. Each task owns a distinct result
 // slot, so workers need no locking; done releases the waiting caller.
+// The task carries its generation so a batch in flight across a
+// compaction swap keeps searching the generation it started on.
 type task struct {
 	query vec.Vector
 	k     int
+	gen   *generation
 	si    int
 	out   *[]ann.Neighbor
 	done  *sync.WaitGroup
@@ -167,23 +276,41 @@ func New(data []vec.Vector, cfg Config) (*Engine, error) {
 	if err := cfg.normalize(len(data)); err != nil {
 		return nil, err
 	}
-	offsets := Partition(len(data), cfg.Shards)
-	shards := make([]shard, cfg.Shards)
-	errs := make([]error, cfg.Shards)
-	sem := make(chan struct{}, cfg.Workers)
+	shards, err := buildShards(data, cfg.Shards, cfg.Workers, cfg.Builder)
+	if err != nil {
+		return nil, err
+	}
+	gen := &generation{
+		shards:   shards,
+		vectors:  len(data),
+		perShard: make([]atomic.Int64, len(shards)),
+	}
+	e := newEngine(gen, cfg.Workers, len(data[0]), cfg.Meta)
+	e.builder = cfg.Builder
+	e.reqShards = cfg.Shards
+	return e, nil
+}
+
+// buildShards partitions data and builds one index per partition,
+// concurrently, bounded by workers.
+func buildShards(data []vec.Vector, shards, workers int, builder Builder) ([]shard, error) {
+	offsets := Partition(len(data), shards)
+	out := make([]shard, shards)
+	errs := make([]error, shards)
+	sem := make(chan struct{}, workers)
 	var wg sync.WaitGroup
-	for i := 0; i < cfg.Shards; i++ {
+	for i := 0; i < shards; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			idx, err := cfg.Builder(i, data[offsets[i]:offsets[i+1]])
+			idx, err := builder(i, data[offsets[i]:offsets[i+1]])
 			if err != nil {
 				errs[i] = fmt.Errorf("engine: shard %d: %w", i, err)
 				return
 			}
-			shards[i] = shard{index: idx, base: uint32(offsets[i])}
+			out[i] = shard{index: idx, base: uint32(offsets[i])}
 		}(i)
 	}
 	wg.Wait()
@@ -192,23 +319,31 @@ func New(data []vec.Vector, cfg Config) (*Engine, error) {
 			return nil, err
 		}
 	}
-	return newEngine(shards, cfg.Workers, len(data), len(data[0]), cfg.Meta), nil
+	return out, nil
 }
 
-// newEngine assembles an engine around already-built shards and starts
-// the persistent worker pool — shared by New (cold build) and Load
-// (snapshot warm-start).
-func newEngine(shards []shard, workers, n, dim int, meta Meta) *Engine {
+// newEngine assembles an engine around an already-built base generation
+// and starts the persistent worker pool — shared by New (cold build),
+// Load (snapshot warm-start), and Compact (generation rebuild reuses
+// only the shard-building half). The mutable delta tier is stood up
+// when the shard metric is detectable from the shard indexes; engines
+// over custom index types serve read-only.
+func newEngine(gen *generation, workers, dim int, meta Meta) *Engine {
 	e := &Engine{
-		shards:  shards,
+		gen:     gen,
 		workers: workers,
-		len:     n,
 		dim:     dim,
 		meta:    meta,
 		// A modest buffer decouples task producers from worker pickup
 		// without letting one huge batch monopolise the queue.
-		tasks:    make(chan task, 4*workers),
-		perShard: make([]atomic.Int64, len(shards)),
+		tasks: make(chan task, 4*workers),
+	}
+	e.liveLen.Store(int64(gen.vectors))
+	if len(gen.shards) > 0 {
+		if m, err := snapshot.MetricOf(gen.shards[0].index); err == nil {
+			e.metric = m
+			e.delta = delta.New(m, dim)
+		}
 	}
 	for w := 0; w < workers; w++ {
 		e.wg.Add(1)
@@ -221,29 +356,32 @@ func newEngine(shards []shard, workers, n, dim int, meta Meta) *Engine {
 func (e *Engine) worker() {
 	defer e.wg.Done()
 	for t := range e.tasks {
-		sh := e.shards[t.si]
+		sh := t.gen.shards[t.si]
 		res := sh.index.Search(t.query, t.k)
-		// Translate shard-local IDs to global IDs in place on the
-		// freshly returned slice.
+		// Translate shard-local IDs to global positions, then to
+		// external IDs, in place on the freshly returned slice. The
+		// identity-table fast path keeps pure-read results byte-equal
+		// to the pre-generational engine.
 		for i := range res {
-			res[i].ID += sh.base
+			res[i].ID = t.gen.extID(res[i].ID + sh.base)
 		}
 		*t.out = res
-		e.perShard[t.si].Add(1)
+		t.gen.perShard[t.si].Add(1)
 		t.done.Done()
 	}
 }
 
 // Close stops the worker pool, waits for the workers to exit, and (on
-// the paged serving path) releases the per-shard mappings and file
-// handles. It is idempotent. SearchBatch and Search must not be called
-// after (or concurrently with) Close.
+// the paged serving path) releases the current generation's mappings
+// and file handles. It is idempotent. SearchBatch, Search, Upsert,
+// Delete, and Compact must not be called after (or concurrently with)
+// Close.
 func (e *Engine) Close() {
 	e.closeOnce.Do(func() {
 		close(e.tasks)
 		e.wg.Wait()
 		// Workers have drained, so no search can touch a paged store now.
-		for _, p := range e.paged {
+		for _, p := range e.gen.paged {
 			if p != nil {
 				_ = p.Close()
 			}
@@ -251,11 +389,16 @@ func (e *Engine) Close() {
 	})
 }
 
-// Shards returns the shard count.
-func (e *Engine) Shards() int { return len(e.shards) }
+// Shards returns the current generation's shard count.
+func (e *Engine) Shards() int {
+	e.genMu.RLock()
+	defer e.genMu.RUnlock()
+	return len(e.gen.shards)
+}
 
-// Len returns the total indexed vector count.
-func (e *Engine) Len() int { return e.len }
+// Len returns the current live vector count: base vectors not shadowed
+// by a tombstone, plus delta vectors.
+func (e *Engine) Len() int { return int(e.liveLen.Load()) }
 
 // Dim returns the corpus dimensionality.
 func (e *Engine) Dim() int { return e.dim }
@@ -295,10 +438,13 @@ func (e *Engine) FormatVersion() int {
 // ResidentPages, CachePages, and TotalPages are sums over the shards;
 // PageSize is the (uniform) page quantum.
 func (e *Engine) PageStats() (agg snapshot.PagedStats, ok bool) {
-	if len(e.paged) == 0 {
+	e.genMu.RLock()
+	paged := e.gen.paged
+	e.genMu.RUnlock()
+	if len(paged) == 0 {
 		return snapshot.PagedStats{}, false
 	}
-	for _, p := range e.paged {
+	for _, p := range paged {
 		st := p.Stats()
 		agg.Touches += st.Touches
 		agg.Faults += st.Faults
@@ -312,7 +458,7 @@ func (e *Engine) PageStats() (agg snapshot.PagedStats, ok bool) {
 }
 
 // Search returns the merged approximate top-k neighbors of one query
-// (global IDs). It is a batch of one; use SearchBatch for throughput.
+// (external IDs). It is a batch of one; use SearchBatch for throughput.
 func (e *Engine) Search(query vec.Vector, k int) []ann.Neighbor {
 	res, _ := e.SearchBatch([]vec.Vector{query}, k)
 	if len(res) == 0 {
@@ -338,15 +484,21 @@ type BatchStats struct {
 }
 
 // SearchBatch fans the batch out to the worker pool as (query, shard)
-// tasks, merges each query's per-shard top-k lists, and returns the
-// merged results (global IDs, ascending by distance) plus batch stats.
-// It is safe for concurrent use.
+// tasks, merges each query's per-shard top-k lists with the delta tier
+// under the tombstone filter, and returns the merged results (external
+// IDs, ascending by distance) plus batch stats. It is safe for
+// concurrent use, including concurrently with Upsert/Delete/Compact.
 func (e *Engine) SearchBatch(queries []vec.Vector, k int) ([][]ann.Neighbor, *BatchStats) {
-	//ndvet:ignore determinism wall time feeds only WallNanos in BatchStats, never results
+	//ndvet:ignore determinism wall time feeds only latency fields in BatchStats, never results
 	start := time.Now()
+	// The read lock brackets the whole batch: a compaction swap waits
+	// for it, so gen/delta/frozen are a consistent triple throughout.
+	e.genMu.RLock()
+	defer e.genMu.RUnlock()
+	gen, dlt, frozen := e.gen, e.delta, e.frozen
 	st := &BatchStats{
 		BatchSize: len(queries),
-		Shards:    len(e.shards),
+		Shards:    len(gen.shards),
 		Workers:   e.workers,
 	}
 	if len(queries) == 0 || k <= 0 {
@@ -354,27 +506,41 @@ func (e *Engine) SearchBatch(queries []vec.Vector, k int) ([][]ann.Neighbor, *Ba
 		return nil, st
 	}
 
+	// Tombstone filtering can only drop entries from a base shard's
+	// list, so widen the per-shard request by the shadow-set size: a
+	// shard's top-(k+S) minus at most S shadowed entries still carries
+	// its top-k live vectors, keeping the merge exact. S is zero on the
+	// pure-read path, where results must stay byte-identical.
+	shadows := 0
+	if dlt != nil {
+		shadows = dlt.ShadowCount()
+	}
+	if frozen != nil {
+		shadows += frozen.ShadowCount()
+	}
+	kBase := k + shadows
+
 	// partial[qi][si] is query qi's top-k from shard si; every task owns
 	// a distinct slot, so workers need no locking. The done WaitGroup
 	// pairs this call with exactly its own tasks on the shared pool.
 	partial := make([][][]ann.Neighbor, len(queries))
 	for qi := range partial {
-		partial[qi] = make([][]ann.Neighbor, len(e.shards))
+		partial[qi] = make([][]ann.Neighbor, len(gen.shards))
 	}
 	var done sync.WaitGroup
-	done.Add(len(queries) * len(e.shards))
+	done.Add(len(queries) * len(gen.shards))
 	for qi, q := range queries {
-		for si := range e.shards {
-			e.tasks <- task{query: q, k: k, si: si, out: &partial[qi][si], done: &done}
+		for si := range gen.shards {
+			e.tasks <- task{query: q, k: kBase, gen: gen, si: si, out: &partial[qi][si], done: &done}
 		}
 	}
 	done.Wait()
 
 	out := make([][]ann.Neighbor, len(queries))
 	for qi := range queries {
-		out[qi] = mergeTopK(partial[qi], k)
+		out[qi] = mergeGenerational(queries[qi], partial[qi], k, dlt, frozen, shadows > 0)
 	}
-	st.ShardSearches = len(queries) * len(e.shards)
+	st.ShardSearches = len(queries) * len(gen.shards)
 	st.Latency = time.Since(start)
 	if st.Latency > 0 {
 		st.QPS = float64(st.BatchSize) / st.Latency.Seconds()
@@ -383,16 +549,45 @@ func (e *Engine) SearchBatch(queries []vec.Vector, k int) ([][]ann.Neighbor, *Ba
 	return out, st
 }
 
-// mergeTopK folds per-shard result lists through a bounded Frontier
-// result list. PushResult admits by the ann package's (distance, ID)
-// total order — including ties at the k-th position — so the fold is an
-// exact merge, without the candidate-heap bookkeeping graph traversal
-// needs.
-func mergeTopK(lists [][]ann.Neighbor, k int) []ann.Neighbor {
+// mergeGenerational folds one query's per-shard base lists and the
+// delta tiers into the exact top-k under the ann (distance, ID) total
+// order. Tier order matters for concurrent dup-safety: the delta is
+// searched first, then the frozen delta (filtered by the delta's
+// shadows), then the base lists (filtered by both shadow sets). Within
+// a generation the shadow sets only grow, so an ID admitted from a
+// delta tier is guaranteed filtered from every lower tier even if a
+// concurrent writer landed it between the folds; a write racing the
+// other direction at worst hides the ID for that one query — the
+// serializable outcome of searching mid-write.
+//
+// With no shadows and no frozen tier (mutated == false, the pure-read
+// path) the fold is ann.MergeTopK with a nil filter — byte-identical to
+// the pre-generational engine's merge.
+func mergeGenerational(query vec.Vector, base [][]ann.Neighbor, k int,
+	dlt, frozen *delta.Index, mutated bool) []ann.Neighbor {
+	if !mutated {
+		return ann.MergeTopK(base, k, nil)
+	}
 	f := ann.NewFrontier(k)
-	for _, list := range lists {
-		for _, n := range list {
+	for _, n := range dlt.Search(query, k, nil) {
+		f.PushResult(n)
+	}
+	if frozen != nil {
+		for _, n := range frozen.Search(query, k, dlt.Shadows) {
 			f.PushResult(n)
+		}
+	}
+	live := func(id uint32) bool {
+		if dlt.Shadows(id) {
+			return false
+		}
+		return frozen == nil || !frozen.Shadows(id)
+	}
+	for _, list := range base {
+		for _, n := range list {
+			if live(n.ID) {
+				f.PushResult(n)
+			}
 		}
 	}
 	return f.Results()
@@ -409,10 +604,12 @@ type Stats struct {
 	Busy time.Duration
 	// MaxBatchLatency is the slowest batch seen.
 	MaxBatchLatency time.Duration
-	// PerShardSearches counts executed (query, shard) tasks per shard,
-	// so partition skew is observable. Per-shard counters tick as tasks
-	// complete while the batch totals above update once per batch, so a
-	// snapshot taken mid-batch may show their sum ahead of ShardSearches.
+	// PerShardSearches counts executed (query, shard) tasks per shard of
+	// the current generation, so partition skew is observable. Per-shard
+	// counters tick as tasks complete while the batch totals above
+	// update once per batch, so a snapshot taken mid-batch may show
+	// their sum ahead of ShardSearches; they restart at zero when a
+	// compaction installs a new generation.
 	PerShardSearches []int64
 }
 
@@ -441,9 +638,12 @@ func (e *Engine) Stats() Stats {
 	e.mu.Lock()
 	st := e.stats
 	e.mu.Unlock()
-	st.PerShardSearches = make([]int64, len(e.perShard))
-	for i := range e.perShard {
-		st.PerShardSearches[i] = e.perShard[i].Load()
+	e.genMu.RLock()
+	gen := e.gen
+	e.genMu.RUnlock()
+	st.PerShardSearches = make([]int64, len(gen.perShard))
+	for i := range gen.perShard {
+		st.PerShardSearches[i] = gen.perShard[i].Load()
 	}
 	return st
 }
@@ -456,26 +656,25 @@ type IndexOpts struct {
 	Rerank    int
 }
 
-// BuilderByName returns a shard-index Builder for a named algorithm:
-// "exact" (brute force), "hnsw", or "diskann" (Vamana). Seeds are
-// diversified per shard so replica graphs are not identical.
-func BuilderByName(algo string, m vec.Metric, seed int64) (Builder, error) {
-	return BuilderWithOpts(algo, m, seed, IndexOpts{})
-}
+// builderFactory constructs a family's shard Builder bound to a metric,
+// seed, and quantization opts.
+type builderFactory func(m vec.Metric, seed int64, opts IndexOpts) (Builder, error)
 
-// BuilderWithOpts is BuilderByName with the SQ8 quantization knobs.
-// "exact" has no compressed tier (it is the full-precision baseline by
-// definition), so requesting it quantized is a configuration error.
-func BuilderWithOpts(algo string, m vec.Metric, seed int64, opts IndexOpts) (Builder, error) {
-	switch algo {
-	case "exact":
+// builders is the shard-family registry. It covers every family in the
+// snapshot codec registry (snapshot.Algos): the flat families exact and
+// ivfpq, and the graph families hnsw, diskann (Vamana), hcnng, and
+// togg. Algos derives the documented name list from this map, so the
+// two can never drift apart again.
+var builders = map[string]builderFactory{
+	"exact": func(m vec.Metric, _ int64, opts IndexOpts) (Builder, error) {
 		if opts.Quantized {
-			return nil, fmt.Errorf("engine: algorithm %q has no quantized mode", algo)
+			return nil, fmt.Errorf("engine: algorithm %q has no quantized mode", "exact")
 		}
 		return func(_ int, data []vec.Vector) (ann.Index, error) {
 			return ann.NewExact(m, data), nil
 		}, nil
-	case "hnsw":
+	},
+	"hnsw": func(m vec.Metric, seed int64, opts IndexOpts) (Builder, error) {
 		return func(shard int, data []vec.Vector) (ann.Index, error) {
 			return hnsw.Build(data, hnsw.Config{
 				M: 12, EfConstruction: 100, EfSearch: 64,
@@ -483,7 +682,8 @@ func BuilderWithOpts(algo string, m vec.Metric, seed int64, opts IndexOpts) (Bui
 				Quantized: opts.Quantized, Rerank: opts.Rerank,
 			})
 		}, nil
-	case "diskann":
+	},
+	"diskann": func(m vec.Metric, seed int64, opts IndexOpts) (Builder, error) {
 		return func(shard int, data []vec.Vector) (ann.Index, error) {
 			return vamana.Build(data, vamana.Config{
 				R: 24, L: 64, LSearch: 64, Alpha: 1.2,
@@ -491,7 +691,88 @@ func BuilderWithOpts(algo string, m vec.Metric, seed int64, opts IndexOpts) (Bui
 				Quantized: opts.Quantized, Rerank: opts.Rerank,
 			})
 		}, nil
-	default:
-		return nil, fmt.Errorf("engine: unknown algorithm %q (want exact, hnsw, diskann)", algo)
+	},
+	"hcnng": func(m vec.Metric, seed int64, opts IndexOpts) (Builder, error) {
+		return func(shard int, data []vec.Vector) (ann.Index, error) {
+			return hcnng.Build(data, hcnng.Config{
+				Clusterings: 10, LeafSize: 40, MaxDegree: 24, LSearch: 64,
+				Metric: m, Seed: seed + int64(shard),
+				Quantized: opts.Quantized, Rerank: opts.Rerank,
+			})
+		}, nil
+	},
+	"togg": func(m vec.Metric, seed int64, opts IndexOpts) (Builder, error) {
+		return func(shard int, data []vec.Vector) (ann.Index, error) {
+			return togg.Build(data, togg.Config{
+				K: 12, GuideDims: 8, GuideHops: 32, LSearch: 64,
+				Metric: m, Seed: seed + int64(shard),
+				Quantized: opts.Quantized, Rerank: opts.Rerank,
+			})
+		}, nil
+	},
+	"ivfpq": func(m vec.Metric, seed int64, opts IndexOpts) (Builder, error) {
+		if opts.Quantized {
+			return nil, fmt.Errorf("engine: algorithm %q is already compressed-domain; it has no SQ8 mode", "ivfpq")
+		}
+		if m != vec.L2 {
+			return nil, fmt.Errorf("engine: algorithm %q supports only the L2 metric", "ivfpq")
+		}
+		return func(shard int, data []vec.Vector) (ann.Index, error) {
+			cfg := ivfpq.DefaultConfig()
+			cfg.Seed = seed + int64(shard)
+			// DefaultConfig's segment count must divide the corpus dim;
+			// fall back through the powers of two so any dim builds.
+			if len(data) > 0 {
+				for cfg.Segments > 1 && len(data[0])%cfg.Segments != 0 {
+					cfg.Segments /= 2
+				}
+			}
+			return ivfpq.Build(data, cfg)
+		}, nil
+	},
+}
+
+// Algos returns the registered shard-family names, sorted — the single
+// source for flag help and error text.
+func Algos() []string {
+	out := make([]string, 0, len(builders))
+	for name := range builders {
+		out = append(out, name)
 	}
+	sort.Strings(out)
+	return out
+}
+
+// algosList formats Algos for error and usage text.
+func algosList() string {
+	names := Algos()
+	s := ""
+	for i, n := range names {
+		if i > 0 {
+			s += ", "
+		}
+		s += n
+	}
+	return s
+}
+
+// BuilderByName returns a shard-index Builder for a named algorithm.
+// Every family in the snapshot codec registry is available — the list
+// is Algos(): exact, hcnng, hnsw, ivfpq, togg, and diskann (the Vamana
+// graph). Seeds are diversified per shard so replica graphs are not
+// identical.
+func BuilderByName(algo string, m vec.Metric, seed int64) (Builder, error) {
+	return BuilderWithOpts(algo, m, seed, IndexOpts{})
+}
+
+// BuilderWithOpts is BuilderByName with the SQ8 quantization knobs.
+// The flat families ("exact" is the full-precision baseline by
+// definition; "ivfpq" is already compressed-domain) have no SQ8 tier,
+// so requesting them quantized is a configuration error.
+func BuilderWithOpts(algo string, m vec.Metric, seed int64, opts IndexOpts) (Builder, error) {
+	factory, ok := builders[algo]
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown algorithm %q (want one of: %s)", algo, algosList())
+	}
+	return factory(m, seed, opts)
 }

@@ -1,0 +1,401 @@
+// Live mutability: Upsert/Delete absorb writes into the delta tier, and
+// Compact drains the delta into a freshly built base generation. See the
+// concurrency contract on Engine and DESIGN.md §12.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"ndsearch/internal/delta"
+	"ndsearch/internal/snapshot"
+	"ndsearch/internal/vec"
+)
+
+var (
+	// ErrReadOnly means the engine has no mutable delta tier: its shard
+	// metric could not be detected (custom index types), so it serves the
+	// base generation read-only.
+	ErrReadOnly = errors.New("engine: read-only engine (no mutable delta tier)")
+	// ErrCompacting means a compaction is already in flight; Compact is
+	// single-flight by design.
+	ErrCompacting = errors.New("engine: compaction already in flight")
+)
+
+// Upsert inserts or replaces the vector with external ID id. The value
+// lands in the mutable delta tier immediately (v is copied) and becomes
+// visible to the next SearchBatch; any older copy in the base
+// generation or a draining delta is shadowed from that point on. The
+// vector must have the engine's dimensionality and finite components.
+func (e *Engine) Upsert(id uint32, v vec.Vector) error {
+	e.writeMu.Lock()
+	defer e.writeMu.Unlock()
+	e.genMu.RLock()
+	defer e.genMu.RUnlock()
+	if e.delta == nil {
+		return ErrReadOnly
+	}
+	if err := e.delta.CheckVector(v); err != nil {
+		return fmt.Errorf("engine: upsert %d: %w", id, err)
+	}
+	wasLive := e.isLiveLocked(id)
+	shadowedBefore := e.shadowedLocked(id)
+	if _, err := e.delta.Upsert(id, v); err != nil {
+		return fmt.Errorf("engine: upsert %d: %w", id, err)
+	}
+	if !wasLive {
+		e.liveLen.Add(1)
+	}
+	if !shadowedBefore && e.gen.has(id) {
+		e.baseTombs.Add(1)
+	}
+	e.mu.Lock()
+	e.mut.Upserts++
+	e.mu.Unlock()
+	e.notifyCompactor()
+	return nil
+}
+
+// Delete removes the vector with external ID id and reports whether it
+// was live. A copy in the base generation or a draining delta is
+// tombstoned (shadowed by the delta tier) rather than erased; the
+// storage is reclaimed by the next Compact. Deleting an absent ID is a
+// no-op that reports false.
+func (e *Engine) Delete(id uint32) (bool, error) {
+	e.writeMu.Lock()
+	defer e.writeMu.Unlock()
+	e.genMu.RLock()
+	defer e.genMu.RUnlock()
+	if e.delta == nil {
+		return false, ErrReadOnly
+	}
+	wasLive := e.isLiveLocked(id)
+	shadowedBefore := e.shadowedLocked(id)
+	// The deletion must be remembered as a tombstone only when a lower
+	// tier still holds the ID; an ID that only ever lived in the delta is
+	// simply forgotten.
+	lowerHolds := e.gen.has(id) || (e.frozen != nil && e.frozen.Has(id))
+	e.delta.Delete(id, lowerHolds)
+	if wasLive {
+		e.liveLen.Add(-1)
+	}
+	if !shadowedBefore && e.gen.has(id) {
+		e.baseTombs.Add(1)
+	}
+	if wasLive {
+		e.mu.Lock()
+		e.mut.Deletes++
+		e.mu.Unlock()
+	}
+	e.notifyCompactor()
+	return wasLive, nil
+}
+
+// isLiveLocked reports whether external ID id is live in the layered
+// corpus. Callers hold writeMu and at least a read lock on genMu.
+func (e *Engine) isLiveLocked(id uint32) bool {
+	if e.delta.Has(id) {
+		return true
+	}
+	if e.delta.Shadows(id) {
+		// Shadowed but not live in the delta: a deleted mark.
+		return false
+	}
+	if e.frozen != nil {
+		if e.frozen.Has(id) {
+			return true
+		}
+		if e.frozen.Shadows(id) {
+			return false
+		}
+	}
+	return e.gen.has(id)
+}
+
+// shadowedLocked reports whether a delta tier already shadows id (so
+// the base copy, if any, is already counted as tombstoned). Callers
+// hold writeMu and at least a read lock on genMu.
+func (e *Engine) shadowedLocked(id uint32) bool {
+	if e.delta.Shadows(id) {
+		return true
+	}
+	return e.frozen != nil && e.frozen.Shadows(id)
+}
+
+// ReadOnly reports whether the engine lacks a mutable delta tier (see
+// ErrReadOnly).
+func (e *Engine) ReadOnly() bool {
+	e.genMu.RLock()
+	defer e.genMu.RUnlock()
+	return e.delta == nil
+}
+
+// MutStats is a snapshot of the mutation and compaction counters (the
+// /stats mutability block).
+type MutStats struct {
+	// Upserts counts accepted Upsert calls; Deletes counts Delete calls
+	// that removed a live vector.
+	Upserts, Deletes int64
+	// Compactions counts completed generation swaps; Generation is the
+	// current base generation number.
+	Compactions int64
+	Generation  int
+	// DeltaLive and DeltaTombstones are the live-vector and deleted-mark
+	// counts across the delta tiers (including a draining frozen delta).
+	DeltaLive       int
+	DeltaTombstones int
+	// BaseTombstones counts base-generation entries currently shadowed by
+	// the delta tiers — the vectors a Compact would reclaim.
+	BaseTombstones int64
+	// Compacting reports an in-flight compaction.
+	Compacting bool
+	// LastCompactDuration and LastCompactVectors describe the most recent
+	// completed compaction: wall-clock drain time and the merged corpus
+	// size it rebuilt.
+	LastCompactDuration time.Duration
+	LastCompactVectors  int
+}
+
+// MutStats returns a snapshot of the mutation counters.
+func (e *Engine) MutStats() MutStats {
+	e.mu.Lock()
+	st := e.mut
+	e.mu.Unlock()
+	e.genMu.RLock()
+	st.Generation = e.gen.num
+	if e.delta != nil {
+		st.DeltaLive = e.delta.Len()
+		st.DeltaTombstones = e.delta.Tombstones()
+	}
+	if e.frozen != nil {
+		st.DeltaLive += e.frozen.Len()
+		st.DeltaTombstones += e.frozen.Tombstones()
+	}
+	e.genMu.RUnlock()
+	st.BaseTombstones = e.baseTombs.Load()
+	st.Compacting = e.compacting.Load()
+	return st
+}
+
+// setNotify registers the compactor's wakeup channel; Upsert/Delete
+// poke it (non-blocking) after every accepted mutation.
+func (e *Engine) setNotify(c chan<- struct{}) {
+	e.mu.Lock()
+	e.notifyC = c
+	e.mu.Unlock()
+}
+
+func (e *Engine) notifyCompactor() {
+	e.mu.Lock()
+	c := e.notifyC
+	e.mu.Unlock()
+	if c == nil {
+		return
+	}
+	select {
+	case c <- struct{}{}:
+	default:
+	}
+}
+
+// DeltaPressure returns the live delta tier's shadow-set size — the
+// threshold signal compaction policies watch. A draining frozen delta
+// does not count: that pressure is already being relieved.
+func (e *Engine) DeltaPressure() int {
+	e.genMu.RLock()
+	defer e.genMu.RUnlock()
+	if e.delta == nil {
+		return 0
+	}
+	return e.delta.ShadowCount()
+}
+
+// Compact drains the delta tier into a freshly built base generation:
+//
+//  1. Freeze: under the write locks, the current delta becomes the
+//     frozen tier and a fresh empty delta is installed for new writes.
+//     Searches and mutations continue against all three tiers.
+//  2. Merge + build (no locks held): the merged corpus — base entries
+//     not shadowed by the frozen delta, plus the frozen delta's live
+//     vectors, sorted by external ID — is re-partitioned and rebuilt
+//     with the engine's shard builder. On a snapshot-backed engine the
+//     new generation is persisted as a gen-NNNNNN directory and the
+//     CURRENT pointer atomically renamed onto it before the swap, so a
+//     crash leaves a consistent directory.
+//  3. Swap: under the write locks (which wait for in-flight searches to
+//     drain), the new generation replaces the old, the frozen tier is
+//     dropped, and the base-tombstone counter is recomputed against the
+//     new base. The old generation is then retired (paged handles
+//     closed, directory deleted).
+//
+// Compact is single-flight (ErrCompacting when one is in flight) and
+// returns nil without work when the delta is empty. It requires a shard
+// builder (engines built by New, or loaded from snapshots of registry
+// algorithms) and a RAM-resident base (paged engines cannot read their
+// corpus back); on build failure the frozen delta is folded back into
+// the live delta and no update is lost.
+func (e *Engine) Compact() error {
+	if !e.compacting.CompareAndSwap(false, true) {
+		return ErrCompacting
+	}
+	defer e.compacting.Store(false)
+	return e.compact()
+}
+
+func (e *Engine) compact() error {
+	//ndvet:ignore determinism wall time feeds only the LastCompactDuration stat, never results
+	start := time.Now()
+	if e.builder == nil {
+		return fmt.Errorf("engine: Compact: no shard builder (custom-built or unrecognized-algorithm engine)")
+	}
+	if e.serveMode != "" && e.serveMode != ServeRAM {
+		return fmt.Errorf("engine: Compact: paged engine (%s) cannot read its corpus back; load with ServeRAM to compact", e.serveMode)
+	}
+
+	// Freeze the delta; new writes land in a fresh one.
+	e.writeMu.Lock()
+	e.genMu.Lock()
+	if e.delta == nil {
+		e.genMu.Unlock()
+		e.writeMu.Unlock()
+		return ErrReadOnly
+	}
+	if e.delta.Empty() {
+		e.genMu.Unlock()
+		e.writeMu.Unlock()
+		return nil
+	}
+	oldGen := e.gen
+	frozen := e.delta
+	e.frozen = frozen
+	e.delta = delta.New(e.metric, e.dim)
+	e.genMu.Unlock()
+	e.writeMu.Unlock()
+
+	newGen, err := e.buildGeneration(oldGen, frozen)
+	if err == nil && e.genDir != "" {
+		err = e.persistGeneration(newGen)
+	}
+	if err != nil {
+		// Fold the frozen delta back under the writes that accumulated
+		// above it; no update is lost and the counters still hold (the
+		// layered membership is unchanged by the fold).
+		e.writeMu.Lock()
+		e.genMu.Lock()
+		e.delta.Absorb(frozen)
+		e.frozen = nil
+		e.genMu.Unlock()
+		e.writeMu.Unlock()
+		return err
+	}
+
+	// Swap. The write lock on genMu waits for in-flight searches to
+	// drain, so nothing can still be traversing oldGen afterwards.
+	e.writeMu.Lock()
+	e.genMu.Lock()
+	e.gen = newGen
+	e.frozen = nil
+	tombs := int64(0)
+	for _, id := range e.delta.ShadowIDs() {
+		if newGen.has(id) {
+			tombs++
+		}
+	}
+	e.baseTombs.Store(tombs)
+	e.genMu.Unlock()
+	e.writeMu.Unlock()
+
+	// Retire the old generation.
+	for _, p := range oldGen.paged {
+		if p != nil {
+			_ = p.Close()
+		}
+	}
+	if e.genDir != "" && oldGen.dir != "" {
+		if err := snapshot.RetireGeneration(e.genDir, oldGen.dir); err != nil {
+			return fmt.Errorf("engine: Compact: new generation live, old not retired: %w", err)
+		}
+	}
+
+	e.mu.Lock()
+	e.mut.Compactions++
+	e.mut.LastCompactDuration = time.Since(start)
+	e.mut.LastCompactVectors = newGen.vectors
+	e.mu.Unlock()
+	return nil
+}
+
+// buildGeneration merges the base generation with a frozen delta and
+// builds the successor generation's shards. No engine locks are held:
+// oldGen is immutable and frozen receives no writes once frozen.
+func (e *Engine) buildGeneration(oldGen *generation, frozen *delta.Index) (*generation, error) {
+	ids := make([]uint32, 0, oldGen.vectors+frozen.Len())
+	vecs := make([]vec.Vector, 0, oldGen.vectors+frozen.Len())
+	for _, sh := range oldGen.shards {
+		mx, ok := sh.index.(interface{ Matrix() *vec.Matrix })
+		if !ok {
+			return nil, fmt.Errorf("engine: Compact: shard index %T exposes no corpus matrix", sh.index)
+		}
+		mat := mx.Matrix()
+		for r := 0; r < mat.Rows(); r++ {
+			ext := oldGen.extID(sh.base + uint32(r))
+			if frozen.Shadows(ext) {
+				continue
+			}
+			ids = append(ids, ext)
+			vecs = append(vecs, mat.Row(r))
+		}
+	}
+	fids, fvecs := frozen.Live()
+	ids = append(ids, fids...)
+	vecs = append(vecs, fvecs...)
+	if len(ids) == 0 {
+		return nil, fmt.Errorf("engine: Compact: refusing to build an empty generation (every vector deleted); the delta keeps serving")
+	}
+
+	// Sort the merged corpus ascending by external ID. Both halves are
+	// already sorted (base positions ascend through an ascending ID
+	// table; Live returns sorted IDs), so this is one merge pass for
+	// sort.Sort's purposes — and the invariant generations rely on:
+	// gen.ids strictly ascending, so membership is a binary search.
+	sort.Sort(&byExtID{ids: ids, vecs: vecs})
+
+	shards, err := buildShards(vecs, e.reqShards, e.workers, e.builder)
+	if err != nil {
+		return nil, fmt.Errorf("engine: Compact: %w", err)
+	}
+	idTab := ids
+	identity := true
+	for i, id := range ids {
+		if id != uint32(i) {
+			identity = false
+			break
+		}
+	}
+	if identity {
+		idTab = nil
+	}
+	return &generation{
+		num:      oldGen.num + 1,
+		shards:   shards,
+		ids:      idTab,
+		vectors:  len(ids),
+		perShard: make([]atomic.Int64, len(shards)),
+	}, nil
+}
+
+// byExtID co-sorts the merged (ids, vecs) pair ascending by ID.
+type byExtID struct {
+	ids  []uint32
+	vecs []vec.Vector
+}
+
+func (s *byExtID) Len() int           { return len(s.ids) }
+func (s *byExtID) Less(i, j int) bool { return s.ids[i] < s.ids[j] }
+func (s *byExtID) Swap(i, j int) {
+	s.ids[i], s.ids[j] = s.ids[j], s.ids[i]
+	s.vecs[i], s.vecs[j] = s.vecs[j], s.vecs[i]
+}

@@ -9,8 +9,10 @@ import (
 	"path/filepath"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"ndsearch/internal/ann"
+	"ndsearch/internal/delta"
 	"ndsearch/internal/snapshot"
 	"ndsearch/internal/vec"
 )
@@ -21,6 +23,13 @@ import (
 // without invoking any index Build, so a restart costs file I/O instead
 // of graph construction — the build-once / serve-many model the paper's
 // on-SSD indexes assume.
+//
+// Two directory layouts load: the classic flat layout Save writes
+// (manifest and shard files at the top level) and the generational
+// layout the compactor maintains (a CURRENT pointer naming a gen-NNNNNN
+// subdirectory holding the manifest and shard files; see
+// snapshot/generations.go). Load resolves CURRENT first and falls back
+// to the flat layout, so directories from either writer round-trip.
 
 // ManifestName is the manifest file written alongside the shard files.
 const ManifestName = "manifest.json"
@@ -51,6 +60,14 @@ type Manifest struct {
 	Vectors int   `json:"vectors"`
 	Shards  int   `json:"shards"`
 	Bounds  []int `json:"bounds"`
+	// Generation is the base generation number (0 for a fresh build or a
+	// flat-layout save; cross-checked against the gen-NNNNNN directory
+	// name in the generational layout).
+	Generation int `json:"generation,omitempty"`
+	// Ids is the global-position → external-ID table of a compacted
+	// generation, strictly ascending and of length Vectors; omitted when
+	// positions are the IDs (the identity fast path).
+	Ids []uint32 `json:"ids,omitempty"`
 	// Files lists the per-shard snapshot files with their CRC32-IEEE
 	// whole-file checksums.
 	Files []ShardFile `json:"files"`
@@ -63,28 +80,48 @@ type ShardFile struct {
 	CRC32 uint32 `json:"crc32"`
 }
 
-// Save persists every shard's index plus the manifest to dir (created
-// if missing). Shard files are written atomically; the manifest is
-// written last, so a directory with a readable manifest always refers
-// to complete shard files.
+// Save persists the current base generation's shards plus the manifest
+// to dir (created if missing) in the flat layout. Shard files are
+// written atomically; the manifest is written last, so a directory with
+// a readable manifest always refers to complete shard files.
+//
+// The delta tier must be clean (no un-compacted upserts or tombstones,
+// no compaction in flight): a flat snapshot has nowhere to put delta
+// state, so saving one would silently drop acknowledged writes. Compact
+// first; a compacted engine saves fine (the manifest carries the
+// external-ID table).
 func (e *Engine) Save(dir string) error {
+	e.genMu.RLock()
+	defer e.genMu.RUnlock()
+	if (e.delta != nil && !e.delta.Empty()) || e.frozen != nil {
+		return fmt.Errorf("engine: save: delta tier holds un-compacted writes; Compact first so the snapshot captures the merged corpus")
+	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("engine: save: %w", err)
 	}
+	return writeGenerationDir(dir, e.gen, e.meta, e.dim)
+}
+
+// writeGenerationDir writes one generation's shard files and manifest
+// into dir — the body shared by Save (flat layout, any generation
+// number) and the compactor's persistGeneration (gen-NNNNNN layout).
+func writeGenerationDir(dir string, gen *generation, meta Meta, dim int) error {
 	var detected string
 	man := &Manifest{
 		FormatVersion: snapshot.FormatVersion,
-		Dataset:       e.meta.Dataset,
-		Seed:          e.meta.Seed,
-		ElemKind:      uint8(e.meta.Elem),
-		Quantized:     e.meta.Quantized,
-		Rerank:        e.meta.Rerank,
-		Dim:           e.dim,
-		Vectors:       e.len,
-		Shards:        len(e.shards),
+		Dataset:       meta.Dataset,
+		Seed:          meta.Seed,
+		ElemKind:      uint8(meta.Elem),
+		Quantized:     meta.Quantized,
+		Rerank:        meta.Rerank,
+		Dim:           dim,
+		Vectors:       gen.vectors,
+		Shards:        len(gen.shards),
 		Bounds:        []int{0},
+		Generation:    gen.num,
+		Ids:           gen.ids,
 	}
-	for i, sh := range e.shards {
+	for i, sh := range gen.shards {
 		d, err := snapshot.Detect(sh.index)
 		if err != nil {
 			return fmt.Errorf("engine: save shard %d: %w", i, err)
@@ -94,14 +131,14 @@ func (e *Engine) Save(dir string) error {
 			// A wrong caller-supplied algo would make every future Load
 			// reject this intact directory as corrupt — surface the bug
 			// here, before any file is written.
-			if e.meta.Algo != "" && e.meta.Algo != detected {
-				return fmt.Errorf("engine: save: Meta.Algo is %q but shards are %q", e.meta.Algo, detected)
+			if meta.Algo != "" && meta.Algo != detected {
+				return fmt.Errorf("engine: save: Meta.Algo is %q but shards are %q", meta.Algo, detected)
 			}
 		} else if d != detected {
 			return fmt.Errorf("engine: save: shard %d is %s, shard 0 is %s", i, d, detected)
 		}
 		name := fmt.Sprintf("shard-%04d.ndx", i)
-		crc, err := snapshot.SaveFile(filepath.Join(dir, name), sh.index, e.meta.Elem)
+		crc, err := snapshot.SaveFile(filepath.Join(dir, name), sh.index, meta.Elem)
 		if err != nil {
 			return fmt.Errorf("engine: save shard %d: %w", i, err)
 		}
@@ -118,6 +155,33 @@ func (e *Engine) Save(dir string) error {
 	if err := os.WriteFile(filepath.Join(dir, ManifestName), append(blob, '\n'), 0o644); err != nil {
 		return fmt.Errorf("engine: save manifest: %w", err)
 	}
+	return nil
+}
+
+// persistGeneration writes a freshly compacted generation into the
+// engine's generation root as a gen-NNNNNN subdirectory and atomically
+// repoints CURRENT at it. Ordering is the crash-safety argument: the
+// generation's files (shard files atomic, manifest last) are complete
+// on disk before the rename lands, so a crash anywhere leaves CURRENT
+// naming a fully written generation — the old one until the rename, the
+// new one after. On failure the partial directory is removed and the
+// caller's compaction fails (the frozen delta folds back; nothing
+// lost).
+func (e *Engine) persistGeneration(gen *generation) error {
+	name := snapshot.GenerationName(gen.num)
+	gdir := filepath.Join(e.genDir, name)
+	if err := os.MkdirAll(gdir, 0o755); err != nil {
+		return fmt.Errorf("engine: persist generation: %w", err)
+	}
+	if err := writeGenerationDir(gdir, gen, e.meta, e.dim); err != nil {
+		_ = os.RemoveAll(gdir)
+		return err
+	}
+	if err := snapshot.WriteCurrent(e.genDir, name); err != nil {
+		_ = os.RemoveAll(gdir)
+		return fmt.Errorf("engine: persist generation: %w", err)
+	}
+	gen.dir = name
 	return nil
 }
 
@@ -160,12 +224,14 @@ func normalizeServe(mode string) (string, error) {
 	}
 }
 
-// Load restores an engine from a directory written by Save: shard files
-// are checksum-verified, decoded concurrently (bounded by workers,
-// which also sizes the search pool; < 1 means GOMAXPROCS), and served
-// without invoking any index Build. The returned manifest carries the
-// provenance Save recorded. Shards are fully resident; use
-// LoadWithOptions for the paged (beyond-RAM) serving modes.
+// Load restores an engine from a directory written by Save (flat
+// layout) or maintained by the compactor (CURRENT + gen-NNNNNN layout):
+// shard files are checksum-verified, decoded concurrently (bounded by
+// workers, which also sizes the search pool; < 1 means GOMAXPROCS), and
+// served without invoking any index Build. The returned manifest
+// carries the provenance the writer recorded. Shards are fully
+// resident; use LoadWithOptions for the paged (beyond-RAM) serving
+// modes.
 func Load(dir string, workers int) (*Engine, *Manifest, error) {
 	return LoadWithOptions(dir, LoadOptions{Workers: workers})
 }
@@ -177,12 +243,31 @@ func Load(dir string, workers int) (*Engine, *Manifest, error) {
 // then serves corpora larger than memory, with software page-touch and
 // fault counters exposed by Engine.PageStats. Paged results are
 // byte-identical to RAM serving of the same directory.
+//
+// A loaded engine accepts Upsert/Delete (the delta tier's metric comes
+// from the CRC-guarded shard files, or the paged header); Compact
+// additionally requires RAM serving and a registry algorithm (the
+// builder is reconstructed from the manifest's algo, seed, and
+// quantization mode).
 func LoadWithOptions(dir string, opts LoadOptions) (*Engine, *Manifest, error) {
 	mode, err := normalizeServe(opts.Serve)
 	if err != nil {
 		return nil, nil, err
 	}
-	blob, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	// Generational layout indirection: CURRENT names the generation
+	// subdirectory to serve; absence means the flat layout.
+	genName, hasGen, err := snapshot.ReadCurrent(dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("engine: load: %w", err)
+	}
+	loadDir, genNum := dir, 0
+	if hasGen {
+		loadDir = filepath.Join(dir, genName)
+		if genNum, err = snapshot.ParseGenerationName(genName); err != nil {
+			return nil, nil, fmt.Errorf("engine: load: %w", err)
+		}
+	}
+	blob, err := os.ReadFile(filepath.Join(loadDir, ManifestName))
 	if err != nil {
 		return nil, nil, fmt.Errorf("engine: load: %w", err)
 	}
@@ -192,6 +277,10 @@ func LoadWithOptions(dir string, opts LoadOptions) (*Engine, *Manifest, error) {
 	}
 	if err := man.validate(); err != nil {
 		return nil, nil, err
+	}
+	if hasGen && man.Generation != genNum {
+		return nil, nil, fmt.Errorf("engine: load manifest: %w: directory %s holds generation %d",
+			snapshot.ErrCorrupt, genName, man.Generation)
 	}
 	workers := opts.Workers
 	if workers < 1 {
@@ -212,7 +301,7 @@ func LoadWithOptions(dir string, opts LoadOptions) (*Engine, *Manifest, error) {
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			if mode == ServeRAM {
-				idx, err := loadShard(dir, man, i)
+				idx, err := loadShard(loadDir, man, i)
 				if err != nil {
 					errs[i] = err
 					return
@@ -220,7 +309,7 @@ func LoadWithOptions(dir string, opts LoadOptions) (*Engine, *Manifest, error) {
 				shards[i] = shard{index: idx, base: uint32(man.Bounds[i])}
 				return
 			}
-			pi, idx, err := openShardPaged(dir, man, i, mode, opts.CachePages)
+			pi, idx, err := openShardPaged(loadDir, man, i, mode, opts.CachePages)
 			if err != nil {
 				errs[i] = err
 				return
@@ -246,13 +335,41 @@ func LoadWithOptions(dir string, opts LoadOptions) (*Engine, *Manifest, error) {
 		Elem:      vec.ElemKind(man.ElemKind),
 		Quantized: man.Quantized, Rerank: man.Rerank,
 	}
-	e := newEngine(shards, workers, man.Vectors, man.Dim, meta)
+	gen := &generation{
+		num:      genNum,
+		shards:   shards,
+		ids:      man.Ids,
+		vectors:  man.Vectors,
+		paged:    paged,
+		perShard: make([]atomic.Int64, len(shards)),
+	}
+	if hasGen {
+		gen.dir = genName
+	}
+	e := newEngine(gen, workers, man.Dim, meta)
 	e.formatVersion = man.FormatVersion
+	e.genDir = dir
+	e.reqShards = man.Shards
 	if mode != ServeRAM {
 		// Report the backend actually serving: a requested mmap may have
 		// fallen back to positioned reads on platforms without mmap.
 		e.serveMode = paged[0].Backend()
-		e.paged = paged
+		if e.delta == nil {
+			// Paged shards hide their concrete family type, so MetricOf
+			// could not see it; the paged header carries the metric.
+			e.metric = paged[0].Header().Metric
+			e.delta = delta.New(e.metric, man.Dim)
+		}
+	}
+	if e.delta != nil {
+		// Reconstruct the shard builder so Compact can rebuild the base.
+		// Non-registry algos (or modes a family rejects) just leave the
+		// builder nil: the engine still mutates, Compact reports why not.
+		if b, err := BuilderWithOpts(man.Algo, e.metric, man.Seed, IndexOpts{
+			Quantized: man.Quantized, Rerank: man.Rerank,
+		}); err == nil {
+			e.builder = b
+		}
 	}
 	return e, man, nil
 }
@@ -277,12 +394,25 @@ func (m *Manifest) validate() error {
 	if m.Rerank < 0 {
 		return fmt.Errorf("engine: load manifest: rerank %d", m.Rerank)
 	}
+	if m.Generation < 0 {
+		return fmt.Errorf("engine: load manifest: generation %d", m.Generation)
+	}
 	if m.Bounds[0] != 0 || m.Bounds[m.Shards] != m.Vectors {
 		return fmt.Errorf("engine: load manifest: bounds %v do not cover %d vectors", m.Bounds, m.Vectors)
 	}
 	for i, f := range m.Files {
 		if want := m.Bounds[i+1] - m.Bounds[i]; f.Rows != want || want < 1 {
 			return fmt.Errorf("engine: load manifest: shard %d has %d rows, bounds say %d", i, f.Rows, want)
+		}
+	}
+	if m.Ids != nil {
+		if len(m.Ids) != m.Vectors {
+			return fmt.Errorf("engine: load manifest: %d ids for %d vectors", len(m.Ids), m.Vectors)
+		}
+		for i := 1; i < len(m.Ids); i++ {
+			if m.Ids[i] <= m.Ids[i-1] {
+				return fmt.Errorf("engine: load manifest: ids not strictly ascending at index %d", i)
+			}
 		}
 	}
 	return nil

@@ -17,6 +17,7 @@ import (
 	"sort"
 
 	"ndsearch/internal/ann"
+	"ndsearch/internal/trace"
 	"ndsearch/internal/vec"
 )
 
@@ -346,6 +347,50 @@ func (x *Index) SearchStats(query vec.Vector, k int) ([]ann.Neighbor, ScanStats)
 	}
 	return cands, st
 }
+
+// SearchTraced returns the search results and a single-iteration trace
+// covering the probed postings — the degenerate "graph" an inverted-list
+// scan induces, mirroring ann.Exact's flat-scan trace. It completes the
+// ann.Index interface so IVF-PQ can serve as an engine shard family.
+func (x *Index) SearchTraced(query vec.Vector, k int) ([]ann.Neighbor, trace.Query) {
+	res, _ := x.SearchStats(query, k)
+	// Rebuild the probed-list membership for the trace: the same coarse
+	// ranking Search performs.
+	pq := x.kern.Prepare(query)
+	type cd struct {
+		list int
+		dist float32
+	}
+	cds := make([]cd, len(x.coarse))
+	for i, c := range x.coarse {
+		cds[i] = cd{list: i, dist: pq.DistanceTo(c)}
+	}
+	sort.Slice(cds, func(i, j int) bool { return cds[i].dist < cds[j].dist })
+	probes := x.cfg.NProbe
+	if probes > len(cds) {
+		probes = len(cds)
+	}
+	it := trace.Iter{}
+	for p := 0; p < probes; p++ {
+		for _, e := range x.lists[cds[p].list] {
+			it.Neighbors = append(it.Neighbors, e.ID)
+		}
+	}
+	if len(res) > 0 {
+		it.Entry = res[0].ID
+	}
+	return res, trace.Query{Iters: []trace.Iter{it}}
+}
+
+// Graph returns an edgeless view: an inverted-file scan has no
+// proximity graph (the same degenerate view ann.Exact reports).
+func (x *Index) Graph() ann.GraphView { return flatView{n: x.mat.Rows()} }
+
+type flatView struct{ n int }
+
+func (v flatView) Len() int                  { return v.n }
+func (v flatView) Neighbors(uint32) []uint32 { return nil }
+func (v flatView) Degree(uint32) int         { return 0 }
 
 // Len returns the number of indexed vectors.
 func (x *Index) Len() int { return x.mat.Rows() }

@@ -13,11 +13,13 @@ const modPath = "ndsearch"
 
 // servePackages are the serve/decode packages whose failure mode is a
 // typed error, never a panic: the snapshot codec, the search plumbing,
-// the engine, and the six index families' graph packages.
+// the engine and its mutable delta tier, and the six index families'
+// graph packages.
 var servePackages = []string{
 	modPath + "/internal/snapshot",
 	modPath + "/internal/ann",
 	modPath + "/internal/engine",
+	modPath + "/internal/delta",
 	modPath + "/internal/hnsw",
 	modPath + "/internal/vamana",
 	modPath + "/internal/hcnng",
@@ -34,6 +36,7 @@ var sentinelPackages = []string{
 // closableTypes own goroutine pools, mmaps, or file handles.
 var closableTypes = []string{
 	modPath + "/internal/engine.Engine",
+	modPath + "/internal/engine.Compactor",
 	modPath + "/internal/batcher.Batcher",
 	modPath + "/internal/snapshot.PagedIndex",
 }

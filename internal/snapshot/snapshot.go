@@ -152,6 +152,29 @@ func Detect(idx Index) (string, error) {
 	}
 }
 
+// MetricOf returns the distance metric a concrete index type was built
+// with — the CRC-guarded in-file truth on the load path, where the
+// engine needs the metric to stand up the mutable delta tier without
+// trusting (or extending) the unchecksummed manifest.
+func MetricOf(idx Index) (vec.Metric, error) {
+	switch x := idx.(type) {
+	case *ann.Exact:
+		return x.Metric(), nil
+	case *hnsw.Index:
+		return x.Params().Metric, nil
+	case *vamana.Index:
+		return x.Params().Metric, nil
+	case *hcnng.Index:
+		return x.Params().Metric, nil
+	case *togg.Index:
+		return x.Params().Metric, nil
+	case *ivfpq.Index:
+		return x.Params().Metric, nil
+	default:
+		return 0, fmt.Errorf("%w: no metric accessor for index type %T", ErrUnsupported, idx)
+	}
+}
+
 // Save serialises idx to w. elem is the at-rest element kind of the
 // corpus matrix (vec.F32 is always lossless; U8/I8 shrink the file 4x
 // but are rejected unless every stored component is representable, so
