@@ -12,8 +12,12 @@
 //	POST /upsert   {"id":7, "vector":[...]} or {"items":[{"id":7,"vector":[...]},...]}
 //	POST /delete   {"id":7} or {"ids":[7, 8, ...]}
 //	POST /compact  drain the delta tier into a new base generation now
-//	GET  /healthz  liveness + engine configuration
+//	GET  /healthz  liveness + engine configuration (incl. generation count)
 //	GET  /stats    cumulative serving counters (incl. mutation/compaction)
+//	GET  /metrics  Prometheus text exposition (latency/batch-size
+//	               histograms, coalescer wait, compaction, page and
+//	               mutation counters; DESIGN.md §13)
+//	GET  /debug/pprof/*  runtime profilers (only with -pprof)
 //
 // Flags:
 //
@@ -33,6 +37,9 @@
 //	-compact-threshold  delta shadow-set size that triggers background
 //	                compaction, 0 disables (manual /compact only;
 //	                default engine.DefaultCompactThreshold)
+//	-slow-query     log /search requests slower than this as one
+//	                structured line each (0 disables; default 0)
+//	-pprof          mount net/http/pprof under /debug/pprof/ (default off)
 //	-save-index     build the engine, persist it to this directory, exit
 //	-load-index     restore the engine from this directory instead of building
 //	-serve          shard serving mode with -load-index: ram (default,
@@ -111,10 +118,14 @@ func main() {
 		"paged serving: per-shard page-cache budget in 4 KiB pages (0 = snapshot default)")
 	compactThreshold := flag.Int("compact-threshold", engine.DefaultCompactThreshold,
 		"delta shadow-set size that triggers background compaction (0 disables; POST /compact still works)")
+	slowQuery := flag.Duration("slow-query", 0,
+		"log /search requests slower than this as one structured line each (0 disables)")
+	pprofOn := flag.Bool("pprof", false,
+		"mount the net/http/pprof profilers under /debug/pprof/")
 	flag.Parse()
 
 	if err := validateFlags(*n, *shards, *workers, *rerank, *coalesceMax, *coalesceWait,
-		*saveIndex, *loadIndex, *serveMode, *cachePages, *compactThreshold); err != nil {
+		*saveIndex, *loadIndex, *serveMode, *cachePages, *compactThreshold, *slowQuery); err != nil {
 		fmt.Fprintf(os.Stderr, "ndserve: %v\n", err)
 		flag.Usage()
 		os.Exit(2)
@@ -138,6 +149,14 @@ func main() {
 	if *compactThreshold > 0 && !srv.engine.ReadOnly() {
 		srv.EnableCompaction(*compactThreshold)
 		log.Printf("ndserve: background compaction at delta shadow-set size %d", *compactThreshold)
+	}
+	if *slowQuery > 0 {
+		srv.SetSlowQueryLog(*slowQuery, nil)
+		log.Printf("ndserve: logging /search requests slower than %v", *slowQuery)
+	}
+	if *pprofOn {
+		srv.EnablePprof()
+		log.Printf("ndserve: pprof profilers mounted under /debug/pprof/")
 	}
 
 	if *saveIndex != "" {
@@ -173,9 +192,11 @@ func main() {
 // exclusive (save persists a fresh build); paged -serve modes need a
 // snapshot directory to page from, so they require -load-index;
 // compact-threshold may be zero (background compaction disabled) but
-// never negative.
+// never negative; slow-query may be zero (log disabled) but never
+// negative.
 func validateFlags(n, shards, workers, rerank, coalesceMax int, coalesceWait time.Duration,
-	saveIndex, loadIndex, serveMode string, cachePages, compactThreshold int) error {
+	saveIndex, loadIndex, serveMode string, cachePages, compactThreshold int,
+	slowQuery time.Duration) error {
 	if loadIndex == "" { // corpus/build flags are unused on the load path
 		if n < 1 {
 			return fmt.Errorf("-n must be >= 1, got %d", n)
@@ -214,6 +235,9 @@ func validateFlags(n, shards, workers, rerank, coalesceMax int, coalesceWait tim
 	}
 	if compactThreshold < 0 {
 		return fmt.Errorf("-compact-threshold must be >= 0 (0 disables background compaction), got %d", compactThreshold)
+	}
+	if slowQuery < 0 {
+		return fmt.Errorf("-slow-query must be >= 0 (0 disables the slow-query log), got %v", slowQuery)
 	}
 	return nil
 }

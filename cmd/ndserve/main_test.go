@@ -283,34 +283,37 @@ func TestValidateFlags(t *testing.T) {
 		serve            string
 		cachePages       int
 		compactThreshold int
+		slowQuery        time.Duration
 		want             func(error) bool
 	}{
-		{"defaults", 20000, 4, 0, 0, 256, 500 * time.Microsecond, "", "", "ram", 0, 0, ok},
-		{"rerank", 100, 2, 0, 64, 256, 0, "", "", "ram", 0, 0, ok},
-		{"negative rerank", 100, 2, 0, -1, 256, 0, "", "", "ram", 0, 0, bad},
-		{"zero n", 0, 4, 0, 0, 256, 0, "", "", "ram", 0, 0, bad},
-		{"negative n", -5, 4, 0, 0, 256, 0, "", "", "ram", 0, 0, bad},
-		{"zero shards", 100, 0, 0, 0, 256, 0, "", "", "ram", 0, 0, bad},
-		{"negative shards", 100, -1, 0, 0, 256, 0, "", "", "ram", 0, 0, bad},
-		{"negative workers", 100, 2, -1, 0, 256, 0, "", "", "ram", 0, 0, bad},
-		{"coalesce disabled", 100, 2, 0, 0, 0, 0, "", "", "ram", 0, 0, ok},
-		{"negative coalesce-max", 100, 2, 0, 0, -1, 0, "", "", "ram", 0, 0, bad},
-		{"negative coalesce-wait", 100, 2, 0, 0, 256, -time.Microsecond, "", "", "ram", 0, 0, bad},
-		{"save", 100, 2, 0, 0, 256, 0, "dir", "", "ram", 0, 0, ok},
-		{"load ignores n/shards", 0, 0, 0, 0, 256, 0, "", "dir", "ram", 0, 0, ok},
-		{"save and load", 100, 2, 0, 0, 256, 0, "a", "b", "ram", 0, 0, bad},
-		{"mmap serve with load", 0, 0, 0, 0, 256, 0, "", "dir", "mmap", 64, 0, ok},
-		{"readat serve with load", 0, 0, 0, 0, 256, 0, "", "dir", "readat", 0, 0, ok},
-		{"mmap serve without load", 100, 2, 0, 0, 256, 0, "", "", "mmap", 0, 0, bad},
-		{"unknown serve mode", 0, 0, 0, 0, 256, 0, "", "dir", "disk", 0, 0, bad},
-		{"negative cache-pages", 0, 0, 0, 0, 256, 0, "", "dir", "mmap", -1, 0, bad},
-		{"negative compact-threshold", 100, 2, 0, 0, 256, 0, "", "", "ram", 0, -1, bad},
-		{"compact threshold enabled", 100, 2, 0, 0, 256, 0, "", "", "ram", 0, 4096, ok},
+		{"defaults", 20000, 4, 0, 0, 256, 500 * time.Microsecond, "", "", "ram", 0, 0, 0, ok},
+		{"rerank", 100, 2, 0, 64, 256, 0, "", "", "ram", 0, 0, 0, ok},
+		{"negative rerank", 100, 2, 0, -1, 256, 0, "", "", "ram", 0, 0, 0, bad},
+		{"zero n", 0, 4, 0, 0, 256, 0, "", "", "ram", 0, 0, 0, bad},
+		{"negative n", -5, 4, 0, 0, 256, 0, "", "", "ram", 0, 0, 0, bad},
+		{"zero shards", 100, 0, 0, 0, 256, 0, "", "", "ram", 0, 0, 0, bad},
+		{"negative shards", 100, -1, 0, 0, 256, 0, "", "", "ram", 0, 0, 0, bad},
+		{"negative workers", 100, 2, -1, 0, 256, 0, "", "", "ram", 0, 0, 0, bad},
+		{"coalesce disabled", 100, 2, 0, 0, 0, 0, "", "", "ram", 0, 0, 0, ok},
+		{"negative coalesce-max", 100, 2, 0, 0, -1, 0, "", "", "ram", 0, 0, 0, bad},
+		{"negative coalesce-wait", 100, 2, 0, 0, 256, -time.Microsecond, "", "", "ram", 0, 0, 0, bad},
+		{"save", 100, 2, 0, 0, 256, 0, "dir", "", "ram", 0, 0, 0, ok},
+		{"load ignores n/shards", 0, 0, 0, 0, 256, 0, "", "dir", "ram", 0, 0, 0, ok},
+		{"save and load", 100, 2, 0, 0, 256, 0, "a", "b", "ram", 0, 0, 0, bad},
+		{"mmap serve with load", 0, 0, 0, 0, 256, 0, "", "dir", "mmap", 64, 0, 0, ok},
+		{"readat serve with load", 0, 0, 0, 0, 256, 0, "", "dir", "readat", 0, 0, 0, ok},
+		{"mmap serve without load", 100, 2, 0, 0, 256, 0, "", "", "mmap", 0, 0, 0, bad},
+		{"unknown serve mode", 0, 0, 0, 0, 256, 0, "", "dir", "disk", 0, 0, 0, bad},
+		{"negative cache-pages", 0, 0, 0, 0, 256, 0, "", "dir", "mmap", -1, 0, 0, bad},
+		{"negative compact-threshold", 100, 2, 0, 0, 256, 0, "", "", "ram", 0, -1, 0, bad},
+		{"compact threshold enabled", 100, 2, 0, 0, 256, 0, "", "", "ram", 0, 4096, 0, ok},
+		{"slow-query enabled", 100, 2, 0, 0, 256, 0, "", "", "ram", 0, 0, 5 * time.Millisecond, ok},
+		{"negative slow-query", 100, 2, 0, 0, 256, 0, "", "", "ram", 0, 0, -time.Millisecond, bad},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
 			err := validateFlags(c.n, c.shards, c.workers, c.rerank, c.coalesceMax, c.coalesceWait,
-				c.save, c.load, c.serve, c.cachePages, c.compactThreshold)
+				c.save, c.load, c.serve, c.cachePages, c.compactThreshold, c.slowQuery)
 			if !c.want(err) {
 				t.Errorf("validateFlags(%+v) = %v", c, err)
 			}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"math"
 	"net/http"
 	"time"
@@ -11,6 +12,7 @@ import (
 	"ndsearch/internal/ann"
 	"ndsearch/internal/batcher"
 	"ndsearch/internal/engine"
+	"ndsearch/internal/obs"
 	"ndsearch/internal/vec"
 )
 
@@ -37,21 +39,34 @@ type Server struct {
 	// maxBodyBytes caps the /search request body before JSON decoding,
 	// so the maxBatch check cannot be bypassed by one huge payload.
 	maxBodyBytes int64
+	// metrics is the observability registry behind GET /metrics; the
+	// engine (and coalescer, when enabled) feed it.
+	metrics *obs.Registry
+	// pprofOn mounts /debug/pprof/ on Handler (EnablePprof).
+	pprofOn bool
+	// slowQuery, when > 0, logs /search requests slower than it to
+	// slowLog as one structured line each (SetSlowQueryLog).
+	slowQuery time.Duration
+	slowLog   *log.Logger
 }
 
 // NewServer wraps a built engine. dim is the corpus dimensionality used
 // to validate request vectors.
 func NewServer(e *engine.Engine, dim int, dataset, algo string) *Server {
-	return &Server{
+	s := &Server{
 		engine: e, dim: dim, dataset: dataset, algo: algo,
 		defaultK: 10, maxBatch: 4096, maxBodyBytes: 64 << 20,
+		metrics: obs.NewRegistry(), slowLog: log.Default(),
 	}
+	e.EnableMetrics(s.metrics)
+	return s
 }
 
 // EnableCoalescing routes single-query /search requests through an
 // asynchronous micro-batcher over the engine.
 func (s *Server) EnableCoalescing(cfg batcher.Config) {
 	s.coalescer = batcher.New(s.engine, cfg)
+	s.coalescer.EnableMetrics(s.metrics)
 }
 
 // Close stops the coalescer and background compactor (if enabled) and
@@ -76,15 +91,21 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/compact", s.handleCompact)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	if s.pprofOn {
+		mountPprof(mux)
+	}
 	return mux
 }
 
 // SearchRequest is the /search payload. Exactly one of Query (single)
-// or Queries (batch) must be set.
+// or Queries (batch) must be set. Trace opts into per-stage timing
+// spans in the response; results are byte-identical either way.
 type SearchRequest struct {
 	Query   []float32   `json:"query,omitempty"`
 	Queries [][]float32 `json:"queries,omitempty"`
 	K       int         `json:"k,omitempty"`
+	Trace   bool        `json:"trace,omitempty"`
 }
 
 // SearchResult is one neighbor on the wire.
@@ -110,9 +131,12 @@ type BatchInfo struct {
 }
 
 // SearchResponse is the /search reply: Results[i] answers query i.
+// Trace carries the per-stage spans when the request set "trace": true
+// (span schema: DESIGN.md §13).
 type SearchResponse struct {
 	Results [][]SearchResult `json:"results"`
 	Batch   BatchInfo        `json:"batch"`
+	Trace   []obs.Span       `json:"trace,omitempty"`
 }
 
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
@@ -120,6 +144,8 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
+	// Handler wall time feeds the slow-query log only.
+	start := time.Now()
 	var req SearchRequest
 	body := http.MaxBytesReader(w, r.Body, s.maxBodyBytes)
 	if err := json.NewDecoder(body).Decode(&req); err != nil {
@@ -145,12 +171,16 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "k must be >= 1, got %d", k)
 		return
 	}
+	var tr *obs.Trace
+	if req.Trace {
+		tr = obs.NewTrace()
+	}
 	var (
 		results [][]ann.Neighbor
 		info    BatchInfo
 	)
 	if s.coalescer != nil && len(batch) == 1 {
-		res, bi, err := s.coalescer.Search(batch[0], k)
+		res, bi, err := s.coalescer.SearchTraced(batch[0], k, tr)
 		if err != nil {
 			httpError(w, http.StatusServiceUnavailable, "%v", err)
 			return
@@ -167,7 +197,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		}
 	} else {
 		var st *engine.BatchStats
-		results, st = s.engine.SearchBatch(batch, k)
+		results, st = s.engine.SearchBatchOpts(batch, k, engine.SearchOptions{Trace: tr})
 		info = BatchInfo{
 			Size:      st.BatchSize,
 			Shards:    st.Shards,
@@ -178,9 +208,13 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	resp := SearchResponse{
 		Results: make([][]SearchResult, len(results)),
 		Batch:   info,
+		Trace:   tr.Spans(),
 	}
 	for i, ns := range results {
 		resp.Results[i] = toWire(ns)
+	}
+	if elapsed := time.Since(start); s.slowQuery > 0 && elapsed >= s.slowQuery {
+		s.logSlowQuery(elapsed, k, len(batch), info)
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -259,6 +293,10 @@ type HealthResponse struct {
 	// SnapshotFormat is the snapshot container format version backing
 	// the engine (the version a fresh build would save at).
 	SnapshotFormat int `json:"snapshot_format_version"`
+	// Generations is the current base generation number — 0 until the
+	// first compaction, then incrementing per completed compaction — so
+	// probes can watch compaction progress without parsing /stats.
+	Generations int `json:"generations"`
 }
 
 // allowGet gates read-only endpoints to GET/HEAD, mirroring /search's
@@ -283,6 +321,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Quantized:      s.engine.Meta().Quantized,
 		Serve:          s.engine.ServeMode(),
 		SnapshotFormat: s.engine.FormatVersion(),
+		Generations:    s.engine.Generation(),
 	})
 }
 

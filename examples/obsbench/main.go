@@ -1,0 +1,198 @@
+// Obsbench measures what §13 observability costs the read path: QPS of
+// the same engine plain (metrics never enabled — the zero-value
+// instrument struct, all nil, one atomic pointer load per batch) versus
+// instrumented (EnableMetrics wired to a live registry, every batch
+// feeding the latency/size histograms and counters). The overhead
+// budget is < 2%; -budget makes the run a guard that exits nonzero
+// when the measured overhead exceeds it. Its JSON output (stdout) is
+// the source of BENCH_obs.json at the repo root.
+//
+// Tracing is not measured here: traces are strictly per-request opt-in
+// (a nil *obs.Trace records nothing), so the always-on cost is the
+// metrics path alone.
+//
+// Usage:
+//
+//	go run ./examples/obsbench [-n 20000] [-queries 64] [-seed 1] [-passes 8] [-algo exact] [-budget 0]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"ndsearch/internal/dataset"
+	"ndsearch/internal/engine"
+	"ndsearch/internal/obs"
+)
+
+// Result is one dataset profile's measurements.
+type Result struct {
+	Dataset string `json:"dataset"`
+	Algo    string `json:"algo"`
+	N       int    `json:"n"`
+	Dim     int    `json:"dim"`
+	Metric  string `json:"metric"`
+
+	// PlainQPS is SearchBatch throughput with metrics never enabled;
+	// InstrumentedQPS the same engine shape with EnableMetrics active.
+	// The passes interleave (plain, instrumented, plain, ...) so slow
+	// machine drift hits both sides equally.
+	PlainQPS        float64 `json:"plain_qps"`
+	InstrumentedQPS float64 `json:"instrumented_qps"`
+	// OverheadPct is the median over paired passes of
+	// (instrumented_time / plain_time - 1) * 100 — the drift-robust
+	// statistic the budget guard checks. Negative means the
+	// instrumented pass measured faster (noise floor).
+	OverheadPct float64 `json:"overhead_pct"`
+	// ScrapeBytes is the size of one /metrics exposition after the
+	// instrumented passes — a sanity check that the registry saw traffic.
+	ScrapeBytes int `json:"scrape_bytes"`
+}
+
+// Output is the full report, shaped like BENCH_mutate.json.
+type Output struct {
+	Generated string            `json:"generated"`
+	Commands  []string          `json:"commands"`
+	Host      map[string]string `json:"host"`
+	Notes     string            `json:"notes"`
+	BudgetPct float64           `json:"budget_pct,omitempty"`
+	Results   []Result          `json:"results"`
+}
+
+func main() {
+	n := flag.Int("n", 20000, "corpus size per dataset")
+	queries := flag.Int("queries", 64, "query batch size")
+	seed := flag.Int64("seed", 1, "generation/build seed")
+	passes := flag.Int("passes", 8, "timed passes over the query set")
+	algo := flag.String("algo", "exact", "shard index algorithm")
+	budget := flag.Float64("budget", 0, "max overhead percent; exceeding it exits 1 (0 = report only)")
+	flag.Parse()
+
+	out := Output{
+		Generated: time.Now().Format("2006-01-02"),
+		Commands:  []string{"go run ./examples/obsbench"},
+		Host: map[string]string{
+			"go":     runtime.Version(),
+			"goos":   runtime.GOOS,
+			"goarch": runtime.GOARCH,
+		},
+		Notes: "Same engine shape measured plain (EnableMetrics never called: nil-safe " +
+			"instruments, one atomic pointer load per batch) vs instrumented (registry " +
+			"live, histograms and counters fed per batch). QPS is SearchBatch over the " +
+			"query batch, k=10, passes interleaved pairwise; overhead_pct is the median " +
+			"per-pair time ratio minus one, robust to machine drift. Traces are " +
+			"per-request opt-in and excluded: a nil *obs.Trace records nothing.",
+		BudgetPct: *budget,
+	}
+	exceeded := false
+	for _, profName := range []string{"sift-1b", "glove-100"} {
+		r, err := runProfile(profName, *algo, *n, *queries, *seed, *passes)
+		if err != nil {
+			log.Fatalf("obsbench: %s: %v", profName, err)
+		}
+		out.Results = append(out.Results, r)
+		fmt.Fprintf(os.Stderr, "%s: plain %.0f qps, instrumented %.0f qps, overhead %.2f%%\n",
+			profName, r.PlainQPS, r.InstrumentedQPS, r.OverheadPct)
+		if *budget > 0 && r.OverheadPct > *budget {
+			exceeded = true
+		}
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		log.Fatalf("obsbench: %v", err)
+	}
+	if exceeded {
+		fmt.Fprintf(os.Stderr, "obsbench: overhead budget %.2f%% exceeded\n", *budget)
+		os.Exit(1)
+	}
+}
+
+func runProfile(profName, algo string, n, queries int, seed int64, passes int) (Result, error) {
+	prof, err := dataset.ProfileByName(profName)
+	if err != nil {
+		return Result{}, err
+	}
+	d, err := dataset.Generate(prof, dataset.GenConfig{N: n, Queries: queries, Seed: seed})
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{
+		Dataset: prof.Name, Algo: algo, N: n, Dim: prof.Dim,
+		Metric: fmt.Sprint(prof.Metric),
+	}
+
+	const k = 10
+	build := func() (*engine.Engine, error) {
+		builder, err := engine.BuilderByName(algo, prof.Metric, seed)
+		if err != nil {
+			return nil, err
+		}
+		return engine.New(d.Vectors, engine.Config{Shards: 4, Builder: builder})
+	}
+	timePass := func(e *engine.Engine) time.Duration {
+		start := time.Now()
+		if r, _ := e.SearchBatch(d.Queries, k); len(r) != queries {
+			log.Fatalf("obsbench: short batch: %d", len(r))
+		}
+		return time.Since(start)
+	}
+
+	plain, err := build()
+	if err != nil {
+		return Result{}, err
+	}
+	defer plain.Close()
+	instrumented, err := build()
+	if err != nil {
+		return Result{}, err
+	}
+	defer instrumented.Close()
+	reg := obs.NewRegistry()
+	instrumented.EnableMetrics(reg)
+
+	// Interleave paired passes so slow machine drift (thermal, noisy
+	// neighbors) hits both sides equally; the per-pair time ratio is the
+	// drift-free overhead sample, and the median pair is robust to the
+	// occasional outlier pass.
+	timePass(plain)
+	timePass(instrumented) // warmup, untimed
+	var plainTotal, instTotal time.Duration
+	ratios := make([]float64, 0, passes)
+	for p := 0; p < passes; p++ {
+		tp := timePass(plain)
+		ti := timePass(instrumented)
+		plainTotal += tp
+		instTotal += ti
+		ratios = append(ratios, ti.Seconds()/tp.Seconds())
+	}
+	res.PlainQPS = float64(passes*queries) / plainTotal.Seconds()
+	res.InstrumentedQPS = float64(passes*queries) / instTotal.Seconds()
+	sort.Float64s(ratios)
+	median := ratios[len(ratios)/2]
+	if len(ratios)%2 == 0 {
+		median = (median + ratios[len(ratios)/2-1]) / 2
+	}
+	res.OverheadPct = (median - 1) * 100
+
+	var scrape countingWriter
+	if err := reg.WritePrometheus(&scrape); err != nil {
+		return Result{}, err
+	}
+	res.ScrapeBytes = scrape.n
+	return res, nil
+}
+
+// countingWriter discards the exposition, keeping only its size.
+type countingWriter struct{ n int }
+
+func (w *countingWriter) Write(p []byte) (int, error) {
+	w.n += len(p)
+	return len(p), nil
+}

@@ -26,6 +26,7 @@ import (
 
 	"ndsearch/internal/ann"
 	"ndsearch/internal/engine"
+	"ndsearch/internal/obs"
 	"ndsearch/internal/vec"
 )
 
@@ -33,6 +34,14 @@ import (
 // satisfies it.
 type Engine interface {
 	SearchBatch(queries []vec.Vector, k int) ([][]ann.Neighbor, *engine.BatchStats)
+}
+
+// tracingEngine is the optional backend extension SubmitTraced uses to
+// thread a stage trace through the engine batch. *engine.Engine
+// satisfies it; backends without it still serve traced submits, minus
+// the engine-side spans.
+type tracingEngine interface {
+	SearchBatchOpts(queries []vec.Vector, k int, opts engine.SearchOptions) ([][]ann.Neighbor, *engine.BatchStats)
 }
 
 // Defaults applied by New when the corresponding Config field is unset.
@@ -55,11 +64,14 @@ type Config struct {
 	MaxWait time.Duration
 }
 
-// waiter is one Submit call parked until its batch completes.
+// waiter is one Submit call parked until its batch completes. tr, when
+// non-nil, receives the admission-wait span and (rebased) engine-batch
+// spans at dispatch.
 type waiter struct {
 	queries []vec.Vector
 	k       int
 	enq     time.Time
+	tr      *obs.Trace
 	res     [][]ann.Neighbor
 	info    BatchInfo
 	ready   chan struct{}
@@ -129,8 +141,42 @@ type Batcher struct {
 	closeMu sync.RWMutex
 	closed  bool
 
+	// obsm holds the registry instruments (EnableMetrics); the zero
+	// value's nil instruments are no-ops, so dispatch updates them
+	// unconditionally.
+	obsm atomic.Pointer[batcherMetrics]
+
 	mu    sync.Mutex
 	stats Stats
+}
+
+// batcherMetrics are the admission-layer instruments.
+type batcherMetrics struct {
+	wait    *obs.Histogram
+	formed  *obs.Histogram
+	submits *obs.Counter
+	batches *obs.Counter
+}
+
+// EnableMetrics registers the coalescing metrics on r and starts
+// feeding them: per-submit admission wait, formed engine-batch sizes,
+// cumulative submit/batch counters, and a scrape-time queue-depth
+// gauge. Call it once per registry, before serving traffic.
+func (b *Batcher) EnableMetrics(r *obs.Registry) {
+	m := &batcherMetrics{
+		wait: r.NewHistogram("nd_coalesce_wait_seconds",
+			"time a submit queued before its coalesced batch dispatched", obs.LatencyBuckets),
+		formed: r.NewHistogram("nd_coalesce_formed_batch_size",
+			"queries per formed engine batch", obs.SizeBuckets),
+		submits: r.NewCounter("nd_coalesce_submits_total",
+			"dispatched Submit calls"),
+		batches: r.NewCounter("nd_coalesce_batches_total",
+			"formed engine batches"),
+	}
+	r.NewGaugeFunc("nd_coalesce_queue_depth",
+		"queries pending admission",
+		func() float64 { return float64(b.depth.Load()) })
+	b.obsm.Store(m)
 }
 
 // New starts a Batcher over eng. Call Close to stop it; the Batcher
@@ -148,6 +194,7 @@ func New(eng Engine, cfg Config) *Batcher {
 		submit: make(chan *waiter, cfg.MaxBatch),
 		done:   make(chan struct{}),
 	}
+	b.obsm.Store(&batcherMetrics{})
 	go b.dispatch()
 	return b
 }
@@ -156,6 +203,16 @@ func New(eng Engine, cfg Config) *Batcher {
 // batch they joined completes. Results[i] answers queries[i],
 // byte-identical to a direct engine search with the same k.
 func (b *Batcher) Submit(queries []vec.Vector, k int) ([][]ann.Neighbor, BatchInfo, error) {
+	return b.SubmitTraced(queries, k, nil)
+}
+
+// SubmitTraced is Submit with an optional stage trace: tr receives a
+// coalesce_wait span for the admission delay plus the engine batch's
+// own spans (fanout, shard_search, merge), rebased onto tr's clock.
+// The engine spans describe the formed batch the submit rode in, which
+// it may share with co-tenant submits — span query indices are
+// positions within that batch. Results are byte-identical to Submit.
+func (b *Batcher) SubmitTraced(queries []vec.Vector, k int, tr *obs.Trace) ([][]ann.Neighbor, BatchInfo, error) {
 	if len(queries) == 0 {
 		return nil, BatchInfo{}, errors.New("batcher: empty submit")
 	}
@@ -163,7 +220,7 @@ func (b *Batcher) Submit(queries []vec.Vector, k int) ([][]ann.Neighbor, BatchIn
 		return nil, BatchInfo{}, fmt.Errorf("batcher: k must be >= 1, got %d", k)
 	}
 	//ndvet:ignore determinism enqueue time feeds only queue-latency stats, never results
-	w := &waiter{queries: queries, k: k, enq: time.Now(), ready: make(chan struct{})}
+	w := &waiter{queries: queries, k: k, enq: time.Now(), tr: tr, ready: make(chan struct{})}
 	b.closeMu.RLock()
 	if b.closed {
 		b.closeMu.RUnlock()
@@ -179,7 +236,12 @@ func (b *Batcher) Submit(queries []vec.Vector, k int) ([][]ann.Neighbor, BatchIn
 // Search submits a single query — the coalesced counterpart of
 // engine.Engine.Search.
 func (b *Batcher) Search(query vec.Vector, k int) ([]ann.Neighbor, BatchInfo, error) {
-	res, info, err := b.Submit([]vec.Vector{query}, k)
+	return b.SearchTraced(query, k, nil)
+}
+
+// SearchTraced is Search with an optional stage trace (SubmitTraced).
+func (b *Batcher) SearchTraced(query vec.Vector, k int, tr *obs.Trace) ([]ann.Neighbor, BatchInfo, error) {
+	res, info, err := b.SubmitTraced([]vec.Vector{query}, k, tr)
 	if err != nil {
 		return nil, info, err
 	}
@@ -299,14 +361,35 @@ func (b *Batcher) run(batch []*waiter, n int) {
 		b.stats.WaitMax = waitMax
 	}
 	b.mu.Unlock()
+	m := b.obsm.Load()
+	m.submits.Add(uint64(len(batch)))
+	m.batches.Add(uint64(len(groups)))
+	for _, w := range batch {
+		m.wait.Observe(dispatched.Sub(w.enq).Seconds())
+	}
 
 	for k, ws := range groups {
 		gn := sizes[k]
+		m.formed.Observe(float64(gn))
 		queries := make([]vec.Vector, 0, gn)
+		traced := false
 		for _, w := range ws {
 			queries = append(queries, w.queries...)
+			traced = traced || w.tr != nil
 		}
-		res, est := b.eng.SearchBatch(queries, k)
+		// When any submit in the group is traced, run the engine batch
+		// under a fresh trace and fan its spans out to every traced
+		// waiter afterwards — the engine spans belong to the shared
+		// formed batch, so each requester gets the same attribution.
+		var res [][]ann.Neighbor
+		var est *engine.BatchStats
+		var etr *obs.Trace
+		if te, ok := b.eng.(tracingEngine); ok && traced {
+			etr = obs.NewTrace()
+			res, est = te.SearchBatchOpts(queries, k, engine.SearchOptions{Trace: etr})
+		} else {
+			res, est = b.eng.SearchBatch(queries, k)
+		}
 		off := 0
 		for _, w := range ws {
 			w.res = res[off : off+len(w.queries)]
@@ -314,6 +397,10 @@ func (b *Batcher) run(batch []*waiter, n int) {
 			w.info = BatchInfo{
 				FormedSize: gn, Submits: len(ws), K: k,
 				Wait: dispatched.Sub(w.enq), Engine: est,
+			}
+			if w.tr != nil {
+				w.tr.ObserveAt("coalesce_wait", -1, -1, w.enq, dispatched.Sub(w.enq))
+				w.tr.Extend(etr)
 			}
 			close(w.ready)
 		}

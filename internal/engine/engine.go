@@ -39,6 +39,7 @@ import (
 	"ndsearch/internal/hcnng"
 	"ndsearch/internal/hnsw"
 	"ndsearch/internal/ivfpq"
+	"ndsearch/internal/obs"
 	"ndsearch/internal/snapshot"
 	"ndsearch/internal/togg"
 	"ndsearch/internal/vamana"
@@ -225,6 +226,11 @@ type Engine struct {
 	// write there).
 	formatVersion int
 
+	// obsm holds the registry instruments (obs.go); a zero-value struct
+	// of nil (no-op) instruments is installed at construction so update
+	// sites never branch on whether metrics are enabled.
+	obsm atomic.Pointer[engineMetrics]
+
 	mu    sync.Mutex
 	stats Stats
 	mut   MutStats
@@ -236,12 +242,15 @@ type Engine struct {
 // task is one (query, shard) search. Each task owns a distinct result
 // slot, so workers need no locking; done releases the waiting caller.
 // The task carries its generation so a batch in flight across a
-// compaction swap keeps searching the generation it started on.
+// compaction swap keeps searching the generation it started on. qi and
+// tr label the task for stage tracing (tr is nil on untraced batches).
 type task struct {
 	query vec.Vector
 	k     int
 	gen   *generation
 	si    int
+	qi    int
+	tr    *obs.Trace
 	out   *[]ann.Neighbor
 	done  *sync.WaitGroup
 }
@@ -338,6 +347,7 @@ func newEngine(gen *generation, workers, dim int, meta Meta) *Engine {
 		// without letting one huge batch monopolise the queue.
 		tasks: make(chan task, 4*workers),
 	}
+	e.obsm.Store(&engineMetrics{})
 	e.liveLen.Store(int64(gen.vectors))
 	if len(gen.shards) > 0 {
 		if m, err := snapshot.MetricOf(gen.shards[0].index); err == nil {
@@ -357,6 +367,18 @@ func (e *Engine) worker() {
 	defer e.wg.Done()
 	for t := range e.tasks {
 		sh := t.gen.shards[t.si]
+		// Tracing observes around the search without touching it: span
+		// timestamps come from obs, and on the paged serving path the
+		// shard's software page counters are windowed so the span carries
+		// the touches/faults this task consumed (approximate under
+		// concurrent traffic — the counters are shared per shard).
+		sp := t.tr.Span("shard_search")
+		var paged *snapshot.PagedIndex
+		var before snapshot.PagedStats
+		if t.tr != nil && t.si < len(t.gen.paged) && t.gen.paged[t.si] != nil {
+			paged = t.gen.paged[t.si]
+			before = paged.Stats()
+		}
 		res := sh.index.Search(t.query, t.k)
 		// Translate shard-local IDs to global positions, then to
 		// external IDs, in place on the freshly returned slice. The
@@ -365,6 +387,11 @@ func (e *Engine) worker() {
 		for i := range res {
 			res[i].ID = t.gen.extID(res[i].ID + sh.base)
 		}
+		if paged != nil {
+			after := paged.Stats()
+			sp.Pages(after.Touches-before.Touches, after.Faults-before.Faults)
+		}
+		sp.Shard(t.si).Query(t.qi).End()
 		*t.out = res
 		t.gen.perShard[t.si].Add(1)
 		t.done.Done()
@@ -489,6 +516,14 @@ type BatchStats struct {
 // IDs, ascending by distance) plus batch stats. It is safe for
 // concurrent use, including concurrently with Upsert/Delete/Compact.
 func (e *Engine) SearchBatch(queries []vec.Vector, k int) ([][]ann.Neighbor, *BatchStats) {
+	return e.SearchBatchOpts(queries, k, SearchOptions{})
+}
+
+// SearchBatchOpts is SearchBatch with per-call options: an optional
+// stage trace recording fanout, per-shard, and merge spans. Results are
+// byte-identical to SearchBatch — tracing only observes.
+func (e *Engine) SearchBatchOpts(queries []vec.Vector, k int, opts SearchOptions) ([][]ann.Neighbor, *BatchStats) {
+	tr := opts.Trace
 	//ndvet:ignore determinism wall time feeds only latency fields in BatchStats, never results
 	start := time.Now()
 	// The read lock brackets the whole batch: a compaction swap waits
@@ -527,19 +562,23 @@ func (e *Engine) SearchBatch(queries []vec.Vector, k int) ([][]ann.Neighbor, *Ba
 	for qi := range partial {
 		partial[qi] = make([][]ann.Neighbor, len(gen.shards))
 	}
+	fanout := tr.Span("fanout")
 	var done sync.WaitGroup
 	done.Add(len(queries) * len(gen.shards))
 	for qi, q := range queries {
 		for si := range gen.shards {
-			e.tasks <- task{query: q, k: kBase, gen: gen, si: si, out: &partial[qi][si], done: &done}
+			e.tasks <- task{query: q, k: kBase, gen: gen, si: si, qi: qi, tr: tr, out: &partial[qi][si], done: &done}
 		}
 	}
 	done.Wait()
+	fanout.End()
 
+	merge := tr.Span("merge")
 	out := make([][]ann.Neighbor, len(queries))
 	for qi := range queries {
-		out[qi] = mergeGenerational(queries[qi], partial[qi], k, dlt, frozen, shadows > 0)
+		out[qi] = mergeGenerational(queries[qi], partial[qi], k, dlt, frozen, shadows > 0, tr, qi)
 	}
+	merge.End()
 	st.ShardSearches = len(queries) * len(gen.shards)
 	st.Latency = time.Since(start)
 	if st.Latency > 0 {
@@ -562,20 +601,25 @@ func (e *Engine) SearchBatch(queries []vec.Vector, k int) ([][]ann.Neighbor, *Ba
 //
 // With no shadows and no frozen tier (mutated == false, the pure-read
 // path) the fold is ann.MergeTopK with a nil filter — byte-identical to
-// the pre-generational engine's merge.
+// the pre-generational engine's merge. tr/qi record per-tier fold spans
+// on a traced, mutated batch (nil tr records nothing).
 func mergeGenerational(query vec.Vector, base [][]ann.Neighbor, k int,
-	dlt, frozen *delta.Index, mutated bool) []ann.Neighbor {
+	dlt, frozen *delta.Index, mutated bool, tr *obs.Trace, qi int) []ann.Neighbor {
 	if !mutated {
 		return ann.MergeTopK(base, k, nil)
 	}
 	f := ann.NewFrontier(k)
+	sp := tr.Span("merge_delta")
 	for _, n := range dlt.Search(query, k, nil) {
 		f.PushResult(n)
 	}
+	sp.Query(qi).End()
 	if frozen != nil {
+		sp = tr.Span("merge_frozen")
 		for _, n := range frozen.Search(query, k, dlt.Shadows) {
 			f.PushResult(n)
 		}
+		sp.Query(qi).End()
 	}
 	live := func(id uint32) bool {
 		if dlt.Shadows(id) {
@@ -583,6 +627,7 @@ func mergeGenerational(query vec.Vector, base [][]ann.Neighbor, k int,
 		}
 		return frozen == nil || !frozen.Shadows(id)
 	}
+	sp = tr.Span("merge_base")
 	for _, list := range base {
 		for _, n := range list {
 			if live(n.ID) {
@@ -590,6 +635,7 @@ func mergeGenerational(query vec.Vector, base [][]ann.Neighbor, k int,
 			}
 		}
 	}
+	sp.Query(qi).End()
 	return f.Results()
 }
 
@@ -622,6 +668,16 @@ func (s Stats) MeanQueryLatency() time.Duration {
 }
 
 func (e *Engine) record(st *BatchStats) {
+	// /stats and /metrics are fed from this one site, so the two
+	// surfaces can never drift: the registry instruments below are the
+	// Prometheus rendering of the same per-batch observations the Stats
+	// struct accumulates.
+	m := e.obsm.Load()
+	m.searchLatency.Observe(st.Latency.Seconds())
+	m.batchSize.Observe(float64(st.BatchSize))
+	m.batches.Add(1)
+	m.queries.Add(uint64(st.BatchSize))
+	m.shardSearches.Add(uint64(st.ShardSearches))
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.stats.Batches++

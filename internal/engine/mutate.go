@@ -55,6 +55,7 @@ func (e *Engine) Upsert(id uint32, v vec.Vector) error {
 	e.mu.Lock()
 	e.mut.Upserts++
 	e.mu.Unlock()
+	e.obsm.Load().upserts.Add(1)
 	e.notifyCompactor()
 	return nil
 }
@@ -89,6 +90,7 @@ func (e *Engine) Delete(id uint32) (bool, error) {
 		e.mu.Lock()
 		e.mut.Deletes++
 		e.mu.Unlock()
+		e.obsm.Load().deletes.Add(1)
 	}
 	e.notifyCompactor()
 	return wasLive, nil
@@ -320,11 +322,15 @@ func (e *Engine) compact() error {
 		}
 	}
 
+	dur := time.Since(start)
 	e.mu.Lock()
 	e.mut.Compactions++
-	e.mut.LastCompactDuration = time.Since(start)
+	e.mut.LastCompactDuration = dur
 	e.mut.LastCompactVectors = newGen.vectors
 	e.mu.Unlock()
+	m := e.obsm.Load()
+	m.compactions.Add(1)
+	m.compactSeconds.Observe(dur.Seconds())
 	return nil
 }
 

@@ -1,0 +1,95 @@
+// Observability wiring: EnableMetrics registers the engine's serving
+// metrics on an obs.Registry, and SearchOptions threads an optional
+// per-query stage trace through SearchBatchOpts. See DESIGN.md §13.
+package engine
+
+import (
+	"ndsearch/internal/obs"
+)
+
+// SearchOptions parameterises one SearchBatchOpts call.
+type SearchOptions struct {
+	// Trace, when non-nil, records per-stage spans of the batch
+	// execution: fanout, one shard_search span per (query, shard) task
+	// (with software page counters on the paged serving path), the merge
+	// fold, and per-query tier folds on a mutated engine. Tracing is
+	// observation only — results are byte-identical to an untraced call.
+	Trace *obs.Trace
+}
+
+// engineMetrics holds the registry instruments the hot path updates.
+// The zero value (all nil instruments) is installed at construction, so
+// update sites call through unconditionally: obs instruments are no-ops
+// on nil receivers, which keeps the uninstrumented cost to one atomic
+// pointer load per batch.
+type engineMetrics struct {
+	searchLatency *obs.Histogram
+	batchSize     *obs.Histogram
+	batches       *obs.Counter
+	queries       *obs.Counter
+	shardSearches *obs.Counter
+
+	compactSeconds *obs.Histogram
+	compactions    *obs.Counter
+	upserts        *obs.Counter
+	deletes        *obs.Counter
+}
+
+// EnableMetrics registers the engine's metrics on r and starts feeding
+// them: search latency and batch-size histograms, cumulative
+// search/mutation/compaction counters, and scrape-time gauges over the
+// generational and paged-serving state the engine already tracks. Call
+// it once per registry, before serving traffic.
+func (e *Engine) EnableMetrics(r *obs.Registry) {
+	m := &engineMetrics{
+		searchLatency: r.NewHistogram("nd_search_latency_seconds",
+			"engine batch execution wall time", obs.LatencyBuckets),
+		batchSize: r.NewHistogram("nd_search_batch_size",
+			"queries per executed engine batch", obs.SizeBuckets),
+		batches: r.NewCounter("nd_search_batches_total",
+			"completed engine batch executions"),
+		queries: r.NewCounter("nd_search_queries_total",
+			"queries carried by completed engine batches"),
+		shardSearches: r.NewCounter("nd_shard_searches_total",
+			"executed (query, shard) search tasks"),
+		compactSeconds: r.NewHistogram("nd_compaction_seconds",
+			"delta-drain compaction duration (freeze through swap)", obs.LatencyBuckets),
+		compactions: r.NewCounter("nd_compactions_total",
+			"completed generation compactions"),
+		upserts: r.NewCounter("nd_upserts_total",
+			"accepted upserts into the delta tier"),
+		deletes: r.NewCounter("nd_deletes_total",
+			"deletes that removed a live vector"),
+	}
+	r.NewGaugeFunc("nd_live_vectors",
+		"live vector count across base and delta tiers",
+		func() float64 { return float64(e.Len()) })
+	r.NewGaugeFunc("nd_generation",
+		"current base generation number (increments per compaction)",
+		func() float64 { return float64(e.Generation()) })
+	r.NewGaugeFunc("nd_delta_live",
+		"live vectors in the mutable delta tiers",
+		func() float64 { return float64(e.MutStats().DeltaLive) })
+	r.NewGaugeFunc("nd_base_tombstones",
+		"base-generation entries shadowed by the delta tiers",
+		func() float64 { return float64(e.MutStats().BaseTombstones) })
+	r.NewCounterFunc("nd_page_touches_total",
+		"software page-cache touches across paged shards (0 when resident)",
+		func() float64 { ps, _ := e.PageStats(); return float64(ps.Touches) })
+	r.NewCounterFunc("nd_page_faults_total",
+		"software page-cache fills across paged shards (0 when resident)",
+		func() float64 { ps, _ := e.PageStats(); return float64(ps.Faults) })
+	r.NewGaugeFunc("nd_page_resident_pages",
+		"pages resident in the per-shard page caches",
+		func() float64 { ps, _ := e.PageStats(); return float64(ps.ResidentPages) })
+	e.obsm.Store(m)
+}
+
+// Generation returns the current base generation number: 0 until the
+// first compaction, then incrementing per completed compaction — the
+// cheap progress signal /healthz probes watch.
+func (e *Engine) Generation() int {
+	e.genMu.RLock()
+	defer e.genMu.RUnlock()
+	return e.gen.num
+}

@@ -1,0 +1,193 @@
+package engine
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"ndsearch/internal/dataset"
+	"ndsearch/internal/obs"
+	"ndsearch/internal/vec"
+)
+
+// stageSet collects the distinct stage names of a span list.
+func stageSet(spans []obs.Span) map[string]int {
+	set := make(map[string]int)
+	for _, s := range spans {
+		set[s.Stage]++
+	}
+	return set
+}
+
+// TestTracedSearchByteIdentical is the tracing acceptance property:
+// attaching a trace to a batch must not perturb results — traced and
+// untraced executions return deep-equal top-k lists, for every family,
+// on both the pure-read path and a mutated engine (delta + frozen
+// tiers live, so the per-tier merge folds run).
+func TestTracedSearchByteIdentical(t *testing.T) {
+	pool, err := dataset.Generate(dataset.Sift1B(), dataset.GenConfig{N: 72, Queries: 5, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n0 = 48
+	base := pool.Vectors[:n0]
+	spare := pool.Vectors[n0:]
+	queries := pool.Queries
+	const k = 5
+
+	for _, algo := range Algos() {
+		t.Run(algo, func(t *testing.T) {
+			e, err := New(base, Config{
+				Shards: 3, Workers: 2,
+				Builder: exhaustiveBuilder(t, algo, vec.L2, 1),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(e.Close)
+
+			check := func(stage string, wantStages ...string) {
+				t.Helper()
+				plain, _ := e.SearchBatch(queries, k)
+				tr := obs.NewTrace()
+				traced, _ := e.SearchBatchOpts(queries, k, SearchOptions{Trace: tr})
+				if !reflect.DeepEqual(plain, traced) {
+					t.Fatalf("%s: traced results differ from untraced:\nplain:  %v\ntraced: %v",
+						stage, plain, traced)
+				}
+				set := stageSet(tr.Spans())
+				for _, s := range wantStages {
+					if set[s] == 0 {
+						t.Errorf("%s: trace missing stage %q (got %v)", stage, s, set)
+					}
+				}
+				if got := set["shard_search"]; got != len(queries)*3 {
+					t.Errorf("%s: %d shard_search spans, want %d", stage, got, len(queries)*3)
+				}
+			}
+
+			check("clean", "fanout", "shard_search", "merge")
+
+			// Mutate: upserts land in the delta tier, a delete shadows the
+			// base, so the traced merge walks the per-tier folds.
+			for i, v := range spare {
+				if err := e.Upsert(uint32(n0+i), v); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if _, err := e.Delete(0); err != nil {
+				t.Fatal(err)
+			}
+			check("mutated", "fanout", "shard_search", "merge_delta", "merge_base")
+		})
+	}
+}
+
+// TestNilTraceOptsMatchesSearchBatch pins the delegation: SearchBatch
+// and SearchBatchOpts with a zero SearchOptions are the same execution.
+func TestNilTraceOptsMatchesSearchBatch(t *testing.T) {
+	pool, err := dataset.Generate(dataset.Sift1B(), dataset.GenConfig{N: 32, Queries: 3, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(pool.Vectors, Config{
+		Shards: 2, Workers: 2,
+		Builder: exhaustiveBuilder(t, "exact", vec.L2, 1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(e.Close)
+	a, _ := e.SearchBatch(pool.Queries, 4)
+	b, _ := e.SearchBatchOpts(pool.Queries, 4, SearchOptions{})
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("SearchBatchOpts{} differs from SearchBatch:\n%v\n%v", a, b)
+	}
+}
+
+// TestEngineMetrics checks the registry wiring end to end: search,
+// mutation, and compaction traffic shows up in the instruments and the
+// rendered exposition.
+func TestEngineMetrics(t *testing.T) {
+	pool, err := dataset.Generate(dataset.Sift1B(), dataset.GenConfig{N: 40, Queries: 4, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n0 = 32
+	e, err := New(pool.Vectors[:n0], Config{
+		Shards: 2, Workers: 2,
+		Builder: exhaustiveBuilder(t, "exact", vec.L2, 1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(e.Close)
+
+	r := obs.NewRegistry()
+	e.EnableMetrics(r)
+	e.SearchBatch(pool.Queries, 3)
+
+	m := e.obsm.Load()
+	if got := m.batches.Value(); got != 1 {
+		t.Errorf("batches = %d, want 1", got)
+	}
+	if got := m.queries.Value(); got != uint64(len(pool.Queries)) {
+		t.Errorf("queries = %d, want %d", got, len(pool.Queries))
+	}
+	if got := m.shardSearches.Value(); got != uint64(len(pool.Queries)*2) {
+		t.Errorf("shardSearches = %d, want %d", got, len(pool.Queries)*2)
+	}
+	if got := m.searchLatency.Count(); got != 1 {
+		t.Errorf("searchLatency count = %d, want 1", got)
+	}
+
+	for i, v := range pool.Vectors[n0:] {
+		if err := e.Upsert(uint32(n0+i), v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if wasLive, err := e.Delete(1); err != nil || !wasLive {
+		t.Fatalf("Delete(1) = %v, %v", wasLive, err)
+	}
+	if got := m.upserts.Value(); got != uint64(len(pool.Vectors)-n0) {
+		t.Errorf("upserts = %d, want %d", got, len(pool.Vectors)-n0)
+	}
+	if got := m.deletes.Value(); got != 1 {
+		t.Errorf("deletes = %d, want 1", got)
+	}
+
+	if got := e.Generation(); got != 0 {
+		t.Errorf("Generation() = %d before compaction, want 0", got)
+	}
+	if err := e.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Generation(); got != 1 {
+		t.Errorf("Generation() = %d after compaction, want 1", got)
+	}
+	if got := m.compactions.Value(); got != 1 {
+		t.Errorf("compactions = %d, want 1", got)
+	}
+	if got := m.compactSeconds.Count(); got != 1 {
+		t.Errorf("compactSeconds count = %d, want 1", got)
+	}
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"nd_search_queries_total 4",
+		"nd_search_batches_total 1",
+		"nd_upserts_total 8",
+		"nd_deletes_total 1",
+		"nd_compactions_total 1",
+		"nd_generation 1",
+		"# TYPE nd_search_latency_seconds histogram",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}

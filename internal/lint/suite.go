@@ -42,11 +42,15 @@ var closableTypes = []string{
 }
 
 // allowWallClock: commands and examples print real timings and enforce
-// real deadlines; everything else must be reproducible (benchmarks and
-// tests are exempted by the analyzer itself, one-off timing stats carry
-// //ndvet:ignore directives).
+// real deadlines, and internal/obs is the sanctioned time.Now consumer
+// for the library tree — latency metrics and trace spans are wall-clock
+// by definition, and funneling every measurement through obs keeps the
+// rest of the library reproducible (benchmarks and tests are exempted
+// by the analyzer itself, one-off timing stats carry //ndvet:ignore
+// directives). See DESIGN.md §13.
 func allowWallClock(pkgPath, filename string) bool {
-	return strings.HasPrefix(pkgPath, modPath+"/cmd/") ||
+	return pkgPath == modPath+"/internal/obs" ||
+		strings.HasPrefix(pkgPath, modPath+"/cmd/") ||
 		strings.HasPrefix(pkgPath, modPath+"/examples/")
 }
 

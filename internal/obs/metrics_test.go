@@ -1,0 +1,177 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("nd_test_total", "test counter")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("Value() = %d, want 5", got)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.NewGauge("nd_test_gauge", "test gauge")
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("Value() = %v, want 1.5", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("nd_test_seconds", "test histogram", []float64{1, 2, 4})
+	// Boundary sample lands in the le=bound bucket; past-last lands in +Inf.
+	for _, v := range []float64{0.5, 1, 1.5, 2, 3, 4, 9} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 7 {
+		t.Fatalf("Count() = %d, want 7", got)
+	}
+	if got := h.Sum(); got != 21 {
+		t.Fatalf("Sum() = %v, want 21", got)
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, line := range []string{
+		`nd_test_seconds_bucket{le="1"} 2`,
+		`nd_test_seconds_bucket{le="2"} 4`,
+		`nd_test_seconds_bucket{le="4"} 6`,
+		`nd_test_seconds_bucket{le="+Inf"} 7`,
+		`nd_test_seconds_sum 21`,
+		`nd_test_seconds_count 7`,
+	} {
+		if !strings.Contains(out, line+"\n") {
+			t.Errorf("exposition missing %q:\n%s", line, out)
+		}
+	}
+}
+
+func TestNilInstrumentsNoOp(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(1)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil instruments must read as zero")
+	}
+}
+
+func TestRegistrationPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	r := NewRegistry()
+	r.NewCounter("nd_dup_total", "first")
+	mustPanic("duplicate name", func() { r.NewCounter("nd_dup_total", "second") })
+	mustPanic("empty name", func() { r.NewCounter("", "x") })
+	mustPanic("bad char", func() { r.NewCounter("nd-dash", "x") })
+	mustPanic("leading digit", func() { r.NewCounter("9metric", "x") })
+	mustPanic("empty bounds", func() { r.NewHistogram("nd_h1", "x", nil) })
+	mustPanic("unordered bounds", func() { r.NewHistogram("nd_h2", "x", []float64{2, 1}) })
+	mustPanic("infinite bound", func() { r.NewHistogram("nd_h3", "x", []float64{1, math.Inf(1)}) })
+}
+
+func TestExpositionSortedAndStable(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("nd_zeta_total", "z")
+	r.NewGauge("nd_alpha", "a")
+	r.NewGaugeFunc("nd_mid", "m", func() float64 { return 7 })
+	var b1, b2 strings.Builder
+	if err := r.WritePrometheus(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WritePrometheus(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b1.String() != b2.String() {
+		t.Fatal("two scrapes of identical state differ")
+	}
+	alpha := strings.Index(b1.String(), "nd_alpha")
+	mid := strings.Index(b1.String(), "nd_mid")
+	zeta := strings.Index(b1.String(), "nd_zeta_total")
+	if !(alpha < mid && mid < zeta) {
+		t.Fatalf("exposition not sorted by name:\n%s", b1.String())
+	}
+	if !strings.Contains(b1.String(), "nd_mid 7\n") {
+		t.Fatalf("func metric not rendered:\n%s", b1.String())
+	}
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("nd_conc_total", "c")
+	g := r.NewGauge("nd_conc_gauge", "g")
+	h := r.NewHistogram("nd_conc_seconds", "h", LatencyBuckets)
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(1e-3)
+			}
+		}()
+	}
+	// Scrape concurrently with the updates to exercise the reader path.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			var b strings.Builder
+			if err := r.WritePrometheus(&b); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got := c.Value(); got != workers*per {
+		t.Errorf("counter = %d, want %d", got, workers*per)
+	}
+	if got := g.Value(); got != workers*per {
+		t.Errorf("gauge = %v, want %d", got, workers*per)
+	}
+	if got := h.Count(); got != workers*per {
+		t.Errorf("histogram count = %d, want %d", got, workers*per)
+	}
+}
+
+func TestStandardBucketsAscending(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		bounds []float64
+	}{{"LatencyBuckets", LatencyBuckets}, {"SizeBuckets", SizeBuckets}} {
+		for i := 1; i < len(tc.bounds); i++ {
+			if tc.bounds[i] <= tc.bounds[i-1] {
+				t.Errorf("%s not strictly ascending at %d", tc.name, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceSpans(t *testing.T) {
+	tr := NewTrace()
+	tr.Span("fanout").End()
+	tr.Span("shard_search").Shard(2).Query(1).Pages(10, 3).End()
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	var ss *Span
+	for i := range spans {
+		if spans[i].Stage == "shard_search" {
+			ss = &spans[i]
+		}
+	}
+	if ss == nil {
+		t.Fatal("shard_search span missing")
+	}
+	if ss.Shard != 2 || ss.Query != 1 || ss.Touches != 10 || ss.Faults != 3 {
+		t.Fatalf("span scope wrong: %+v", *ss)
+	}
+	for _, s := range spans {
+		if s.StartUS < 0 || s.DurUS < 0 {
+			t.Fatalf("negative offsets: %+v", s)
+		}
+	}
+}
+
+func TestTraceNilNoOps(t *testing.T) {
+	var tr *Trace
+	sp := tr.Span("x")
+	if sp != nil {
+		t.Fatal("nil trace must return nil span")
+	}
+	sp.Shard(1).Query(2).Pages(3, 4).End()
+	tr.ObserveAt("x", -1, -1, time.Time{}, 0)
+	tr.Extend(NewTrace())
+	NewTrace().Extend(tr)
+	if got := tr.Spans(); got != nil {
+		t.Fatalf("nil trace Spans() = %v, want nil", got)
+	}
+}
+
+func TestObserveAt(t *testing.T) {
+	tr := NewTrace()
+	tr.ObserveAt("coalesce_wait", -1, 0, tr.start.Add(5*time.Microsecond), 40*time.Microsecond)
+	spans := tr.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("got %d spans, want 1", len(spans))
+	}
+	s := spans[0]
+	if s.Stage != "coalesce_wait" || s.StartUS != 5 || s.DurUS != 40 {
+		t.Fatalf("span = %+v", s)
+	}
+}
+
+func TestExtendRebasesOffsets(t *testing.T) {
+	outer := NewTrace()
+	inner := &Trace{start: outer.start.Add(100 * time.Microsecond)}
+	inner.ObserveAt("merge", -1, 0, inner.start.Add(7*time.Microsecond), 3*time.Microsecond)
+	outer.Extend(inner)
+	spans := outer.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("got %d spans, want 1", len(spans))
+	}
+	if got := spans[0].StartUS; got != 107 {
+		t.Fatalf("rebased StartUS = %v, want 107", got)
+	}
+	if got := spans[0].DurUS; got != 3 {
+		t.Fatalf("DurUS = %v, want 3", got)
+	}
+	// Extending must not mutate the source trace.
+	if got := inner.Spans()[0].StartUS; got != 7 {
+		t.Fatalf("source trace mutated: StartUS = %v, want 7", got)
+	}
+}
+
+func TestSpansDeterministicOrder(t *testing.T) {
+	tr := NewTrace()
+	// Same StartUS, differing scope: order must be (Stage, Shard, Query).
+	at := tr.start
+	tr.ObserveAt("shard_search", 1, 0, at, 0)
+	tr.ObserveAt("shard_search", 0, 1, at, 0)
+	tr.ObserveAt("fanout", -1, -1, at, 0)
+	tr.ObserveAt("shard_search", 0, 0, at, 0)
+	spans := tr.Spans()
+	want := []Span{
+		{Stage: "fanout", Shard: -1, Query: -1},
+		{Stage: "shard_search", Shard: 0, Query: 0},
+		{Stage: "shard_search", Shard: 0, Query: 1},
+		{Stage: "shard_search", Shard: 1, Query: 0},
+	}
+	for i, w := range want {
+		if spans[i].Stage != w.Stage || spans[i].Shard != w.Shard || spans[i].Query != w.Query {
+			t.Fatalf("order[%d] = %+v, want %+v", i, spans[i], w)
+		}
+	}
+}
+
+func TestTraceConcurrentAppend(t *testing.T) {
+	tr := NewTrace()
+	const workers, per = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				tr.Span("shard_search").Shard(w).Query(i).End()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := len(tr.Spans()); got != workers*per {
+		t.Fatalf("got %d spans, want %d", got, workers*per)
+	}
+}
+
+func TestSpanJSONOmitsZeroPages(t *testing.T) {
+	b, err := json.Marshal(Span{Stage: "merge", Shard: -1, Query: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(b), "touches") || strings.Contains(string(b), "faults") {
+		t.Fatalf("zero page counters must be omitted: %s", b)
+	}
+	b, err = json.Marshal(Span{Stage: "shard_search", Touches: 1, Faults: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"touches":1`) || !strings.Contains(string(b), `"faults":2`) {
+		t.Fatalf("nonzero page counters must render: %s", b)
+	}
+}
